@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (table or figure) at
+``ExperimentProfile.bench()`` scale, asserts the paper's qualitative
+shape, and writes the rendered table to ``results/<id>.txt``.
+
+Benchmarks run exactly once (``benchmark.pedantic(rounds=1)``) — each is
+a multi-second simulation sweep, not a microbenchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ExperimentProfile
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile() -> ExperimentProfile:
+    return ExperimentProfile.bench()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(report, name: str) -> None:
+        text = report.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Benchmarks: extension experiments beyond the paper's numbered
+artefacts — the Section 5.3 scalability claim and two ablations of
+design choices DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    abl_hash,
+    abl_sampled_sets,
+    ext_policies,
+    scalability,
+)
+
+
+def test_scalability(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: scalability.run(profile,
+                                              core_counts=(8, 16)))
+    save_report(report, "scalability")
+    # Paper Section 5.3: Drishti's delta does not shrink with scale.
+    assert report.delta(16) >= report.delta(8) - 1.5
+
+
+def test_abl_hash(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: abl_hash.run(profile, cores=16))
+    save_report(report, "abl_hash")
+    fold_fraction = report.by_scheme["fold_xor"][0]
+    modulo_fraction = report.by_scheme["modulo"][0]
+    # The naive modulo hash lets more PCs camp on one slice.
+    assert modulo_fraction >= fold_fraction - 0.05
+
+
+def test_ext_policies(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: ext_policies.run(profile, cores=16))
+    save_report(report, "ext_policies")
+    # Table 7's claim generalises: Drishti does not hurt any
+    # sampler+predictor policy.
+    for base, enhanced in (("sdbp", "d-sdbp"), ("leeway", "d-leeway"),
+                           ("perceptron", "d-perceptron")):
+        assert report.value("all", enhanced) >= \
+            report.value("all", base) - 2.0
+
+
+def test_abl_sampled_sets(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: abl_sampled_sets.run(profile, cores=16))
+    save_report(report, "abl_sampled_sets")
+    # Section 4.2: with intelligent selection, few sampled sets suffice —
+    # the curve is flat (more sets do not buy a large gain).
+    assert abs(report.flatness()) < 5.0

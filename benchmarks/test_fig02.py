@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 2 (PC-to-slice scatter)."""
+
+from conftest import run_once
+
+from repro.analysis.myopia import average_scatter_fraction
+from repro.core.drishti import DrishtiConfig
+from repro.experiments import fig02_scatter
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+
+def test_fig02_scatter(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: fig02_scatter.run(profile))
+    save_report(report, "fig02_scatter")
+    # Every mix reports a valid fraction; some PCs are slice-affine.
+    assert report.per_mix
+    assert all(0.0 <= f <= 1.0 for _n, _k, f in report.per_mix)
+    assert report.average() > 0.0
+
+
+def test_fig02_xalan_below_pr(benchmark, profile):
+    """The paper's ordering: xalancbmk scatters most, GAP's pr least."""
+    cores = 16
+    cfg = profile.config(cores, "lru", DrishtiConfig.baseline())
+
+    def run():
+        out = {}
+        for wl in ("xalancbmk", "pr_kron"):
+            traces = make_mix(homogeneous_mix(wl, cores), cfg,
+                              profile.scale.accesses_per_core,
+                              seed=profile.seed)
+            out[wl] = average_scatter_fraction(traces, cores)
+        return out
+
+    fractions = run_once(benchmark, run)
+    assert fractions["xalancbmk"] < fractions["pr_kron"]

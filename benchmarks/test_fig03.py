@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 3 (myopic vs global vs oracle ETR)."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_etr_views
+
+
+def test_fig03_etr_views(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: fig03_etr_views.run(profile, cores=16))
+    save_report(report, "fig03_etr_views")
+    view = report.view
+    # The global fabric trains at least as many per-core entries as any
+    # single myopic slice view covers (the paper's coverage story).
+    assert view.global_coverage() >= view.myopic_coverage()
+    # Myopic values scatter across slices when trained in several.
+    assert view.myopic_spread() >= 0.0

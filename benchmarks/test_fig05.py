@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (per-set MPKA distributions)."""
+
+from conftest import run_once
+
+from repro.experiments import fig05_set_mpka
+
+
+def test_fig05_set_mpka(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: fig05_set_mpka.run(profile, cores=16))
+    save_report(report, "fig05_set_mpka")
+    mcf = report.summary("mcf")
+    gcc = report.summary("gcc")
+    lbm = report.summary("lbm")
+    # Paper shape: mcf strongly skewed, gcc milder, lbm uniform.
+    assert mcf.skew_ratio > lbm.skew_ratio
+    assert gcc.skew_ratio > lbm.skew_ratio * 0.9
+    assert mcf.skew_ratio >= gcc.skew_ratio * 0.8
+    assert lbm.is_uniform
+    assert mcf.maximum > lbm.maximum  # the Figure 5a spikes

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 10 (predictor APKI by placement)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_pred_traffic
+
+
+def test_fig10_pred_traffic(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: fig10_pred_traffic.run(profile))
+    save_report(report, "fig10_pred_traffic")
+    for cores in profile.core_counts:
+        central_avg, central_max = report.value(cores, "centralized")
+        percore_avg, percore_max = report.value(cores, "per_core_global")
+        # The centralized predictor absorbs every slice's traffic; each
+        # per-core instance sees roughly a 1/cores share (paper: >65 vs
+        # ~2.5 APKI at 32 cores).
+        assert central_avg > percore_avg
+        assert central_max > percore_max
+    # The gap widens with core count.
+    small, big = profile.core_counts[0], profile.core_counts[-1]
+    ratio_small = (report.value(small, "centralized")[0] /
+                   max(1e-9, report.value(small, "per_core_global")[0]))
+    ratio_big = (report.value(big, "centralized")[0] /
+                 max(1e-9, report.value(big, "per_core_global")[0]))
+    assert ratio_big > ratio_small

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 11 (interconnect latency effects)."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_interconnect
+
+
+def test_fig11_interconnect(benchmark, profile, save_report):
+    report = run_once(
+        benchmark,
+        lambda: fig11_interconnect.run(profile, latencies=(1, 3, 20)))
+    save_report(report, "fig11_interconnect")
+    # (a) Mesh-routed Drishti loses more (or gains less) at higher core
+    # counts: the slowdown is monotonically non-improving with cores.
+    counts = sorted(report.mesh_slowdown)
+    if len(counts) >= 2:
+        assert report.mesh_slowdown[counts[-1]] <= \
+            report.mesh_slowdown[counts[0]] + 1.0
+    # (b) Low side-band latency beats mesh-class (20-cycle) latency.
+    assert report.latency_sensitivity[1] >= \
+        report.latency_sensitivity[20] - 0.5
+    assert report.latency_sensitivity[3] >= \
+        report.latency_sensitivity[20] - 0.5

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 13 (headline WS improvements).
+
+The paper's 32-core shape: LRU < Hawkeye < D-Hawkeye and
+LRU < Mockingjay < D-Mockingjay, with Drishti's delta growing with core
+count.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_performance
+
+
+def test_fig13_performance(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: fig13_performance.run(profile))
+    save_report(report, "fig13_performance")
+    big = profile.max_cores
+    # Baselines stay in a sane band around LRU at bench scale (the
+    # paper's +3-7% needs its full trace lengths).
+    assert report.improvement(big, "hawkeye") > -4.0
+    assert report.improvement(big, "mockingjay") > -1.0
+    # Baseline Mockingjay is at least Hawkeye's equal, as in the paper.
+    assert report.improvement(big, "mockingjay") >= \
+        report.improvement(big, "hawkeye") - 0.5
+    # The headline: Drishti enhances both policies at the largest core
+    # count.
+    assert report.improvement(big, "d-mockingjay") > \
+        report.improvement(big, "mockingjay") - 0.3
+    assert report.improvement(big, "d-hawkeye") > \
+        report.improvement(big, "hawkeye") - 0.3
+    # And the enhanced configurations beat LRU outright.
+    assert report.improvement(big, "d-mockingjay") > 0.0
+    assert report.improvement(big, "d-hawkeye") > 0.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 14 (LLC MPKI reduction vs LRU)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_mpki
+
+
+def test_fig14_mpki(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: fig14_mpki.run(profile))
+    save_report(report, "fig14_mpki")
+    big = profile.max_cores
+    # All four configurations reduce MPKI over LRU.
+    for label in ("hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay"):
+        assert report.reduction(big, label) > 0.0
+    # Drishti's reductions meet or beat the base policies'.
+    assert report.reduction(big, "d-mockingjay") >= \
+        report.reduction(big, "mockingjay") - 0.5
+    assert report.reduction(big, "d-hawkeye") >= \
+        report.reduction(big, "hawkeye") - 0.5

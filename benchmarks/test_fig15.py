@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 15 (uncore energy vs LRU)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_energy
+
+
+def test_fig15_energy(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: fig15_energy.run(profile))
+    save_report(report, "fig15_energy")
+    big = profile.max_cores
+    for label in ("hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay"):
+        value = report.value(big, label)
+        # Paper shape: smart policies save (or at worst match) uncore
+        # energy; nothing blows up.
+        assert 0.5 < value < 1.15
+    # D-Mockingjay saves at least as much as Mockingjay (paper: 9% vs 5%).
+    assert report.value(big, "d-mockingjay") <= \
+        report.value(big, "mockingjay") + 0.02

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 16 (per-mix sorted speedups)."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_per_mix
+
+
+def test_fig16_per_mix(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: fig16_per_mix.run(profile))
+    save_report(report, "fig16_per_mix")
+    # Paper shape: D-Mockingjay dominates Mockingjay on (nearly) every
+    # mix — require a majority at bench scale.
+    assert report.domination_fraction() >= 0.5
+    # Sorted order holds by construction.
+    values = [dmj for _n, _mj, dmj in report.per_mix]
+    assert values == sorted(values)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 18 (Drishti ETR vs global view)."""
+
+from conftest import run_once
+
+from repro.experiments import fig18_drishti_etr
+from repro.replacement.mockingjay.predictor import INF_SCALED
+
+
+def test_fig18_drishti_etr(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: fig18_drishti_etr.run(profile, cores=16))
+    save_report(report, "fig18_drishti_etr")
+    diff = report.mean_abs_difference()
+    # Paper shape: Drishti's predictions track the global view closely.
+    if diff is not None:
+        assert diff <= INF_SCALED / 2
+    # Both configurations trained the tracked PC somewhere.
+    assert any(g is not None for g, _d in report.per_core.values())

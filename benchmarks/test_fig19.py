@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 19 (datacenter workloads)."""
+
+from conftest import run_once
+
+from repro.experiments import fig19_other_workloads
+
+
+def test_fig19_other_workloads(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: fig19_other_workloads.run(profile, cores=16))
+    save_report(report, "fig19_other_workloads")
+    # Paper shape: small headroom (2-3%, max 13%) — nothing catastrophic,
+    # Drishti does not hurt.
+    for label in report.labels:
+        value = report.value("datacenter", label)
+        assert -5.0 < value < 20.0
+    assert report.value("datacenter", "d-mockingjay") >= \
+        report.value("datacenter", "mockingjay") - 1.0

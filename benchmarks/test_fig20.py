@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 20 (LLC slice-size sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import fig20_llc_size
+
+
+def test_fig20_llc_size(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: fig20_llc_size.run(profile, cores=16))
+    save_report(report, "fig20_llc_size")
+    # Paper shape: Drishti keeps its edge across LLC sizes.
+    for point in report.points:
+        assert report.value(point, "d-mockingjay") >= \
+            report.value(point, "mockingjay") - 2.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 21 (L2 size sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import fig21_l2_size
+
+
+def test_fig21_l2_size(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: fig21_l2_size.run(profile, cores=16))
+    save_report(report, "fig21_l2_size")
+    # Paper shape: with a much larger L2 the LLC policies' headroom
+    # shrinks (working sets fit in the private levels).
+    big_l2 = report.value("4x L2", "mockingjay")
+    base_l2 = report.value("base L2", "mockingjay")
+    assert big_l2 <= base_l2 + 2.0
+    for point in report.points:
+        assert report.value(point, "d-mockingjay") >= \
+            report.value(point, "mockingjay") - 2.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 22 (DRAM channel sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import fig22_dram_channels
+
+
+def test_fig22_dram_channels(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: fig22_dram_channels.run(profile, cores=16))
+    save_report(report, "fig22_dram_channels")
+    # Paper shape: fewer channels (more memory pressure) -> policies
+    # matter more; with many channels the headroom shrinks.
+    two = report.value("2 channels", "d-mockingjay")
+    eight = report.value("8 channels", "d-mockingjay")
+    assert two >= eight - 2.0
+    for point in report.points:
+        assert report.value(point, "d-mockingjay") >= \
+            report.value(point, "mockingjay") - 2.0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 23 (prefetcher sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import fig23_prefetchers
+
+
+def test_fig23_prefetchers(benchmark, profile, save_report):
+    report = run_once(
+        benchmark,
+        lambda: fig23_prefetchers.run(
+            profile, cores=16, prefetchers=("baseline", "spp_ppf",
+                                            "berti")))
+    save_report(report, "fig23_prefetchers")
+    # Paper shape: Drishti stays effective under every prefetcher.
+    for point in report.points:
+        assert report.value(point, "d-mockingjay") >= \
+            report.value(point, "mockingjay") - 2.0

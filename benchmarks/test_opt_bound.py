@@ -1,0 +1,33 @@
+"""Benchmark: the exact-Belady headroom study (repo extension).
+
+Scores each policy's simulated miss count against the offline OPT bound
+computed by the next-use algorithm — the strongest end-to-end validation
+in the suite: the OPT-emulating policies must capture a large fraction
+of the true headroom, in the published order.
+"""
+
+from conftest import run_once
+
+from repro.experiments import abl_opt_bound
+
+
+def test_opt_bound(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: abl_opt_bound.run(profile))
+    save_report(report, "abl_opt_bound")
+    for wl in report.workloads:
+        lru_b = report.bounds[wl]["lru_bound"]
+        opt_b = report.bounds[wl]["opt_bound"]
+        # The bound is a bound.
+        assert opt_b.misses <= lru_b.misses
+        # LRU's simulated misses sit near the LRU bound (stream-filter
+        # mismatch stays small), so its efficiency is near zero.
+        assert abs(report.efficiency(wl, "lru")) < 0.15
+        # The OPT emulators capture a large share of the true headroom,
+        # far beyond the memoryless baseline...
+        assert report.efficiency(wl, "hawkeye") > 0.3
+        assert report.efficiency(wl, "mockingjay") > 0.3
+        assert report.efficiency(wl, "hawkeye") > \
+            report.efficiency(wl, "srrip")
+        # ...and nobody beats OPT (up to the small filter mismatch).
+        for policy in ("srrip", "hawkeye", "mockingjay"):
+            assert report.efficiency(wl, policy) < 1.1

@@ -1,0 +1,47 @@
+"""Microbenchmarks: replacement-policy decision throughput.
+
+Unlike the experiment benchmarks (one pedantic round each), these are
+true microbenchmarks: how many LLC accesses per second each policy
+sustains in this simulator.  Useful when choosing a ScaleProfile and
+when optimising policy hot paths — Hawkeye/Mockingjay do an order of
+magnitude more bookkeeping per access than LRU.
+"""
+
+import pytest
+
+from repro.cache.block import DEMAND, AccessContext
+from repro.cache.cache import Cache
+from repro.core.sampled_sets import StaticSampledSets
+from repro.replacement.registry import POLICY_REGISTRY, make_policy
+
+SETS, WAYS = 64, 8
+PATTERN_LEN = 2048
+
+# A mixed pattern: loops, scans and scattered blocks.
+PATTERN = ([i % 24 for i in range(512)] +
+           list(range(100, 612)) +
+           [((i * 2654435761) >> 7) % 4096 for i in range(1024)])
+
+
+def drive(cache):
+    for i, block in enumerate(PATTERN):
+        ctx = AccessContext(pc=0x400 + (block % 31) * 4, block=block,
+                            core_id=0, kind=DEMAND, cycle=i)
+        if not cache.access(ctx).hit:
+            cache.fill(ctx)
+    return cache.stats.accesses
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_REGISTRY))
+def test_policy_access_throughput(benchmark, policy_name):
+    def setup():
+        kwargs = {}
+        entry = POLICY_REGISTRY[policy_name]
+        if entry.uses_sampled_sets and entry.uses_predictor:
+            kwargs["selector"] = StaticSampledSets(SETS, 4, seed=1)
+        policy = make_policy(policy_name, SETS, WAYS, **kwargs)
+        return (Cache("bench", SETS, WAYS, policy),), {}
+
+    accesses = benchmark.pedantic(drive, setup=setup, rounds=3,
+                                  iterations=1)
+    assert accesses == len(PATTERN)

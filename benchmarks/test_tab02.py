@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 2 (design-choice matrix with traffic)."""
+
+from conftest import run_once
+
+from repro.core.traffic import design_choice_matrix, drishti_choice
+from repro.experiments import tab02_design_choices
+
+
+def test_tab02_design_choices(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: tab02_design_choices.run(profile, cores=16))
+    save_report(report, "tab02_design_choices")
+    drishti = report.estimate(drishti_choice())
+    broadcast_central = report.estimate(design_choice_matrix()[0])
+    central_pred = report.estimate(design_choice_matrix()[2])
+    # Broadcast designs multiply every training update by the slice
+    # count (Figures 6/7's step-2 fan-out).
+    assert broadcast_central.broadcast_messages == \
+        broadcast_central.training_messages * 16
+    # Drishti's hotspot load sits far below both centralized designs'.
+    assert drishti.max_messages_at_one_node <= \
+        central_pred.max_messages_at_one_node
+    assert drishti.max_messages_at_one_node <= \
+        broadcast_central.max_messages_at_one_node
+    # And its row needs no broadcast at all (Table 2).
+    assert drishti.broadcast_messages == 0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 3 (per-core hardware budget)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import tab03_budget
+
+
+def test_tab03_budget(benchmark, save_report):
+    report = run_once(benchmark, tab03_budget.run)
+    save_report(report, "tab03_budget")
+    # Exact paper numbers (storage arithmetic, no simulation noise).
+    assert report.total("hawkeye", False) == pytest.approx(28.0)
+    assert report.total("hawkeye", True) == pytest.approx(20.75)
+    assert report.total("mockingjay", False) == pytest.approx(31.91)
+    assert report.total("mockingjay", True) == pytest.approx(28.95)
+    # Drishti always saves storage.
+    for policy in ("hawkeye", "mockingjay"):
+        assert report.total(policy, True) < report.total(policy, False)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 5 (LLC WPKI)."""
+
+from conftest import run_once
+
+from repro.experiments import tab05_wpki
+
+
+def test_tab05_wpki(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: tab05_wpki.run(profile))
+    save_report(report, "tab05_wpki")
+    for cores in profile.core_counts:
+        lru = report.value(cores, "lru")
+        # Paper shape: LRU writes back least (0.18 vs Hawkeye's 1.48).
+        # Mockingjay's paper-reported WPKI inflation only partially
+        # reproduces (its bypassing reduces fills) — see EXPERIMENTS.md.
+        assert report.value(cores, "hawkeye") >= lru - 1e-9
+        assert report.value(cores, "mockingjay") >= 0.0

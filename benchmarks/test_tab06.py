@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 6 (WS/HS/Unfairness/MIS)."""
+
+from conftest import run_once
+
+from repro.experiments import tab06_metrics
+
+
+def test_tab06_metrics(benchmark, profile, save_report):
+    report = run_once(benchmark, lambda: tab06_metrics.run(profile))
+    save_report(report, "tab06_metrics")
+    # WS and HS improvements for the D-variants at least match the base
+    # policies (paper: 6.7->13.3 WS, 4.5->12.8 HS for Mockingjay).
+    assert report.ws_pct["d-mockingjay"] >= \
+        report.ws_pct["mockingjay"] - 0.3
+    assert report.hs_pct["d-mockingjay"] >= \
+        report.hs_pct["mockingjay"] - 0.5
+    # Fairness metrics stay sane: unfairness >= 1, MIS in [0, 100].
+    for label, value in report.unfairness.items():
+        assert value >= 1.0
+    for label, value in report.mis_pct.items():
+        assert 0.0 <= value <= 100.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 7 (applicability matrix)."""
+
+from conftest import run_once
+
+from repro.experiments import tab07_applicability
+
+
+def test_tab07_applicability(benchmark, save_report):
+    report = run_once(benchmark, tab07_applicability.run)
+    save_report(report, "tab07_applicability")
+    # The implemented policies' capability flags must agree with the
+    # registry — the table cannot drift from the code.
+    assert report.validate_against_registry() == []
+    # Paper content: EVA gets neither enhancement; memoryless policies
+    # get only the DSC.
+    rows = {name: (pred, dsc) for name, _k, pred, dsc, _i
+            in report.entries}
+    assert rows["EVA"] == (False, False)
+    assert rows["DIP"] == (False, True)
+    assert rows["Mockingjay"] == (True, True)

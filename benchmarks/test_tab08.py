@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 8 (SHiP++/CHROME/Glider with Drishti)."""
+
+from conftest import run_once
+
+from repro.experiments import tab08_other_policies
+
+
+def test_tab08_other_policies(benchmark, profile, save_report):
+    report = run_once(benchmark,
+                      lambda: tab08_other_policies.run(profile, cores=16))
+    save_report(report, "tab08_other_policies")
+    # Paper shape: Drishti enhances (or at worst matches) every
+    # sampler+predictor policy (SHiP++ 3->8%, CHROME 6->13%,
+    # Glider 3->6%).
+    for base, enhanced in (("ship", "d-ship"), ("chrome", "d-chrome"),
+                           ("glider", "d-glider")):
+        assert report.value("all", enhanced) >= \
+            report.value("all", base) - 2.0

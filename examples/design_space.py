@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Walking the paper's design space (Table 2, Figures 10-11).
+
+For a 16-core mcf mix, compares predictor placements:
+
+* local (myopic baseline),
+* centralized (global view, but one hotspot structure),
+* per-core-yet-global over the mesh (~13-20 cycles per lookup),
+* per-core-yet-global over NOCSTAR (3 cycles) — Drishti's design,
+
+reporting performance, predictor traffic (Figure 10) and lookup latency
+(Figure 11), plus the Table 2 broadcast arithmetic and the Table 3
+storage budget.
+
+Run:  python examples/design_space.py   (takes ~1 minute)
+"""
+
+from repro import ScaleProfile, Simulator, SystemConfig
+from repro.core.budget import budget_for, storage_saving_kb
+from repro.core.drishti import DrishtiConfig
+from repro.core.traffic import design_choice_matrix, estimate_traffic
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+
+def run(cores, profile, traces, drishti):
+    config = SystemConfig.from_profile(cores, profile,
+                                       llc_policy="mockingjay",
+                                       drishti=drishti)
+    return Simulator(config, traces).run()
+
+
+def main() -> None:
+    cores = 16
+    profile = ScaleProfile.smoke()
+    ref = SystemConfig.from_profile(cores, profile,
+                                    llc_policy="mockingjay")
+    traces = make_mix(homogeneous_mix("mcf", cores), ref,
+                      profile.accesses_per_core, seed=2)
+
+    designs = [
+        ("local (myopic)", DrishtiConfig.baseline()),
+        ("centralized", DrishtiConfig.centralized()),
+        ("per-core over mesh", DrishtiConfig.without_nocstar()),
+        ("per-core over NOCSTAR", DrishtiConfig.full()),
+    ]
+
+    print(f"Predictor placement on a {cores}-core mcf mix "
+          "(Mockingjay):\n")
+    print(f"{'design':24s} {'sum-IPC':>8s} {'MPKI':>7s} "
+          f"{'lookup lat':>10s} {'busiest instance':>17s}")
+    sampled = fills = None
+    for label, drishti in designs:
+        result = run(cores, profile, traces, drishti)
+        busiest = max(result.fabric_per_instance, default=0)
+        print(f"{label:24s} {sum(result.ipc):8.3f} "
+              f"{result.mpki():7.2f} "
+              f"{result.fabric_lookup_latency_avg:8.1f}cy "
+              f"{busiest:13d} acc")
+        if sampled is None:
+            sampled, fills = result.fabric_trains, \
+                result.llc_stats.fills
+
+    print("\nTable 2 message arithmetic for those event counts:")
+    for choice in design_choice_matrix():
+        est = estimate_traffic(choice, cores, sampled, fills)
+        print(f"  {choice.label:42s} total={est.total_messages:9d}  "
+              f"broadcast={est.broadcast_messages:9d}  "
+              f"hotspot={est.max_messages_at_one_node:9d}")
+
+    print("\nTable 3 storage (per core, 2 MB slice):")
+    for policy in ("hawkeye", "mockingjay"):
+        without = budget_for(policy, False).total_kb
+        with_d = budget_for(policy, True).total_kb
+        print(f"  {policy:11s} {without:6.2f} KB -> {with_d:6.2f} KB "
+              f"(Drishti saves {storage_saving_kb(policy):.2f} KB)")
+
+
+if __name__ == "__main__":
+    main()

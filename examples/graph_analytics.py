@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Graph analytics on a sliced LLC: the GAP-style scenario.
+
+Builds a *real* power-law CSR graph, emits the address stream of an
+actual PageRank iteration with the graph engine, and compares replacement
+policies on a 4-core system running four such streams.  Also demonstrates
+the PC-to-slice scatter analysis of the paper's Figure 2 on those
+streams.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import ScaleProfile, Simulator, SystemConfig
+from repro.analysis.myopia import scatter_fraction
+from repro.cache.slice_hash import SliceHash
+from repro.core.drishti import DrishtiConfig
+from repro.traces.gap import CSRGraph, GraphTraceGenerator
+
+
+def main() -> None:
+    cores = 4
+    profile = ScaleProfile.small()
+
+    # Big enough that the property arrays exceed the (scaled) LLC:
+    # the hub properties are the cacheable prize.
+    print("Building a 120k-vertex power-law graph (Kronecker-like)...")
+    graph = CSRGraph(num_vertices=120_000, avg_degree=8, power_law=True,
+                     seed=7)
+    print(f"  {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+
+    # One PageRank process per core: separate address spaces (the
+    # multiprogrammed-GAP setup), so the hub working sets contend for
+    # the shared LLC.
+    traces = []
+    for core in range(cores):
+        gen = GraphTraceGenerator(graph, apki=35.0, seed=core,
+                                  address_salt=core)
+        trace = gen.pagerank(max_accesses=profile.accesses_per_core)
+        trace.name = f"pagerank#c{core}"
+        traces.append(trace)
+
+    # Figure-2 style analysis: how many PCs stay on one slice?
+    hash_ = SliceHash(cores)
+    fractions = [scatter_fraction(t, hash_) for t in traces]
+    print("PC-to-slice scatter (fraction of multi-load PCs on ONE slice):")
+    for t, f in zip(traces, fractions):
+        print(f"  {t.name}: {f:.2f}")
+    print()
+
+    baseline_ipc = None
+    for label, policy, drishti in [
+            ("LRU", "lru", DrishtiConfig.baseline()),
+            ("Hawkeye", "hawkeye", DrishtiConfig.baseline()),
+            ("D-Hawkeye", "hawkeye", DrishtiConfig.full()),
+            ("Mockingjay", "mockingjay", DrishtiConfig.baseline()),
+            ("D-Mockingjay", "mockingjay", DrishtiConfig.full())]:
+        config = SystemConfig.from_profile(cores, profile,
+                                           llc_policy=policy,
+                                           drishti=drishti)
+        result = Simulator(config, traces).run()
+        total_ipc = sum(result.ipc)
+        if baseline_ipc is None:
+            baseline_ipc = total_ipc
+        print(f"{label:14s} sum-IPC {total_ipc:6.3f} "
+              f"({100 * (total_ipc / baseline_ipc - 1):+5.1f}% vs LRU)  "
+              f"MPKI {result.mpki():6.2f}  "
+              f"DRAM row-hit {result.dram_row_hit_rate:.2f}")
+
+    print("\nNote: the PageRank gather mixes hot hub reads and cold tail"
+          "\nreads under ONE load PC, so PC-granular predictors see a"
+          "\nmixed signal — Hawkeye's binary OPT verdicts cope better"
+          "\nthan reuse-distance blending here.  The parametric GAP"
+          "\nmodels used by the paper-scale experiments separate hub and"
+          "\ntail PCs, as real compiled GAP kernels do.")
+
+
+if __name__ == "__main__":
+    main()

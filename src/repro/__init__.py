@@ -1,0 +1,49 @@
+"""Drishti reproduction: slicing-aware LLC replacement for many-core systems.
+
+This package reproduces the system described in "Drishti: Do Not Forget
+Slicing While Designing Last-Level Cache Replacement Policies for Many-Core
+Systems" (MICRO 2025).  It contains a trace-driven multi-core cache-hierarchy
+simulator, the full stack of replacement policies the paper evaluates
+(LRU/SRRIP/DIP/SHiP++/Hawkeye/Mockingjay/Glider/CHROME), and the two Drishti
+enhancements: the per-core-yet-global reuse predictor (over a NOCSTAR-style
+side-band interconnect) and the dynamic sampled cache.
+
+Typical entry points::
+
+    from repro import SystemConfig, Simulator, make_mix
+    from repro.replacement import make_policy
+    from repro.core import DrishtiConfig
+
+See ``examples/quickstart.py`` for an end-to-end run.
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    DrishtiConfig,
+    NOCConfig,
+    ScaleProfile,
+    SystemConfig,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.runner import MixResult, run_mix
+from repro.traces.mixes import make_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DRAMConfig",
+    "DrishtiConfig",
+    "NOCConfig",
+    "ScaleProfile",
+    "SystemConfig",
+    "Simulator",
+    "SimulationResult",
+    "MixResult",
+    "run_mix",
+    "make_mix",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Measurement/analysis tools behind the paper's motivation figures.
+
+* :mod:`repro.analysis.myopia` — PC-to-slice scatter (Figure 2).
+* :mod:`repro.analysis.etr_views` — myopic vs global vs oracle ETR
+  (Figures 3 and 18).
+* :mod:`repro.analysis.pred_hist` — predictor-value frequency
+  distributions (Figure 4).
+* :mod:`repro.analysis.setmpka` — per-set MPKA distributions (Figure 5,
+  Table 1 set selection).
+"""
+
+from repro.analysis.myopia import pc_slice_scatter, scatter_fraction
+from repro.analysis.setmpka import (
+    mpka_summary,
+    select_sets_by_mpka,
+    set_mpka_profile,
+)
+from repro.analysis.pred_hist import etr_histogram, rrip_histogram
+from repro.analysis.etr_views import ETRViewReport, collect_etr_views
+from repro.analysis.ascii_chart import (
+    bar_chart,
+    histogram,
+    series_chart,
+    sparkline,
+)
+from repro.analysis.compare import compare_reports, render_comparison
+from repro.analysis.opt_bound import (
+    llc_stream_from_trace,
+    lru_misses,
+    opt_misses,
+    policy_efficiency,
+)
+
+__all__ = [
+    "pc_slice_scatter",
+    "scatter_fraction",
+    "set_mpka_profile",
+    "mpka_summary",
+    "select_sets_by_mpka",
+    "etr_histogram",
+    "rrip_histogram",
+    "collect_etr_views",
+    "ETRViewReport",
+    "sparkline",
+    "bar_chart",
+    "histogram",
+    "series_chart",
+    "compare_reports",
+    "render_comparison",
+    "opt_misses",
+    "lru_misses",
+    "policy_efficiency",
+    "llc_stream_from_trace",
+]

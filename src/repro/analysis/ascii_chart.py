@@ -1,0 +1,108 @@
+"""ASCII chart rendering for experiment reports.
+
+The benchmark harness writes text artefacts; these helpers turn series
+and distributions into readable monospace charts so the ``results/``
+files resemble the paper's figures, not just its tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a series."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return BLOCKS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(BLOCKS) - 1))
+        out.append(BLOCKS[idx])
+    return "".join(out)
+
+
+def bar_chart(items: Sequence[Tuple[str, float]], width: int = 40,
+              unit: str = "") -> str:
+    """Horizontal bar chart with labels and values."""
+    if not items:
+        return "(empty)"
+    label_width = max(len(label) for label, _v in items)
+    peak = max(abs(v) for _l, v in items) or 1.0
+    lines = []
+    for label, value in items:
+        bar_len = int(round(abs(value) / peak * width))
+        bar = "█" * bar_len
+        sign = "-" if value < 0 else ""
+        lines.append(f"{label.ljust(label_width)} |{sign}{bar} "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              width: int = 40) -> str:
+    """Binned histogram of a distribution."""
+    values = list(values)
+    if not values:
+        return "(empty)"
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return f"all values = {lo:.2f} (n={len(values)})"
+    bin_width = (hi - lo) / bins
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / bin_width))
+        counts[idx] += 1
+    peak = max(counts) or 1
+    lines = []
+    for i, count in enumerate(counts):
+        left = lo + i * bin_width
+        bar = "█" * int(round(count / peak * width))
+        lines.append(f"[{left:10.2f}, {left + bin_width:10.2f}) "
+                     f"{bar} {count}")
+    return "\n".join(lines)
+
+
+def series_chart(series: Dict[str, Sequence[float]],
+                 x_labels: Optional[Sequence[str]] = None,
+                 height: int = 10, value_format: str = "{:.1f}") -> str:
+    """Multi-series column chart (one character column per point).
+
+    Each series gets a marker; points from different series in the same
+    cell collapse to ``*``.
+    """
+    markers = "ox+#@%"
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values:
+        return "(empty)"
+    lo, hi = min(all_values), max(all_values)
+    if hi <= lo:
+        hi = lo + 1.0
+    n = max(len(vs) for vs in series.values())
+    grid: List[List[str]] = [[" "] * n for _ in range(height)]
+    for s_idx, (name, vs) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        for x, v in enumerate(vs):
+            row = int((v - lo) / (hi - lo) * (height - 1))
+            cell = grid[height - 1 - row][x]
+            grid[height - 1 - row][x] = marker if cell == " " else "*"
+    lines = []
+    top = value_format.format(hi)
+    bottom = value_format.format(lo)
+    lines.append(f"{top:>8} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    if height > 1:
+        lines.append(f"{bottom:>8} ┤" + "".join(grid[-1]))
+    legend = "   ".join(f"{markers[i % len(markers)]}={name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 8 + "  " + legend)
+    if x_labels:
+        lines.append(" " * 10 + " ".join(str(x) for x in x_labels))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Compare archived run reports (the JSON files from
+:mod:`repro.sim.report`).
+
+The trace-pipeline workflow replays identical traces under many
+configurations and archives each run; this module diffs two such
+archives — per-metric deltas with sensible directions (lower MPKI is an
+improvement, higher IPC is) — so calibration changes and policy
+comparisons read at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: metric path -> (label, higher_is_better)
+METRICS: Dict[str, Tuple[str, bool]] = {
+    "mpki": ("LLC MPKI", False),
+    "wpki": ("LLC WPKI", False),
+    "ws": ("weighted speedup", True),
+    "hs": ("harmonic speedup", True),
+    "unfairness": ("unfairness", False),
+    "run.dram.reads": ("DRAM reads", False),
+    "run.dram.writes": ("DRAM writes", False),
+    "run.llc.bypasses": ("LLC bypasses", None),
+    "run.fabric.apki": ("predictor APKI", None),
+}
+
+
+def _lookup(payload: dict, path: str):
+    node = payload
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+@dataclass
+class MetricDelta:
+    """One metric's before/after comparison."""
+
+    path: str
+    label: str
+    before: float
+    after: float
+    higher_is_better: object  # True / False / None (neutral)
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def pct(self) -> float:
+        if self.before == 0:
+            return 0.0
+        return 100.0 * self.delta / abs(self.before)
+
+    @property
+    def verdict(self) -> str:
+        if self.higher_is_better is None or self.delta == 0:
+            return "~"
+        improved = (self.delta > 0) == bool(self.higher_is_better)
+        return "+" if improved else "-"
+
+
+def compare_reports(before: dict, after: dict) -> List[MetricDelta]:
+    """Per-metric deltas between two archived mix/run reports."""
+    deltas: List[MetricDelta] = []
+    for path, (label, direction) in METRICS.items():
+        b = _lookup(before, path)
+        a = _lookup(after, path)
+        if b is None or a is None:
+            continue
+        deltas.append(MetricDelta(path=path, label=label,
+                                  before=float(b), after=float(a),
+                                  higher_is_better=direction))
+    return deltas
+
+
+def render_comparison(before: dict, after: dict,
+                      before_name: str = "before",
+                      after_name: str = "after") -> str:
+    """Readable diff table between two archived reports."""
+    deltas = compare_reports(before, after)
+    if not deltas:
+        return "(no comparable metrics)"
+    label_w = max(len(d.label) for d in deltas)
+    lines = [f"{'metric'.ljust(label_w)}  {before_name:>12s} "
+             f"{after_name:>12s} {'delta':>10s}  "]
+    for d in deltas:
+        lines.append(f"{d.label.ljust(label_w)}  {d.before:12.3f} "
+                     f"{d.after:12.3f} {d.pct:+9.1f}%  {d.verdict}")
+    lines.append("(+ improvement, - regression, ~ neutral)")
+    return "\n".join(lines)

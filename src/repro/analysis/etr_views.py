@@ -1,0 +1,194 @@
+"""Myopic vs global vs oracle ETR comparison (paper Figures 3 and 18).
+
+Figure 3 tracks one PC's predicted ETR values across a 16-core xalan run
+under three views:
+
+* **myopic** — each (core, slice) pair's local predictor entry: 16 dots
+  per core, scattered;
+* **global** — the per-core predictor trained by every slice: one value
+  per core, much tighter;
+* **oracle** — the PC's actual reuse distances measured from the trace.
+
+This module runs the same mix twice (local fabric, then per-core-global
+fabric), reads the predictor entries for the chosen PC out of each
+fabric, and computes the oracle from the raw trace.  Reuse-distance
+units: predictors measure distance in *sampled-set accesses*; a block's
+trace-level distance divides by (sets x slices) to land in the same
+units, then scales by the predictor granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.drishti import DrishtiConfig
+from repro.core.signature import make_signature
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import Simulator
+from repro.traces.trace import Trace
+
+
+@dataclass
+class ETRViewReport:
+    """Per-view ETR values for one PC."""
+
+    pc: int
+    # core -> slice -> predicted scaled ETR (None = never trained there)
+    myopic: Dict[int, List[Optional[int]]] = field(default_factory=dict)
+    # core -> predicted scaled ETR under the per-core-global fabric
+    global_view: Dict[int, Optional[int]] = field(default_factory=dict)
+    # observed scaled reuse distances (oracle)
+    oracle: List[int] = field(default_factory=list)
+
+    def myopic_spread(self) -> float:
+        """Std-dev of trained myopic values (Figure 3's scatter)."""
+        values = [v for row in self.myopic.values() for v in row
+                  if v is not None]
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+
+    def myopic_coverage(self) -> float:
+        """Fraction of (core, slice) predictor entries actually trained."""
+        total = sum(len(row) for row in self.myopic.values())
+        trained = sum(1 for row in self.myopic.values()
+                      for v in row if v is not None)
+        return trained / total if total else 0.0
+
+    def global_coverage(self) -> float:
+        values = list(self.global_view.values())
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v is not None) / len(values)
+
+    def oracle_mean(self) -> Optional[float]:
+        if not self.oracle:
+            return None
+        return sum(self.oracle) / len(self.oracle)
+
+    def global_error(self) -> Optional[float]:
+        """Mean |global prediction - oracle mean| over trained cores."""
+        return self._error(list(self.global_view.values()))
+
+    def myopic_error(self) -> Optional[float]:
+        values = [v for row in self.myopic.values() for v in row]
+        return self._error(values)
+
+    def _error(self, values: Sequence[Optional[int]]) -> Optional[float]:
+        oracle = self.oracle_mean()
+        trained = [v for v in values if v is not None]
+        if oracle is None or not trained:
+            return None
+        return sum(abs(v - oracle) for v in trained) / len(trained)
+
+
+def _oracle_distances(traces: Sequence[Trace], pc: int,
+                      num_sets: int, num_slices: int,
+                      granularity: int,
+                      l2_capacity_blocks: int = 512) -> List[int]:
+    """Observed scaled reuse distances of *pc*'s blocks *at the LLC*.
+
+    The predictor only ever sees L2 misses, so the oracle must measure
+    distances on the private-cache-filtered stream: a per-core LRU
+    filter of the L2's capacity drops the reuses the private levels
+    absorb, and distances are counted in filtered (LLC-level) accesses,
+    converted to per-set units.
+    """
+    from collections import OrderedDict
+
+    distances: List[int] = []
+    # One core's filtered stream is 1/num_slices of global LLC traffic,
+    # and a (set, slice) pair receives 1/(num_sets * num_slices) of the
+    # global stream — so per-core distances divide by num_sets alone.
+    per_set_divisor = max(1, num_sets)
+    for trace in traces:
+        l2_filter: OrderedDict = OrderedDict()
+        last_seen: Dict[int, int] = {}
+        llc_position = 0
+        for acc in trace:
+            block = acc.block
+            if block in l2_filter:
+                l2_filter.move_to_end(block)
+                continue  # private-level hit: invisible to the LLC
+            l2_filter[block] = True
+            if len(l2_filter) > l2_capacity_blocks:
+                l2_filter.popitem(last=False)
+            llc_position += 1
+            if acc.pc != pc:
+                continue
+            prev = last_seen.get(block)
+            if prev is not None:
+                raw = (llc_position - prev) // per_set_divisor
+                distances.append(min(14, raw // granularity))
+            last_seen[block] = llc_position
+    return distances
+
+
+def most_frequent_pc(traces: Sequence[Trace], min_blocks: int = 4) -> int:
+    """Pick the PC with the most block *reuses* to track.
+
+    (The paper tracks 0x59cdbf, a reuse-heavy xalancbmk PC; a no-reuse
+    scan PC would make every view trivially predict INFINITE.)
+    """
+    reuses: Dict[int, int] = {}
+    blocks: Dict[int, set] = {}
+    for trace in traces:
+        seen = set()
+        for acc in trace:
+            key = (acc.pc, acc.block)
+            if key in seen:
+                reuses[acc.pc] = reuses.get(acc.pc, 0) + 1
+            seen.add(key)
+            blocks.setdefault(acc.pc, set()).add(acc.block)
+    eligible = [pc for pc in reuses if len(blocks[pc]) >= min_blocks]
+    if not eligible:
+        raise ValueError("no PC reuses enough blocks to track")
+    return max(eligible, key=reuses.get)
+
+
+def collect_etr_views(config: SystemConfig, traces: Sequence[Trace],
+                      pc: Optional[int] = None,
+                      granularity: Optional[int] = None) -> ETRViewReport:
+    """Run the mix under myopic and global fabrics; extract one PC's ETRs.
+
+    The config's policy must be ``mockingjay``.  The oracle's distance
+    scaling defaults to the same slice-size-scaled granularity the
+    simulated policy uses.
+    """
+    if config.llc_policy != "mockingjay":
+        raise ValueError("ETR views require the mockingjay policy")
+    if granularity is None:
+        from repro.replacement.mockingjay import scaled_granularity
+        granularity = scaled_granularity(config.llc_sets_per_slice)
+    if pc is None:
+        pc = most_frequent_pc(traces)
+
+    report = ETRViewReport(pc=pc)
+    num_cores = config.num_cores
+    table_bits = config.llc_policy_params.get("table_bits", 11)
+
+    # Myopic run: per-slice local predictors.
+    myopic_cfg = config.with_policy("mockingjay", DrishtiConfig.baseline())
+    sim = Simulator(myopic_cfg, traces)
+    sim.run()
+    fabric = sim.hierarchy.llc.fabric
+    for core in range(num_cores):
+        sig = make_signature(pc, core, False, table_bits)
+        report.myopic[core] = [inst.predict(sig) for inst in fabric.instances]
+
+    # Global run: per-core-yet-global predictors.
+    global_cfg = config.with_policy("mockingjay",
+                                    DrishtiConfig.global_view_only())
+    sim = Simulator(global_cfg, traces)
+    sim.run()
+    fabric = sim.hierarchy.llc.fabric
+    for core in range(num_cores):
+        sig = make_signature(pc, core, False, table_bits)
+        report.global_view[core] = fabric.instances[core].predict(sig)
+
+    report.oracle = _oracle_distances(
+        traces, pc, config.llc_sets_per_slice, num_cores, granularity,
+        l2_capacity_blocks=config.l2.capacity_blocks)
+    return report

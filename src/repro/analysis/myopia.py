@@ -1,0 +1,57 @@
+"""PC-to-slice scatter analysis (paper Figure 2).
+
+Figure 2 plots, per 16-core mix, the fraction of PCs (per core, excluding
+PCs that bring only a single load) whose demand loads map to exactly one
+LLC slice throughout execution.  High fractions (GAP's ``pr``) mean
+per-slice predictors see a complete picture for most PCs; low fractions
+(``xalancbmk``) mean most PCs are scattered and every per-slice predictor
+view is myopic.  The paper notes this property depends only on the
+address stream and the slice hash — not on replacement policy or
+prefetching — so it is computed directly from traces here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set
+
+from repro.cache.slice_hash import SliceHash
+from repro.traces.trace import Trace
+
+
+def pc_slice_scatter(trace: Trace, slice_hash: SliceHash,
+                     min_loads: int = 2) -> Dict[int, Set[int]]:
+    """Map each PC (with >= *min_loads* loads) to the slices it touched."""
+    slices_by_pc: Dict[int, Set[int]] = defaultdict(set)
+    loads_by_pc: Dict[int, int] = defaultdict(int)
+    for acc in trace:
+        if acc.is_write:
+            continue
+        loads_by_pc[acc.pc] += 1
+        slices_by_pc[acc.pc].add(slice_hash.slice_of(acc.block))
+    return {pc: slices for pc, slices in slices_by_pc.items()
+            if loads_by_pc[pc] >= min_loads}
+
+
+def scatter_fraction(trace: Trace, slice_hash: SliceHash,
+                     min_loads: int = 2) -> float:
+    """Fraction of multi-load PCs whose loads all map to one slice."""
+    per_pc = pc_slice_scatter(trace, slice_hash, min_loads=min_loads)
+    if not per_pc:
+        return 0.0
+    single = sum(1 for slices in per_pc.values() if len(slices) == 1)
+    return single / len(per_pc)
+
+
+def mix_scatter_fractions(traces: Sequence[Trace], num_slices: int,
+                          hash_scheme: str = "fold_xor") -> List[float]:
+    """Per-core one-slice fractions for a mix (Figure 2's per-mix data)."""
+    sh = SliceHash(num_slices, scheme=hash_scheme)
+    return [scatter_fraction(trace, sh) for trace in traces]
+
+
+def average_scatter_fraction(traces: Sequence[Trace], num_slices: int,
+                             hash_scheme: str = "fold_xor") -> float:
+    """Mean one-slice fraction across a mix's cores."""
+    fractions = mix_scatter_fractions(traces, num_slices, hash_scheme)
+    return sum(fractions) / len(fractions) if fractions else 0.0

@@ -1,0 +1,154 @@
+"""Offline Belady-OPT bound for a set-associative cache.
+
+Hawkeye and Mockingjay *emulate* Belady's MIN online; this module
+computes the real thing offline — given a block-access stream and a
+cache geometry, the minimum possible miss count — so any policy's miss
+reduction can be scored as a fraction of the optimal headroom
+(`policy_efficiency`).
+
+Algorithm: per set, the classic forward pass with precomputed next-use
+indices.  On a fill into a full set, evict the resident block whose next
+use lies farthest in the future (never-used-again blocks first).  This
+is exact for a single cache level; for the sliced LLC the stream is the
+L1/L2-filtered access sequence, which depends mildly on the upstream
+policies — the bound is computed on the stream a reference run actually
+produced (see :func:`llc_stream_from_trace` for the standalone filter).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+INFINITE = 1 << 60
+
+
+@dataclass
+class OPTResult:
+    """Outcome of an offline OPT pass."""
+
+    accesses: int
+    misses: int
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+def _next_use_indices(blocks: Sequence[int]) -> List[int]:
+    """For each position, the index of the block's next occurrence."""
+    next_use = [INFINITE] * len(blocks)
+    last_seen: Dict[int, int] = {}
+    for i in range(len(blocks) - 1, -1, -1):
+        next_use[i] = last_seen.get(blocks[i], INFINITE)
+        last_seen[blocks[i]] = i
+    return next_use
+
+
+def opt_misses(blocks: Sequence[int], num_sets: int,
+               num_ways: int) -> OPTResult:
+    """Belady-optimal miss count for a set-associative cache.
+
+    Args:
+        blocks: the block-access stream (already filtered to the level
+            being bounded).
+        num_sets: sets (blocks map by low bits, like :class:`Cache`).
+        num_ways: associativity.
+    """
+    if num_sets < 1 or num_ways < 1:
+        raise ValueError("num_sets and num_ways must be positive")
+    next_use = _next_use_indices(blocks)
+    set_mask = num_sets - 1
+    # Per set: resident blocks -> their next-use index, maintained as a
+    # lazy max-heap of (-next_use, block) entries.
+    resident: Dict[int, Dict[int, int]] = {}
+    heaps: Dict[int, list] = {}
+    misses = 0
+    for i, block in enumerate(blocks):
+        set_idx = block & set_mask
+        blocks_in_set = resident.setdefault(set_idx, {})
+        heap = heaps.setdefault(set_idx, [])
+        if block in blocks_in_set:
+            blocks_in_set[block] = next_use[i]
+            heapq.heappush(heap, (-next_use[i], block))
+            continue
+        misses += 1
+        if next_use[i] == INFINITE:
+            # Never used again: OPT would bypass — do not install.
+            continue
+        if len(blocks_in_set) >= num_ways:
+            # Evict the resident block reused farthest in the future.
+            while heap:
+                neg_nu, victim = heapq.heappop(heap)
+                if blocks_in_set.get(victim) == -neg_nu:
+                    if -neg_nu <= next_use[i]:
+                        # Everyone resident is reused sooner than the
+                        # newcomer: OPT bypasses the newcomer instead.
+                        heapq.heappush(heap, (neg_nu, victim))
+                        victim = None
+                    break
+                # Stale heap entry; keep draining.
+            else:
+                victim = None
+            if victim is None:
+                continue
+            del blocks_in_set[victim]
+        blocks_in_set[block] = next_use[i]
+        heapq.heappush(heap, (-next_use[i], block))
+    return OPTResult(accesses=len(blocks), misses=misses)
+
+
+def lru_misses(blocks: Sequence[int], num_sets: int,
+               num_ways: int) -> OPTResult:
+    """LRU miss count on the same stream (the denominator's baseline)."""
+    if num_sets < 1 or num_ways < 1:
+        raise ValueError("num_sets and num_ways must be positive")
+    set_mask = num_sets - 1
+    resident: Dict[int, OrderedDict] = {}
+    misses = 0
+    for block in blocks:
+        entries = resident.setdefault(block & set_mask, OrderedDict())
+        if block in entries:
+            entries.move_to_end(block)
+            continue
+        misses += 1
+        if len(entries) >= num_ways:
+            entries.popitem(last=False)
+        entries[block] = True
+    return OPTResult(accesses=len(blocks), misses=misses)
+
+
+def policy_efficiency(policy_misses: int, lru: OPTResult,
+                      opt: OPTResult) -> float:
+    """Fraction of the LRU→OPT headroom a policy captured.
+
+    1.0 = matched OPT, 0.0 = no better than LRU; negative = worse than
+    LRU.  Undefined (returns 0) when OPT has no headroom over LRU.
+    """
+    headroom = lru.misses - opt.misses
+    if headroom <= 0:
+        return 0.0
+    return (lru.misses - policy_misses) / headroom
+
+
+def llc_stream_from_trace(blocks: Iterable[int],
+                          l2_capacity_blocks: int) -> List[int]:
+    """Filter a raw block stream through an L2-sized LRU (the private
+    levels), yielding the stream the LLC would see."""
+    out: List[int] = []
+    filt: OrderedDict = OrderedDict()
+    for block in blocks:
+        if block in filt:
+            filt.move_to_end(block)
+            continue
+        filt[block] = True
+        if len(filt) > l2_capacity_blocks:
+            filt.popitem(last=False)
+        out.append(block)
+    return out

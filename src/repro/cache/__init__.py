@@ -1,0 +1,26 @@
+"""Cache substrate: set-associative caches, MSHRs, slicing, hierarchies.
+
+The LLC is sliced (one slice per core, as in AMD Zen3 / Intel Xeon), with a
+complex XOR-fold address-to-slice hash that spreads accesses uniformly
+across slices (Kayaalp et al. / Maurice et al. style), and NUCA latency to
+reach a remote slice over the mesh.
+"""
+
+from repro.cache.slice_hash import SliceHash, fold_xor_slice, modulo_slice
+from repro.cache.block import CacheBlock
+from repro.cache.mshr import MSHRFile
+from repro.cache.cache import AccessOutcome, Cache, CacheStats, EvictedBlock
+from repro.cache.sliced_llc import SlicedLLC
+
+__all__ = [
+    "SliceHash",
+    "fold_xor_slice",
+    "modulo_slice",
+    "CacheBlock",
+    "MSHRFile",
+    "Cache",
+    "CacheStats",
+    "AccessOutcome",
+    "EvictedBlock",
+    "SlicedLLC",
+]

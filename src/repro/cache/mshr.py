@@ -1,0 +1,74 @@
+"""Miss Status Holding Registers.
+
+The timing model is trace-driven rather than cycle-accurate, so MSHRs play
+two roles here:
+
+* they bound the number of overlapping misses a cache level can sustain
+  (the CPU model charges extra stall when the file is full), and
+* they merge secondary misses to a block that is already in flight, which
+  matters for streaming workloads where adjacent accesses hit the same
+  in-flight line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MSHRFile:
+    """A bounded set of in-flight miss entries keyed by block number."""
+
+    def __init__(self, num_entries: int):
+        if num_entries < 1:
+            raise ValueError(f"MSHR file needs >= 1 entry, got {num_entries}")
+        self.num_entries = num_entries
+        self._inflight: Dict[int, int] = {}  # block -> completion cycle
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._inflight) >= self.num_entries
+
+    def expire(self, now: int) -> None:
+        """Retire entries whose miss completed at or before *now*."""
+        if not self._inflight:
+            return
+        done = [blk for blk, t in self._inflight.items() if t <= now]
+        for blk in done:
+            del self._inflight[blk]
+
+    def lookup(self, block: int) -> Optional[int]:
+        """Completion cycle of an in-flight miss to *block*, if any."""
+        return self._inflight.get(block)
+
+    def allocate(self, block: int, completion_cycle: int, now: int) -> int:
+        """Allocate an entry for *block*; returns the completion cycle.
+
+        If the block is already in flight the request merges into the
+        existing entry.  If the file is full, the oldest entry's completion
+        time is charged as a stall before the new entry is admitted (the
+        request had to wait for a free MSHR).
+        """
+        self.expire(now)
+        existing = self._inflight.get(block)
+        if existing is not None:
+            self.merges += 1
+            return existing
+        if self.is_full:
+            self.full_stalls += 1
+            earliest = min(self._inflight.values())
+            # Everything that completes by `earliest` frees up.
+            self.expire(earliest)
+            completion_cycle = max(completion_cycle,
+                                   earliest + (completion_cycle - now))
+        self._inflight[block] = completion_cycle
+        self.allocations += 1
+        return completion_cycle
+
+    def clear(self) -> None:
+        self._inflight.clear()

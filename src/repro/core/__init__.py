@@ -1,0 +1,48 @@
+"""Drishti: the paper's primary contribution.
+
+Two enhancements layered on sampler+predictor replacement policies:
+
+* **Enhancement I** — a *per-core yet global* reuse predictor
+  (:mod:`repro.core.predictor_fabric`) reached over a dedicated 3-cycle
+  side-band interconnect (:mod:`repro.core.nocstar`), replacing the myopic
+  per-slice predictors.
+* **Enhancement II** — a *dynamic sampled cache*
+  (:mod:`repro.core.dynamic_sampler`) that samples the LLC sets with the
+  highest capacity demand instead of random sets.
+
+:func:`repro.core.drishti.DrishtiConfig` bundles the knobs;
+:mod:`repro.core.budget` reproduces Table 3's storage accounting.
+"""
+
+from repro.core.signature import make_signature, mix64
+from repro.core.sampled_sets import SampledSetSelector, StaticSampledSets
+from repro.core.dynamic_sampler import DynamicSampledSets
+from repro.core.nocstar import NOCSTAR, NOCSTARStats
+from repro.core.predictor_fabric import (
+    FabricStats,
+    PredictorFabric,
+    PredictorScope,
+)
+from repro.core.drishti import DrishtiConfig, drishti_policy_name
+from repro.core.budget import HardwareBudget, hawkeye_budget, mockingjay_budget
+from repro.core.traffic import DesignChoice, design_choice_matrix
+
+__all__ = [
+    "make_signature",
+    "mix64",
+    "SampledSetSelector",
+    "StaticSampledSets",
+    "DynamicSampledSets",
+    "NOCSTAR",
+    "NOCSTARStats",
+    "PredictorFabric",
+    "PredictorScope",
+    "FabricStats",
+    "DrishtiConfig",
+    "drishti_policy_name",
+    "HardwareBudget",
+    "hawkeye_budget",
+    "mockingjay_budget",
+    "DesignChoice",
+    "design_choice_matrix",
+]

@@ -1,0 +1,121 @@
+"""Per-core hardware budget accounting (paper Table 3).
+
+Reproduces the storage arithmetic for a 16-way 2 MB LLC slice (2048 sets):
+Drishti shrinks the sampled cache (fewer, better-chosen sampled sets) and
+adds per-set saturating counters; the saving outweighs the overhead, so
+D-Hawkeye and D-Mockingjay use *less* storage than their baselines.
+
+Component formulas (bits), matching the paper's Table 3 numbers:
+
+* RRIP counters (Hawkeye): sets × ways × 3 b                      = 12 KB
+* Hawkeye predictor: 8K entries × 3 b                             = 3 KB
+* Hawkeye occupancy vectors: 64 sampled sets × 128 quanta × 1 b   = 1 KB
+* Hawkeye sampled cache: 12 KB baseline → 3 KB with Drishti
+* ETR counters (Mockingjay): sets × ways × ~5.19 b                = 20.75 KB
+* Mockingjay predictor: 2048 entries × 7 b                        = 1.75 KB
+* Mockingjay sampled cache: 9.41 KB baseline → 4.7 KB with Drishti
+* DSC saturating counters: 2048 sets × 7 b                        = 1.75 KB
+
+(The paper's prose says k = 8 for the DSC counters but Table 3 charges
+2048 × 7 b = 1.75 KB; we follow the table.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+KB = 1024 * 8  # bits per KB
+
+DEFAULT_SETS = 2048
+DEFAULT_WAYS = 16
+
+
+@dataclass
+class HardwareBudget:
+    """Named storage components (KB) for one core's share of a policy."""
+
+    policy: str
+    with_drishti: bool
+    components_kb: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_kb(self) -> float:
+        return sum(self.components_kb.values())
+
+    def rows(self):
+        """(component, KB) rows plus the total, for table rendering."""
+        out = list(self.components_kb.items())
+        out.append(("Total", self.total_kb))
+        return out
+
+    def __repr__(self) -> str:
+        tag = "with" if self.with_drishti else "without"
+        return (f"HardwareBudget({self.policy}, {tag} Drishti, "
+                f"total={self.total_kb:.2f} KB)")
+
+
+def _sampled_cache_kb(policy: str, with_drishti: bool, sets: int) -> float:
+    """Sampled-cache storage, scaled from the 2048-set reference slice."""
+    reference = {
+        ("hawkeye", False): 12.0,
+        ("hawkeye", True): 3.0,
+        ("mockingjay", False): 9.41,
+        ("mockingjay", True): 4.7,
+    }
+    base = reference[(policy, with_drishti)]
+    return base * sets / DEFAULT_SETS
+
+
+def _saturating_counters_kb(sets: int) -> float:
+    return sets * 7 / KB
+
+
+def hawkeye_budget(with_drishti: bool, sets: int = DEFAULT_SETS,
+                   ways: int = DEFAULT_WAYS) -> HardwareBudget:
+    """Hawkeye's per-core budget (Table 3, upper half)."""
+    components = {
+        "Sampled Cache": _sampled_cache_kb("hawkeye", with_drishti, sets),
+        "Occupancy Vector": 1.0 * sets / DEFAULT_SETS,
+        "Predictor": 8192 * 3 / KB,
+        "RRIP counters": sets * ways * 3 / KB,
+    }
+    if with_drishti:
+        components["Saturating counters"] = _saturating_counters_kb(sets)
+    return HardwareBudget("hawkeye", with_drishti, components)
+
+
+def mockingjay_budget(with_drishti: bool, sets: int = DEFAULT_SETS,
+                      ways: int = DEFAULT_WAYS) -> HardwareBudget:
+    """Mockingjay's per-core budget (Table 3, lower half)."""
+    components = {
+        "Sampled Cache": _sampled_cache_kb("mockingjay", with_drishti, sets),
+        "Predictor": 2048 * 7 / KB,
+        # 2048 × 16 × 5 b = 20 KB of ETR plus per-set clock state; the
+        # paper charges 20.75 KB for the reference slice.
+        "ETR counters": 20.75 * (sets * ways) / (DEFAULT_SETS * DEFAULT_WAYS),
+    }
+    if with_drishti:
+        components["Saturating counters"] = _saturating_counters_kb(sets)
+    return HardwareBudget("mockingjay", with_drishti, components)
+
+
+def budget_for(policy: str, with_drishti: bool, sets: int = DEFAULT_SETS,
+               ways: int = DEFAULT_WAYS) -> HardwareBudget:
+    """Dispatch by policy name."""
+    if policy == "hawkeye":
+        return hawkeye_budget(with_drishti, sets, ways)
+    if policy == "mockingjay":
+        return mockingjay_budget(with_drishti, sets, ways)
+    raise ValueError(f"no budget model for policy {policy!r}")
+
+
+def storage_saving_kb(policy: str, sets: int = DEFAULT_SETS,
+                      ways: int = DEFAULT_WAYS) -> float:
+    """Net per-core saving from Drishti (positive = Drishti is smaller).
+
+    The paper reports 7.25 KB for Hawkeye and 2.96 KB for Mockingjay.
+    """
+    without = budget_for(policy, with_drishti=False, sets=sets, ways=ways)
+    with_d = budget_for(policy, with_drishti=True, sets=sets, ways=ways)
+    return without.total_kb - with_d.total_kb

@@ -1,0 +1,135 @@
+"""Drishti configuration: which enhancements are active.
+
+The paper's named configurations:
+
+* baseline sliced policy (e.g. "Mockingjay"): local predictors, random
+  sampled sets → :meth:`DrishtiConfig.baseline`.
+* "D-<policy> with global view" (Figure 17's first bar): per-core-yet-
+  global predictor over NOCSTAR, still random sampled sets →
+  :meth:`DrishtiConfig.global_view_only`.
+* "D-<policy>" (full Drishti): global view + dynamic sampled cache, with
+  the reduced sampled-set counts of Section 4.2 →
+  :meth:`DrishtiConfig.full`.
+* Figure 11a's ablation: full Drishti but predictor messages ride the
+  existing mesh instead of NOCSTAR → :meth:`DrishtiConfig.without_nocstar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.predictor_fabric import PredictorScope
+
+# Sampled sets per slice for a 2048-set (2 MB, 16-way) slice.  Section 4.2:
+# Drishti cuts Hawkeye 64 -> 8 and Mockingjay 32 -> 16.
+BASELINE_SAMPLED_FRACTION = {"hawkeye": 32, "mockingjay": 64, "ship": 64,
+                             "glider": 64, "chrome": 64}
+# num_sampled = num_sets // fraction  (2048//32 = 64 for Hawkeye, etc.)
+DRISHTI_SAMPLED_DIVISOR = {"hawkeye": 8, "mockingjay": 2, "ship": 4,
+                           "glider": 4, "chrome": 4}
+
+
+def baseline_sampled_sets(policy: str, num_sets: int) -> int:
+    """Conventional sampled-set count for *policy* on a slice of *num_sets*."""
+    fraction = BASELINE_SAMPLED_FRACTION.get(policy, 64)
+    return max(2, num_sets // fraction)
+
+
+def drishti_sampled_sets(policy: str, num_sets: int) -> int:
+    """Reduced sampled-set count under Drishti (Section 4.2)."""
+    divisor = DRISHTI_SAMPLED_DIVISOR.get(policy, 2)
+    return max(2, baseline_sampled_sets(policy, num_sets) // divisor)
+
+
+@dataclass(frozen=True)
+class DrishtiConfig:
+    """Knobs for the two Drishti enhancements.
+
+    Attributes:
+        predictor_scope: ``local`` / ``centralized`` / ``per_core_global``.
+        use_nocstar: route predictor messages over the 3-cycle side-band
+            (otherwise they ride the mesh — Figure 11a's ablation).
+        dynamic_sampled_cache: enable Enhancement II.
+        sampled_sets_override: force a specific sampled-set count per
+            slice (otherwise derived from the policy's defaults).
+        counter_bits: k of the DSC saturating counters.
+        uniform_threshold: DSC's uniform-demand detection threshold.
+        fixed_sideband_latency: override NOCSTAR's 3-cycle latency (the
+            Figure 11b sensitivity sweep).
+        explicit_sets_per_slice: force exact sampled sets, one tuple per
+            slice (the Table 1 highest/lowest/mixed-MPKA experiment).
+    """
+
+    predictor_scope: str = PredictorScope.LOCAL
+    use_nocstar: bool = False
+    dynamic_sampled_cache: bool = False
+    sampled_sets_override: Optional[int] = None
+    counter_bits: int = 8
+    uniform_threshold: int = 100
+    fixed_sideband_latency: Optional[int] = None
+    explicit_sets_per_slice: Optional[tuple] = None
+
+    def __post_init__(self):
+        if self.predictor_scope not in PredictorScope.ALL:
+            raise ValueError(
+                f"unknown predictor scope {self.predictor_scope!r}")
+
+    # -- named configurations -------------------------------------------
+    @classmethod
+    def baseline(cls) -> "DrishtiConfig":
+        """The conventional sliced design: local predictors, random sets."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "DrishtiConfig":
+        """Both enhancements, as evaluated in the paper's headline runs."""
+        return cls(predictor_scope=PredictorScope.PER_CORE_GLOBAL,
+                   use_nocstar=True, dynamic_sampled_cache=True)
+
+    @classmethod
+    def global_view_only(cls) -> "DrishtiConfig":
+        """Enhancement I alone (Figure 17's 'global view' bar)."""
+        return cls(predictor_scope=PredictorScope.PER_CORE_GLOBAL,
+                   use_nocstar=True, dynamic_sampled_cache=False)
+
+    @classmethod
+    def dsc_only(cls) -> "DrishtiConfig":
+        """Enhancement II alone (ablation)."""
+        return cls(predictor_scope=PredictorScope.LOCAL,
+                   dynamic_sampled_cache=True)
+
+    @classmethod
+    def without_nocstar(cls) -> "DrishtiConfig":
+        """Full Drishti minus the side-band (Figure 11a's slowdown case)."""
+        return cls(predictor_scope=PredictorScope.PER_CORE_GLOBAL,
+                   use_nocstar=False, dynamic_sampled_cache=True)
+
+    @classmethod
+    def centralized(cls) -> "DrishtiConfig":
+        """The rejected centralized-predictor design (Section 4.1.2a)."""
+        return cls(predictor_scope=PredictorScope.CENTRALIZED,
+                   use_nocstar=False, dynamic_sampled_cache=False)
+
+    def with_sideband_latency(self, cycles: int) -> "DrishtiConfig":
+        """Copy with a fixed side-band latency (Figure 11b sweep)."""
+        return replace(self, fixed_sideband_latency=cycles)
+
+    @property
+    def is_enhanced(self) -> bool:
+        """True when any enhancement differs from the baseline design."""
+        return (self.predictor_scope != PredictorScope.LOCAL or
+                self.dynamic_sampled_cache)
+
+    def sampled_sets_for(self, policy: str, num_sets: int) -> int:
+        """Sampled-set count per slice for *policy* under this config."""
+        if self.sampled_sets_override is not None:
+            return min(num_sets, self.sampled_sets_override)
+        if self.dynamic_sampled_cache:
+            return drishti_sampled_sets(policy, num_sets)
+        return baseline_sampled_sets(policy, num_sets)
+
+
+def drishti_policy_name(policy: str, config: DrishtiConfig) -> str:
+    """Display name: 'mockingjay' → 'd-mockingjay' when enhanced."""
+    return f"d-{policy}" if config.is_enhanced else policy

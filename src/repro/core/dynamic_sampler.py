@@ -1,0 +1,166 @@
+"""Drishti Enhancement II: the dynamic sampled cache (DSC).
+
+Randomly chosen sampled sets often land on LLC sets that see few misses
+(paper Figure 5), starving the reuse predictor of training signal.  The
+DSC instead samples the sets with the highest capacity demand:
+
+* every set carries a k-bit saturating counter, initialised to 2^k/2,
+  incremented on an LLC miss and decremented on a hit (k = 8);
+* counters are monitored over L demand accesses to the slice, where L is
+  the number of cache lines in the slice (32K for a 2 MB slice);
+* at the end of the window the N highest-counter sets become the sampled
+  sets for the next 4·L accesses (128K for a 2 MB slice), then a fresh
+  monitoring window begins;
+* if ``max(counter) − min(counter) < uniform_threshold`` (100 in the
+  paper) the slice has uniform capacity demand (e.g. lbm) — the DSC turns
+  itself off for that phase and falls back to random selection.
+
+Because sets are chosen intelligently, far fewer of them are needed:
+Hawkeye drops from 64 to 8 sampled sets per slice and Mockingjay from 32
+to 16 (paper Section 4.2), which is where Table 3's storage saving comes
+from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.sampled_sets import SampledSetSelector
+
+
+class DynamicSampledSets(SampledSetSelector):
+    """Miss-driven sampled-set selection with phase adaptation.
+
+    Args:
+        num_sets: sets in the LLC slice.
+        num_sampled: N, sampled sets to choose each phase.
+        lines_per_slice: L, sets × ways — the monitoring window length.
+        counter_bits: k of the saturating counters (paper: 8).
+        uniform_threshold: max−min counter spread below which demand is
+            classified uniform and selection falls back to random.
+        seed: RNG seed for the initial/random selections.
+    """
+
+    def __init__(self, num_sets: int, num_sampled: int,
+                 lines_per_slice: int, counter_bits: int = 8,
+                 uniform_threshold: int = 100, seed: int = 0):
+        super().__init__(num_sets, num_sampled)
+        if counter_bits < 1:
+            raise ValueError(f"counter_bits must be >= 1, got {counter_bits}")
+        if lines_per_slice < 1:
+            raise ValueError(
+                f"lines_per_slice must be >= 1, got {lines_per_slice}")
+        self.lines_per_slice = lines_per_slice
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self.counter_init = (1 << counter_bits) // 2
+        self.uniform_threshold = uniform_threshold
+        self.monitor_window = lines_per_slice
+        self.active_window = 4 * lines_per_slice
+        # The paper's threshold (100) is calibrated for its 32K-access
+        # monitoring window.  Counter *noise* spread grows with the
+        # square root of per-set access counts, so shrunken simulation
+        # profiles scale the effective threshold by sqrt(window ratio)
+        # plus a 1.4x guard band above the noise floor; at the paper's
+        # window length the paper's constant applies unchanged.
+        reference_window = 32 * 1024
+        if self.monitor_window < reference_window:
+            scaled = 1.4 * uniform_threshold * \
+                (self.monitor_window / reference_window) ** 0.5
+            self.effective_threshold = min(
+                uniform_threshold, max(4, int(round(scaled))))
+        else:
+            self.effective_threshold = uniform_threshold
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+        self._counters = np.full(num_sets, self.counter_init, dtype=np.int32)
+        # Start with a random selection (nothing learned yet), monitoring.
+        self._sampled = frozenset(self._random_selection())
+        self._monitoring = True
+        self._accesses_in_phase = 0
+
+        # Diagnostics / experiment hooks.
+        self.reselections = 0
+        self.uniform_phases = 0
+        self.dynamic_phases = 0
+
+    # ------------------------------------------------------------------
+    def _random_selection(self) -> List[int]:
+        chosen = self._rng.choice(self.num_sets, size=self.num_sampled,
+                                  replace=False)
+        return sorted(int(s) for s in chosen)
+
+    def _top_counter_selection(self) -> List[int]:
+        # argpartition keeps this O(num_sets) even for 2048-set slices.
+        order = np.argpartition(self._counters, -self.num_sampled)
+        top = order[-self.num_sampled:]
+        return sorted(int(s) for s in top)
+
+    @property
+    def is_monitoring(self) -> bool:
+        return self._monitoring
+
+    @property
+    def counters(self) -> np.ndarray:
+        """Read-only view of the per-set saturating counters."""
+        return self._counters.copy()
+
+    # ------------------------------------------------------------------
+    def observe(self, set_idx: int, hit: bool) -> Optional[List[int]]:
+        """Feed one demand access to the slice.
+
+        Returns the freshly selected sampled-set list when a monitoring
+        window just closed (the policy flushes its sampled cache then),
+        otherwise ``None``.
+        """
+        self._accesses_in_phase += 1
+        if self._monitoring:
+            if hit:
+                if self._counters[set_idx] > 0:
+                    self._counters[set_idx] -= 1
+            else:
+                if self._counters[set_idx] < self.counter_max:
+                    self._counters[set_idx] += 1
+            if self._accesses_in_phase >= self.monitor_window:
+                return self._finish_monitoring()
+        else:
+            if self._accesses_in_phase >= self.active_window:
+                self._begin_monitoring()
+        return None
+
+    def _finish_monitoring(self) -> List[int]:
+        spread = int(self._counters.max() - self._counters.min())
+        if spread < self.effective_threshold:
+            # Uniform capacity demand: behave like the conventional
+            # random sampler for this phase (paper: lbm-style workloads).
+            selection = self._random_selection()
+            self.uniform_phases += 1
+        else:
+            selection = self._top_counter_selection()
+            self.dynamic_phases += 1
+        self._sampled = frozenset(selection)
+        self.reselections += 1
+        self._monitoring = False
+        self._accesses_in_phase = 0
+        return selection
+
+    def _begin_monitoring(self) -> None:
+        # Phase change: reset counters to the midpoint and start a new
+        # monitoring window.  The current sampled sets stay active while
+        # monitoring runs.
+        self._counters.fill(self.counter_init)
+        self._monitoring = True
+        self._accesses_in_phase = 0
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._counters.fill(self.counter_init)
+        self._sampled = frozenset(self._random_selection())
+        self._monitoring = True
+        self._accesses_in_phase = 0
+        self.reselections = 0
+        self.uniform_phases = 0
+        self.dynamic_phases = 0

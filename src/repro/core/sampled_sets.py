@@ -1,0 +1,87 @@
+"""Sampled-set selection for sampler+predictor policies.
+
+Hawkeye/Mockingjay/SHiP++ observe a few *sampled sets* per LLC slice and
+train their reuse predictors only on accesses to those sets.  The baseline
+selects the sets randomly (this module); Drishti's Enhancement II replaces
+the selection with a miss-driven dynamic scheme
+(:mod:`repro.core.dynamic_sampler`).
+
+Both selectors share one interface so policies don't care which is wired
+in:
+
+* ``is_sampled(set_idx)`` — membership test (O(1)),
+* ``observe(set_idx, hit)`` — feed every demand access; returns the new
+  sampled-set list when a reselection just happened (the policy must then
+  flush sampled-cache state for de-sampled sets), else ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+
+class SampledSetSelector:
+    """Interface shared by static and dynamic sampled-set selectors."""
+
+    def __init__(self, num_sets: int, num_sampled: int):
+        if not 0 < num_sampled <= num_sets:
+            raise ValueError(
+                f"num_sampled must be in (0, {num_sets}], got {num_sampled}")
+        self.num_sets = num_sets
+        self.num_sampled = num_sampled
+        self._sampled: FrozenSet[int] = frozenset()
+
+    @property
+    def sampled_sets(self) -> FrozenSet[int]:
+        return self._sampled
+
+    def is_sampled(self, set_idx: int) -> bool:
+        return set_idx in self._sampled
+
+    def observe(self, set_idx: int, hit: bool) -> Optional[List[int]]:
+        """Feed one demand access; returns new sets on reselection."""
+        return None
+
+    def reset(self) -> None:
+        """Restore initial selection state."""
+
+
+class StaticSampledSets(SampledSetSelector):
+    """The conventional scheme: a fixed random subset of LLC sets.
+
+    Mirrors Hawkeye/Mockingjay reference implementations, which pick
+    sampled sets by a pseudo-random function of the set index.  Seeded per
+    slice so different slices sample different set indices, like hardware
+    where the hash differs per slice.
+    """
+
+    def __init__(self, num_sets: int, num_sampled: int, seed: int = 0):
+        super().__init__(num_sets, num_sampled)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(num_sets, size=num_sampled, replace=False)
+        self._sampled = frozenset(int(s) for s in chosen)
+
+    def reset(self) -> None:
+        # Static selection never changes; nothing to restore.
+        pass
+
+
+class ExplicitSampledSets(SampledSetSelector):
+    """A caller-specified sampled-set list.
+
+    Used by the Table 1 experiment, which deliberately samples the
+    highest-MPKA / lowest-MPKA / mixed sets chosen from a profiling run.
+    """
+
+    def __init__(self, num_sets: int, sets: Sequence[int]):
+        super().__init__(num_sets, len(sets))
+        for s in sets:
+            if not 0 <= s < num_sets:
+                raise ValueError(f"set index {s} out of range [0, {num_sets})")
+        self._sampled = frozenset(int(s) for s in sets)
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,140 @@
+"""Design-choice analysis for mitigating myopic predictions (Table 2).
+
+Section 4.1 enumerates four ways to give the reuse machinery a global
+view, differing in where the sampled cache and the predictor live.  This
+module encodes the qualitative matrix (Table 2) and an analytic
+message-count model that quantifies *why* the rejected designs lose:
+
+* a **global sampled cache** must broadcast every training update to all
+  per-slice predictors (Figures 6/7), multiplying training messages by
+  the slice count;
+* a **centralized** structure funnels every slice's messages to one node,
+  creating the Figure 10 bandwidth bottleneck;
+* Drishti's **local sampled cache + per-core-yet-global (distributed)
+  predictor** sends point-to-point messages only, and only for sampled-set
+  events and fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DesignChoice:
+    """One row of Table 2."""
+
+    sampled_cache: str  # "global" | "local"
+    predictor: str  # "local" | "global"
+    structure: str  # "centralized" | "distributed"
+    global_view: bool
+    bandwidth: str  # "high" | "low"
+    needs_broadcast: bool
+
+    @property
+    def label(self) -> str:
+        return (f"{self.sampled_cache}-SC / {self.predictor}-pred "
+                f"({self.structure})")
+
+
+def design_choice_matrix() -> List[DesignChoice]:
+    """The four viable rows of Table 2, in the paper's order."""
+    return [
+        DesignChoice("global", "local", "centralized",
+                     global_view=True, bandwidth="high",
+                     needs_broadcast=True),
+        DesignChoice("global", "local", "distributed",
+                     global_view=True, bandwidth="low",
+                     needs_broadcast=True),
+        DesignChoice("local", "global", "centralized",
+                     global_view=True, bandwidth="high",
+                     needs_broadcast=False),
+        DesignChoice("local", "global", "distributed",
+                     global_view=True, bandwidth="low",
+                     needs_broadcast=False),
+    ]
+
+
+def drishti_choice() -> DesignChoice:
+    """The row Drishti adopts: local SC + distributed global predictor."""
+    return design_choice_matrix()[3]
+
+
+@dataclass
+class TrafficEstimate:
+    """Interconnect message counts for one design choice."""
+
+    choice: DesignChoice
+    training_messages: int
+    lookup_messages: int
+    broadcast_messages: int
+    num_slices: int = 1
+
+    @property
+    def total_messages(self) -> int:
+        return (self.training_messages + self.lookup_messages +
+                self.broadcast_messages)
+
+    def per_kilo_instr(self, instructions: int) -> float:
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.total_messages / instructions
+
+    @property
+    def max_messages_at_one_node(self) -> int:
+        """Hot-spot load: messages converging on the busiest structure.
+
+        Centralized structures absorb everything.  Distributed designs
+        spread point-to-point traffic ~uniformly over the slices (the
+        hash does that), but every broadcast still lands one copy at
+        every node — so a distributed receiver sees its share of the
+        point-to-point traffic plus one copy of each broadcast.
+        """
+        point_to_point = self.training_messages + self.lookup_messages
+        if self.choice.structure == "centralized":
+            return self.total_messages
+        per_node = point_to_point // max(1, self.num_slices)
+        broadcasts_received = self.broadcast_messages // \
+            max(1, self.num_slices)
+        return per_node + broadcasts_received
+
+
+def estimate_traffic(choice: DesignChoice, num_slices: int,
+                     sampled_accesses: int, fills: int) -> TrafficEstimate:
+    """Message counts for *choice* given observed event counts.
+
+    Args:
+        choice: a Table 2 row.
+        num_slices: LLC slices (broadcast fan-out).
+        sampled_accesses: accesses that hit sampled sets (training events).
+        fills: LLC fills (prediction lookups).
+    """
+    if choice.sampled_cache == "global":
+        if choice.structure == "centralized":
+            # Every sampled access travels to the central SC, which then
+            # broadcasts the learned reuse to every slice's predictor.
+            training = sampled_accesses
+            broadcast = sampled_accesses * num_slices
+        else:
+            # Distributed SC tracks locally but still broadcasts updates
+            # to all local predictors (Figure 7 step 2).
+            training = 0
+            broadcast = sampled_accesses * num_slices
+        lookups = 0  # predictors are local to each slice: fills stay local
+    else:
+        training = sampled_accesses  # point-to-point SC -> predictor
+        broadcast = 0
+        lookups = fills  # every fill consults the (remote) predictor
+    return TrafficEstimate(choice, training, lookups, broadcast,
+                           num_slices=num_slices)
+
+
+def traffic_comparison(num_slices: int, sampled_accesses: int,
+                       fills: int) -> Dict[str, TrafficEstimate]:
+    """Estimates for all four designs, keyed by their labels."""
+    return {
+        choice.label: estimate_traffic(choice, num_slices,
+                                       sampled_accesses, fills)
+        for choice in design_choice_matrix()
+    }

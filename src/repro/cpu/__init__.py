@@ -1,0 +1,11 @@
+"""Core timing: an analytic out-of-order model.
+
+Not a pipeline simulator — a bookkeeping model that charges issue cycles
+between memory operations and overlaps miss latencies subject to the
+ROB window and MSHR count, which is what turns MPKI differences into the
+sub-linear IPC differences the paper reports.
+"""
+
+from repro.cpu.core_model import CoreTiming
+
+__all__ = ["CoreTiming"]

@@ -1,0 +1,120 @@
+"""TLB hierarchy and address-translation latency.
+
+The paper's baseline (Table 4) models address translation: 64-entry
+L1 iTLB/dTLB (1 cycle), a 1536-entry 12-way STLB (8 cycles), and page
+walks through the memory hierarchy on STLB misses.  Replacement-policy
+studies are mostly insensitive to translation, but datacenter workloads
+(Figure 19) have large enough footprints that TLB misses contribute to
+the low-headroom regime — so the hierarchy can charge translation
+latency per access when ``SystemConfig.model_tlb`` is set.
+
+The model: fully-functional set-associative TLBs over 4 KB pages with
+LRU replacement; an STLB miss costs a fixed page-walk latency (the
+walk's cache accesses are folded into one constant, as is standard in
+trace-driven studies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+PAGE_SHIFT = 12  # 4 KB pages
+
+
+class TLB:
+    """A set-associative TLB with LRU replacement.
+
+    Args:
+        entries: total entries.
+        ways: associativity.
+        latency: lookup latency in cycles.
+    """
+
+    def __init__(self, entries: int, ways: int, latency: int):
+        if entries < 1 or ways < 1 or entries % ways != 0:
+            raise ValueError("entries must be a positive multiple of ways")
+        self.entries = entries
+        self.ways = ways
+        self.latency = latency
+        self.num_sets = entries // ways
+        self._sets: List[Dict[int, int]] = [dict()
+                                            for _ in range(self.num_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, page: int) -> int:
+        return page % self.num_sets
+
+    def lookup(self, page: int) -> bool:
+        """Touch *page*; returns hit/miss (no fill on miss)."""
+        self._clock += 1
+        entries = self._sets[self._set_index(page)]
+        if page in entries:
+            entries[page] = self._clock
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, page: int) -> None:
+        """Install *page*, evicting LRU if the set is full."""
+        self._clock += 1
+        entries = self._sets[self._set_index(page)]
+        if page in entries:
+            entries[page] = self._clock
+            return
+        if len(entries) >= self.ways:
+            lru_page = min(entries, key=entries.__getitem__)
+            del entries[lru_page]
+        entries[page] = self._clock
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class TranslationUnit:
+    """Per-core dTLB + shared-level STLB + page-walk charging.
+
+    Latencies follow the paper's Table 4: 1-cycle L1 dTLB, 8-cycle
+    STLB, and a page-walk cost on STLB misses (default 100 cycles,
+    covering the multi-level walk's cache accesses).
+    """
+
+    def __init__(self, dtlb_entries: int = 64, dtlb_ways: int = 4,
+                 stlb_entries: int = 1536, stlb_ways: int = 12,
+                 dtlb_latency: int = 1, stlb_latency: int = 8,
+                 walk_latency: int = 100):
+        self.dtlb = TLB(dtlb_entries, dtlb_ways, dtlb_latency)
+        self.stlb = TLB(stlb_entries, stlb_ways, stlb_latency)
+        self.walk_latency = walk_latency
+        self.walks = 0
+
+    def translate(self, address: int) -> int:
+        """Translate one access; returns added latency in cycles.
+
+        A dTLB hit is folded into the L1 pipeline (0 extra cycles, as
+        in the paper's 1-cycle parallel lookup); a dTLB miss pays the
+        STLB latency; an STLB miss additionally pays the page walk.
+        """
+        page = address >> PAGE_SHIFT
+        if self.dtlb.lookup(page):
+            return 0
+        latency = self.stlb.latency
+        if not self.stlb.lookup(page):
+            latency += self.walk_latency
+            self.walks += 1
+            self.stlb.fill(page)
+        self.dtlb.fill(page)
+        return latency
+
+    def reset_stats(self) -> None:
+        self.dtlb.reset_stats()
+        self.stlb.reset_stats()
+        self.walks = 0

@@ -1,0 +1,14 @@
+"""DRAM model: channels, banks, row buffers, FR-FCFS-approximating queues.
+
+The paper's DRAM (Table 4): one channel per four cores at 6400 MTPS,
+open-page policy, tRP = tRCD = tCAS = 12.5 ns, FR-FCFS scheduling with a
+write watermark.  The model here keeps the properties the experiments
+need: row-hit vs row-miss latency, per-channel bandwidth contention that
+scales with channel count (Figure 22), and writeback traffic that costs
+bandwidth without stalling cores (Table 5's WPKI effect).
+"""
+
+from repro.dram.controller import DRAMController, DRAMStats
+from repro.dram.timing import DRAMTiming
+
+__all__ = ["DRAMController", "DRAMStats", "DRAMTiming"]

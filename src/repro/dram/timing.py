@@ -1,0 +1,45 @@
+"""DRAM timing parameters in core cycles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Timing constants, derived from the paper's Table 4.
+
+    At 4 GHz, 12.5 ns is 50 core cycles; a 64 B line at 6400 MT/s over an
+    8 B channel takes 1.25 ns = 5 core cycles of data bus occupancy.
+
+    Attributes:
+        t_rp: precharge, cycles.
+        t_rcd: activate-to-read, cycles.
+        t_cas: read latency, cycles.
+        burst_cycles: data-bus occupancy per 64 B transfer.
+        row_buffer_bytes: open-page row size (4 KB).
+        queue_penalty: extra cycles charged per already-queued request
+            at the same channel (first-order FR-FCFS queueing).
+    """
+
+    t_rp: int = 50
+    t_rcd: int = 50
+    t_cas: int = 50
+    burst_cycles: int = 5
+    row_buffer_bytes: int = 4096
+    queue_penalty: int = 8
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.t_cas
+
+    @property
+    def row_miss_latency(self) -> int:
+        return self.t_rp + self.t_rcd + self.t_cas
+
+    @classmethod
+    def for_frequency(cls, ghz: float = 4.0,
+                      ns: float = 12.5) -> "DRAMTiming":
+        """Build timings for a core frequency and a symmetric tRP/tRCD/tCAS."""
+        cyc = int(round(ns * ghz))
+        return cls(t_rp=cyc, t_rcd=cyc, t_cas=cyc)

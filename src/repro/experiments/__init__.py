@@ -1,0 +1,27 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every experiment exposes ``run(profile=None) -> <Report>``; reports carry
+``rows()`` (structured data) and ``render()`` (an ASCII table shaped like
+the paper's artefact).  ``ExperimentProfile.bench()`` is the scaled-down
+default used by the benchmark suite; ``ExperimentProfile.full()`` runs
+larger sweeps.
+
+The experiment index (id → paper artefact → modules) lives in DESIGN.md;
+paper-vs-measured numbers live in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    clear_matrix_cache,
+    policy_matrix,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "PolicyMatrix",
+    "policy_matrix",
+    "clear_matrix_cache",
+    "render_table",
+]

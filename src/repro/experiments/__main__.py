@@ -1,0 +1,100 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig13 [--profile bench|full]
+    python -m repro.experiments all --profile bench
+
+Each experiment prints its rendered table (the same artefact the
+benchmark suite writes to ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments.common import ExperimentProfile
+
+EXPERIMENTS = {
+    "fig02": "fig02_scatter",
+    "fig03": "fig03_etr_views",
+    "fig04": "fig04_pred_hist",
+    "fig05": "fig05_set_mpka",
+    "tab01": "tab01_sampling_cases",
+    "tab02": "tab02_design_choices",
+    "tab03": "tab03_budget",
+    "fig10": "fig10_pred_traffic",
+    "fig11": "fig11_interconnect",
+    "fig13": "fig13_performance",
+    "fig14": "fig14_mpki",
+    "tab05": "tab05_wpki",
+    "fig15": "fig15_energy",
+    "tab06": "tab06_metrics",
+    "fig16": "fig16_per_mix",
+    "fig17": "fig17_ablation",
+    "fig18": "fig18_drishti_etr",
+    "fig19": "fig19_other_workloads",
+    "fig20": "fig20_llc_size",
+    "fig21": "fig21_l2_size",
+    "fig22": "fig22_dram_channels",
+    "fig23": "fig23_prefetchers",
+    "tab07": "tab07_applicability",
+    "tab08": "tab08_other_policies",
+    # Extensions beyond the paper's tables/figures:
+    "scalability": "scalability",  # Section 5.3's 64/128-core claim
+    "abl_hash": "abl_hash",  # slice-hash scheme ablation
+    "abl_sampled": "abl_sampled_sets",  # Section 4.2's set-count finding
+    "ext_policies": "ext_policies",  # Table 7 policies beyond Table 8
+    "abl_opt": "abl_opt_bound",  # exact Belady-OPT headroom scoring
+}
+
+
+def run_experiment(exp_id: str, profile: ExperimentProfile) -> None:
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[exp_id]}")
+    started = time.time()
+    report = module.run(profile)
+    elapsed = time.time() - started
+    print(report.render())
+    print(f"[{exp_id} done in {elapsed:.1f}s]\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id (fig13, tab05, ...) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids")
+    parser.add_argument("--profile", choices=("bench", "full"),
+                        default="bench", help="sweep scale")
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("Available experiments:")
+        for exp_id, module in EXPERIMENTS.items():
+            print(f"  {exp_id:8s} repro.experiments.{module}")
+        return 0
+
+    profile = (ExperimentProfile.bench() if args.profile == "bench"
+               else ExperimentProfile.full())
+
+    if args.experiment == "all":
+        for exp_id in EXPERIMENTS:
+            run_experiment(exp_id, profile)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; use --list",
+              file=sys.stderr)
+        return 2
+    run_experiment(args.experiment, profile)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Repo ablation: slice-hash scheme sensitivity.
+
+Not a paper artefact — DESIGN.md calls out the address-to-slice hash as
+a load-bearing substrate choice.  The complex (XOR-fold) hash spreads
+every PC's loads across slices, creating the myopia Drishti fixes; a
+naive modulo hash lets strided PCs camp on one slice, changing both the
+Figure 2 scatter fraction and how much the global predictor can help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.myopia import average_scatter_fraction
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.sim.runner import run_mix
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+SCHEMES = ("fold_xor", "modulo")
+
+
+@dataclass
+class HashAblationReport:
+    """Structured results for the slice-hash ablation."""
+
+    profile: ExperimentProfile
+    cores: int
+    workload: str
+    # scheme -> (one-slice fraction, mockingjay WS%, d-mockingjay WS%)
+    by_scheme: Dict[str, Tuple[float, float, float]]
+
+    def rows(self) -> List[Tuple]:
+        return [(scheme,) + self.by_scheme[scheme] for scheme in SCHEMES]
+
+    def render(self) -> str:
+        return render_table(
+            f"Ablation: slice-hash scheme ({self.workload}, "
+            f"{self.cores} cores)",
+            ["scheme", "one-slice PC fraction", "mockingjay (%)",
+             "d-mockingjay (%)"],
+            self.rows())
+
+
+def run(profile: Optional[ExperimentProfile] = None, cores: int = 16,
+        workload: str = "xalancbmk") -> HashAblationReport:
+    """Regenerate the slice-hash ablation at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    by_scheme: Dict[str, Tuple[float, float, float]] = {}
+    for scheme in SCHEMES:
+        base_cfg = profile.config(cores, "lru", DrishtiConfig.baseline(),
+                                  hash_scheme=scheme)
+        traces = make_mix(homogeneous_mix(workload, cores), base_cfg,
+                          profile.scale.accesses_per_core,
+                          seed=profile.seed)
+        fraction = average_scatter_fraction(traces, cores, scheme)
+        alone: Dict[str, float] = {}
+        base = run_mix(base_cfg, traces, alone_ipc_cache=alone)
+        ws = []
+        for drishti in (DrishtiConfig.baseline(), DrishtiConfig.full()):
+            cfg = profile.config(cores, "mockingjay", drishti,
+                                 hash_scheme=scheme)
+            this = run_mix(cfg, traces, alone_ipc_cache=alone)
+            ws.append(100.0 * (this.ws / base.ws - 1.0))
+        by_scheme[scheme] = (fraction, ws[0], ws[1])
+    return HashAblationReport(profile=profile, cores=cores,
+                              workload=workload, by_scheme=by_scheme)

@@ -1,0 +1,207 @@
+"""Shared experiment infrastructure.
+
+The performance experiments (Figures 13/14/15/16/17, Tables 5/6) all
+consume the same sweep: {policy × Drishti config} × {mix} × {core count}.
+:func:`policy_matrix` runs that sweep once per profile and caches it
+in-process so each table/figure module only slices the result.
+
+Methodology notes (recorded in EXPERIMENTS.md):
+
+* ``IPC_alone`` is measured once per (core count, trace) on the baseline
+  LRU system and shared across policy configurations.
+* Normalised WS is averaged arithmetically across mixes, like the
+  paper's average-of-normalised-speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.drishti import DrishtiConfig
+from repro.sim.config import ScaleProfile, SystemConfig
+from repro.sim.runner import MixResult, run_mix
+from repro.traces.mixes import MixSpec, make_mix, standard_mixes
+
+# The five headline configurations of Figure 13.
+HEADLINE_POLICIES: Tuple[Tuple[str, str, DrishtiConfig], ...] = (
+    ("lru", "lru", DrishtiConfig.baseline()),
+    ("hawkeye", "hawkeye", DrishtiConfig.baseline()),
+    ("d-hawkeye", "hawkeye", DrishtiConfig.full()),
+    ("mockingjay", "mockingjay", DrishtiConfig.baseline()),
+    ("d-mockingjay", "mockingjay", DrishtiConfig.full()),
+)
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale of an experiment run.
+
+    Attributes:
+        scale: simulator geometry/trace-length profile.
+        core_counts: systems to sweep (the paper uses 4/16/32).
+        num_homogeneous / num_heterogeneous: mixes per kind.
+        seed: base seed for mixes and traces.
+    """
+
+    scale: ScaleProfile
+    core_counts: Tuple[int, ...]
+    num_homogeneous: int
+    num_heterogeneous: int
+    seed: int = 7
+
+    @classmethod
+    def bench(cls) -> "ExperimentProfile":
+        """Benchmark-suite scale: minutes for the full suite."""
+        return cls(scale=ScaleProfile.smoke(), core_counts=(4, 16),
+                   num_homogeneous=2, num_heterogeneous=2)
+
+    @classmethod
+    def full(cls) -> "ExperimentProfile":
+        """Paper-shaped sweep: 4/16/32 cores, more mixes (slow)."""
+        return cls(scale=ScaleProfile.small(), core_counts=(4, 16, 32),
+                   num_homogeneous=6, num_heterogeneous=6)
+
+    @property
+    def max_cores(self) -> int:
+        return max(self.core_counts)
+
+    def mixes(self, num_cores: int) -> List[MixSpec]:
+        return standard_mixes(num_cores,
+                              num_homogeneous=self.num_homogeneous,
+                              num_heterogeneous=self.num_heterogeneous,
+                              seed=self.seed)
+
+    def config(self, num_cores: int, policy: str,
+               drishti: DrishtiConfig, **overrides) -> SystemConfig:
+        return SystemConfig.from_profile(num_cores, self.scale,
+                                         llc_policy=policy,
+                                         drishti=drishti,
+                                         seed=self.seed, **overrides)
+
+
+@dataclass
+class PolicyMatrix:
+    """Results of the shared sweep.
+
+    ``results[(cores, mix_name, label)]`` is a :class:`MixResult`.
+    """
+
+    profile: ExperimentProfile
+    labels: List[str]
+    results: Dict[Tuple[int, str, str], MixResult] = field(
+        default_factory=dict)
+    mix_names: Dict[int, List[str]] = field(default_factory=dict)
+    mix_kinds: Dict[str, str] = field(default_factory=dict)
+    mix_suites: Dict[str, str] = field(default_factory=dict)
+
+    def get(self, cores: int, mix_name: str, label: str) -> MixResult:
+        return self.results[(cores, mix_name, label)]
+
+    def normalized_ws(self, cores: int, mix_name: str,
+                      label: str, baseline: str = "lru") -> float:
+        base = self.get(cores, mix_name, baseline).ws
+        return self.get(cores, mix_name, label).ws / base
+
+    def average_normalized_ws(self, cores: int, label: str,
+                              baseline: str = "lru",
+                              mix_filter=None) -> float:
+        names = self.mix_names[cores]
+        if mix_filter is not None:
+            names = [n for n in names if mix_filter(n)]
+        values = [self.normalized_ws(cores, n, label, baseline)
+                  for n in names]
+        return sum(values) / len(values)
+
+    def average_mpki(self, cores: int, label: str) -> float:
+        names = self.mix_names[cores]
+        values = [self.get(cores, n, label).mpki for n in names]
+        return sum(values) / len(values)
+
+    def average_wpki(self, cores: int, label: str) -> float:
+        names = self.mix_names[cores]
+        values = [self.get(cores, n, label).wpki for n in names]
+        return sum(values) / len(values)
+
+
+_MATRIX_CACHE: Dict[Tuple, PolicyMatrix] = {}
+
+
+def clear_matrix_cache() -> None:
+    _MATRIX_CACHE.clear()
+
+
+def _mix_suite(mix: MixSpec) -> str:
+    """spec / gap / mixed, by the workloads' suites."""
+    from repro.traces.mixes import resolve_workload
+    suites = {resolve_workload(name).suite for name in mix.workloads}
+    return suites.pop() if len(suites) == 1 else "mixed"
+
+
+def policy_matrix(profile: ExperimentProfile,
+                  policies: Optional[Sequence[Tuple[str, str,
+                                                    DrishtiConfig]]] = None,
+                  ) -> PolicyMatrix:
+    """Run (or fetch from cache) the shared policy sweep."""
+    if policies is None:
+        policies = HEADLINE_POLICIES
+    key = (profile, tuple(label for label, _p, _d in policies))
+    cached = _MATRIX_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    matrix = PolicyMatrix(profile=profile,
+                          labels=[label for label, _p, _d in policies])
+    for cores in profile.core_counts:
+        mixes = profile.mixes(cores)
+        matrix.mix_names[cores] = [m.name for m in mixes]
+        for mix in mixes:
+            matrix.mix_kinds[mix.name] = mix.kind
+            matrix.mix_suites[mix.name] = _mix_suite(mix)
+            # Alone IPCs are measured under LRU and shared (methodology
+            # note at module top).
+            alone_cache: Dict[str, float] = {}
+            base_cfg = profile.config(cores, "lru",
+                                      DrishtiConfig.baseline())
+            traces = make_mix(mix, base_cfg,
+                              profile.scale.accesses_per_core,
+                              seed=profile.seed)
+            for label, policy, drishti in policies:
+                cfg = profile.config(cores, policy, drishti)
+                result = run_mix(cfg, traces, alone_ipc_cache=alone_cache)
+                matrix.results[(cores, mix.name, label)] = result
+    _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Simple monospace table with a title line."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append(" | ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def pct(value: float) -> float:
+    """Normalized-speedup ratio → percent improvement."""
+    return (value - 1.0) * 100.0

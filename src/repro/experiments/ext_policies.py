@@ -1,0 +1,42 @@
+"""Extension: Drishti on SDBP, Leeway and perceptron reuse prediction.
+
+Table 7 claims both enhancements apply to every sampler+predictor
+policy; the paper validates three of them in Table 8 (SHiP++, CHROME,
+Glider).  This extension experiment validates three more from the
+Table 7 list — SDBP, Leeway, and perceptron reuse prediction — plus EVA
+as the negative control (no sampled sets, no PC predictor: Drishti's
+enhancements have nothing to attach to, so ``d-eva`` is definitionally
+identical to ``eva`` and is reported from a single run).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.sensitivity import SweepReport, run_sweep
+
+EXT_POLICIES = (
+    ("sdbp", "sdbp", DrishtiConfig.baseline()),
+    ("d-sdbp", "sdbp", DrishtiConfig.full()),
+    ("leeway", "leeway", DrishtiConfig.baseline()),
+    ("d-leeway", "leeway", DrishtiConfig.full()),
+    ("perceptron", "perceptron", DrishtiConfig.baseline()),
+    ("d-perceptron", "perceptron", DrishtiConfig.full()),
+    ("eva", "eva", DrishtiConfig.baseline()),
+)
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        cores: int = 16) -> SweepReport:
+    """Regenerate the extended-policy study at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    mixes = profile.mixes(cores)[:2]
+    return run_sweep(
+        title=f"Extension: SDBP/Leeway/Perceptron ± Drishti, EVA "
+              f"control, {cores} cores (WS% vs LRU)",
+        profile=profile, cores=cores,
+        points=[("all", lambda cfg: None)],
+        mixes=mixes, policies=EXT_POLICIES)

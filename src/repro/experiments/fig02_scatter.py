@@ -1,0 +1,67 @@
+"""Figure 2: fraction of PCs mapping demand loads to one LLC slice.
+
+Paper shape (16-core, 70 mixes): 66.2% of multi-load PCs on average map
+all their loads to a single slice; xalancbmk mixes are lowest (~40%),
+GAP's pr mixes are highest.  The property is independent of replacement
+policy and prefetching — it is computed straight from traces + the slice
+hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.myopia import average_scatter_fraction
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.traces.mixes import make_mix
+
+
+@dataclass
+class Fig02Report:
+    """Structured results for Figure 2."""
+
+    profile: ExperimentProfile
+    cores: int
+    # (mix name, kind, one-slice fraction)
+    per_mix: List[Tuple[str, str, float]]
+
+    def rows(self) -> List[Tuple]:
+        return list(self.per_mix)
+
+    def render(self) -> str:
+        lines = [render_table(
+            f"Figure 2: one-slice PC fraction, {self.cores} cores",
+            ["mix", "kind", "fraction"], self.rows())]
+        lines.append(f"average: {self.average():.3f}")
+        return "\n".join(lines)
+
+    def average(self) -> float:
+        if not self.per_mix:
+            return 0.0
+        return sum(f for _n, _k, f in self.per_mix) / len(self.per_mix)
+
+    def fraction_for(self, workload_substr: str) -> Optional[float]:
+        """Average fraction over mixes whose name contains the substring."""
+        values = [f for name, _k, f in self.per_mix
+                  if workload_substr in name]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        cores: int = 16) -> Fig02Report:
+    """Regenerate Figure 2 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    config = profile.config(cores, "lru", DrishtiConfig.baseline())
+    per_mix = []
+    for mix in profile.mixes(cores):
+        traces = make_mix(mix, config, profile.scale.accesses_per_core,
+                          seed=profile.seed)
+        fraction = average_scatter_fraction(traces, cores,
+                                            config.hash_scheme)
+        per_mix.append((mix.name, mix.kind, fraction))
+    return Fig02Report(profile=profile, cores=cores, per_mix=per_mix)

@@ -1,0 +1,69 @@
+"""Figure 3 (and Figure 18): myopic vs global vs oracle ETR for one PC.
+
+Paper shape (16-core xalan): myopic per-slice predictions scatter widely
+around the oracle; the global view's predictions cluster close to it.
+Figure 18 shows Drishti's per-core-yet-global predictor reproduces the
+global view's ETRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.etr_views import ETRViewReport, collect_etr_views
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+
+@dataclass
+class Fig03Report:
+    """Structured results for Figure 3."""
+
+    profile: ExperimentProfile
+    cores: int
+    workload: str
+    view: ETRViewReport
+
+    def rows(self) -> List[Tuple]:
+        rows = []
+        for core in sorted(self.view.global_view):
+            myopic = self.view.myopic.get(core, [])
+            trained = [v for v in myopic if v is not None]
+            rows.append((core,
+                         self.view.global_view[core],
+                         len(trained),
+                         min(trained) if trained else None,
+                         max(trained) if trained else None))
+        return rows
+
+    def render(self) -> str:
+        lines = [render_table(
+            f"Figure 3: ETR views for PC {self.view.pc:#x} "
+            f"({self.workload}, {self.cores} cores)",
+            ["core", "global ETR", "slices trained", "myopic min",
+             "myopic max"],
+            self.rows())]
+        oracle = self.view.oracle_mean()
+        lines.append(f"oracle mean scaled ETR: "
+                     f"{oracle:.2f}" if oracle is not None else
+                     "oracle: no reuse observed")
+        lines.append(f"myopic coverage {self.view.myopic_coverage():.2f}, "
+                     f"global coverage {self.view.global_coverage():.2f}, "
+                     f"myopic spread {self.view.myopic_spread():.2f}")
+        return "\n".join(lines)
+
+
+def run(profile: Optional[ExperimentProfile] = None, cores: int = 16,
+        workload: str = "xalancbmk") -> Fig03Report:
+    """Regenerate Figure 3 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    config = profile.config(cores, "mockingjay", DrishtiConfig.baseline())
+    mix = homogeneous_mix(workload, cores)
+    traces = make_mix(mix, config, profile.scale.accesses_per_core,
+                      seed=profile.seed)
+    view = collect_etr_views(config, traces)
+    return Fig03Report(profile=profile, cores=cores, workload=workload,
+                       view=view)

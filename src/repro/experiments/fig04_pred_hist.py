@@ -1,0 +1,95 @@
+"""Figure 4: predictor-value distributions, myopic vs global.
+
+Paper shape: for xalan (scattered PCs) the myopic and global ETR/RRIP
+distributions differ sharply; for pr (slice-affine PCs) they are close.
+Measured here as the coverage and frequency of trained predictor entries
+after identical runs under the local and per-core-global fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.pred_hist import (
+    etr_histogram,
+    histogram_spread,
+    rrip_histogram,
+)
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.sim.simulator import Simulator
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+WORKLOADS = ("xalancbmk", "pr_kron")
+
+
+@dataclass
+class Fig04Report:
+    """Structured results for Figure 4."""
+
+    profile: ExperimentProfile
+    cores: int
+    # workload -> view ("myopic"/"global") -> histogram
+    etr: Dict[str, Dict[str, Dict[int, int]]]
+    rrip: Dict[str, Dict[str, Dict[str, int]]]
+
+    def rows(self) -> List[Tuple]:
+        rows = []
+        for wl in self.etr:
+            for view in ("myopic", "global"):
+                hist = self.etr[wl][view]
+                trained = sum(hist.values())
+                rows.append((wl, "mockingjay", view, trained,
+                             histogram_spread(hist)))
+            for view in ("myopic", "global"):
+                hist = self.rrip[wl][view]
+                rows.append((wl, "hawkeye", view,
+                             hist["rrip0_friendly"] +
+                             hist["rrip7_averse"],
+                             hist["rrip7_averse"] /
+                             max(1, hist["rrip0_friendly"] +
+                                 hist["rrip7_averse"])))
+        return rows
+
+    def render(self) -> str:
+        return render_table(
+            f"Figure 4: predictor distributions, {self.cores} cores",
+            ["workload", "policy", "view", "trained entries",
+             "spread / averse frac"],
+            self.rows())
+
+    def etr_trained(self, workload: str, view: str) -> int:
+        return sum(self.etr[workload][view].values())
+
+
+def _run_and_read(profile: ExperimentProfile, cores: int, workload: str,
+                  policy: str, drishti: DrishtiConfig):
+    config = profile.config(cores, policy, drishti)
+    mix = homogeneous_mix(workload, cores)
+    traces = make_mix(mix, config, profile.scale.accesses_per_core,
+                      seed=profile.seed)
+    sim = Simulator(config, traces)
+    sim.run()
+    return sim.hierarchy.llc.fabric
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        cores: int = 16) -> Fig04Report:
+    """Regenerate Figure 4 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    etr: Dict[str, Dict[str, Dict[int, int]]] = {}
+    rrip: Dict[str, Dict[str, Dict[str, int]]] = {}
+    views = (("myopic", DrishtiConfig.baseline()),
+             ("global", DrishtiConfig.global_view_only()))
+    for wl in WORKLOADS:
+        etr[wl] = {}
+        rrip[wl] = {}
+        for view, drishti in views:
+            fabric = _run_and_read(profile, cores, wl, "mockingjay",
+                                   drishti)
+            etr[wl][view] = etr_histogram(fabric)
+            fabric = _run_and_read(profile, cores, wl, "hawkeye", drishti)
+            rrip[wl][view] = rrip_histogram(fabric)
+    return Fig04Report(profile=profile, cores=cores, etr=etr, rrip=rrip)

@@ -1,0 +1,76 @@
+"""Figure 5: MPKA per LLC set for mcf / gcc / lbm (16-core homogeneous).
+
+Paper shape: mcf — many sets far below and a few far above the mean
+(strong skew); gcc — milder skew; lbm — uniform.  The DSC's uniformity
+detector is exactly the mechanism that tells lbm apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.setmpka import MPKASummary, mpka_summary
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.sim.simulator import Simulator
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+WORKLOADS = ("mcf", "gcc", "lbm")
+
+
+@dataclass
+class Fig05Report:
+    """Structured results for Figure 5."""
+
+    profile: ExperimentProfile
+    cores: int
+    summaries: Dict[str, MPKASummary]
+    matrices: Dict[str, np.ndarray]
+
+    def rows(self) -> List[Tuple]:
+        rows = []
+        for wl in WORKLOADS:
+            s = self.summaries[wl]
+            rows.append((wl, s.mean, s.minimum, s.maximum, s.p10, s.p90,
+                         s.skew_ratio))
+        return rows
+
+    def render(self) -> str:
+        from repro.analysis.ascii_chart import histogram
+        lines = [render_table(
+            f"Figure 5: per-set MPKA, {self.cores}-core homogeneous",
+            ["workload", "mean", "min", "max", "p10", "p90",
+             "top10% miss share"],
+            self.rows())]
+        for wl in WORKLOADS:
+            lines.append(f"\n{wl} per-set MPKA distribution:")
+            lines.append(histogram(self.matrices[wl].reshape(-1),
+                                   bins=12))
+        return "\n".join(lines)
+
+    def summary(self, workload: str) -> MPKASummary:
+        return self.summaries[workload]
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        cores: int = 16) -> Fig05Report:
+    """Regenerate Figure 5 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    summaries: Dict[str, MPKASummary] = {}
+    matrices: Dict[str, np.ndarray] = {}
+    for wl in WORKLOADS:
+        config = profile.config(cores, "lru", DrishtiConfig.baseline(),
+                                track_set_stats=True)
+        mix = homogeneous_mix(wl, cores)
+        traces = make_mix(mix, config, profile.scale.accesses_per_core,
+                          seed=profile.seed)
+        sim = Simulator(config, traces)
+        result = sim.run()
+        matrices[wl] = result.per_set_mpka
+        summaries[wl] = mpka_summary(result.per_set_mpka)
+    return Fig05Report(profile=profile, cores=cores, summaries=summaries,
+                       matrices=matrices)

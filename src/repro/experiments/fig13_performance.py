@@ -1,0 +1,62 @@
+"""Figure 13: normalised weighted speedup of Hawkeye / D-Hawkeye /
+Mockingjay / D-Mockingjay over LRU at each core count.
+
+Paper shape (32 cores, 64 MB LLC): Hawkeye +3.3%, D-Hawkeye +5.6%,
+Mockingjay +6.7%, D-Mockingjay +13.2%; gains grow with core count and
+Drishti's delta grows faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    pct,
+    policy_matrix,
+    render_table,
+)
+
+POLICY_LABELS = ("hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay")
+
+
+@dataclass
+class Fig13Report:
+    """Percent WS improvement over LRU, per (cores, policy)."""
+
+    profile: ExperimentProfile
+    improvements: Dict[Tuple[int, str], float]
+    matrix: PolicyMatrix
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for cores in self.profile.core_counts:
+            row = [cores]
+            for label in POLICY_LABELS:
+                row.append(self.improvements[(cores, label)])
+            out.append(tuple(row))
+        return out
+
+    def render(self) -> str:
+        headers = ["cores"] + [f"{p} (%)" for p in POLICY_LABELS]
+        return render_table(
+            "Figure 13: WS improvement over LRU (%)", headers, self.rows())
+
+    def improvement(self, cores: int, label: str) -> float:
+        return self.improvements[(cores, label)]
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Fig13Report:
+    """Regenerate Figure 13 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    matrix = policy_matrix(profile)
+    improvements = {}
+    for cores in profile.core_counts:
+        for label in POLICY_LABELS:
+            improvements[(cores, label)] = pct(
+                matrix.average_normalized_ws(cores, label))
+    return Fig13Report(profile=profile, improvements=improvements,
+                       matrix=matrix)

@@ -1,0 +1,62 @@
+"""Figure 14: average LLC MPKI reduction over LRU.
+
+Paper shape (32 cores): Hawkeye -10.6%, D-Hawkeye -14.1%, Mockingjay
+-21.2%, D-Mockingjay -24.1% — Drishti's reductions exceed the base
+policies' at every core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    policy_matrix,
+    render_table,
+)
+from repro.experiments.fig13_performance import POLICY_LABELS
+
+
+@dataclass
+class Fig14Report:
+    """Percent MPKI reduction vs LRU per (cores, policy)."""
+
+    profile: ExperimentProfile
+    reductions: Dict[Tuple[int, str], float]
+    matrix: PolicyMatrix
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for cores in self.profile.core_counts:
+            row = [cores]
+            for label in POLICY_LABELS:
+                row.append(self.reductions[(cores, label)])
+            out.append(tuple(row))
+        return out
+
+    def render(self) -> str:
+        headers = ["cores"] + [f"{p} (%)" for p in POLICY_LABELS]
+        return render_table(
+            "Figure 14: LLC MPKI reduction vs LRU (%)", headers,
+            self.rows())
+
+    def reduction(self, cores: int, label: str) -> float:
+        return self.reductions[(cores, label)]
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Fig14Report:
+    """Regenerate Figure 14 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    matrix = policy_matrix(profile)
+    reductions = {}
+    for cores in profile.core_counts:
+        base = matrix.average_mpki(cores, "lru")
+        for label in POLICY_LABELS:
+            value = matrix.average_mpki(cores, label)
+            reductions[(cores, label)] = 100.0 * (base - value) / base \
+                if base > 0 else 0.0
+    return Fig14Report(profile=profile, reductions=reductions,
+                       matrix=matrix)

@@ -1,0 +1,68 @@
+"""Figure 15: uncore (LLC + NoC + DRAM) energy normalised to LRU.
+
+Paper shape (32 cores): Hawkeye 0.98, Mockingjay 0.95, D-Hawkeye 0.97,
+D-Mockingjay 0.91 — savings come from fewer DRAM reads; the D-variants'
+NOCSTAR energy is included and negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    policy_matrix,
+    render_table,
+)
+from repro.sim.energy import EnergyModel
+
+ENERGY_LABELS = ("hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay")
+
+
+@dataclass
+class Fig15Report:
+    """Structured results for Figure 15."""
+
+    profile: ExperimentProfile
+    normalized: Dict[Tuple[int, str], float]
+    matrix: PolicyMatrix
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for cores in self.profile.core_counts:
+            row = [cores]
+            for label in ENERGY_LABELS:
+                row.append(self.normalized[(cores, label)])
+            out.append(tuple(row))
+        return out
+
+    def render(self) -> str:
+        headers = ["cores"] + [f"{p}" for p in ENERGY_LABELS]
+        return render_table(
+            "Figure 15: uncore energy normalised to LRU (lower=better)",
+            headers, self.rows())
+
+    def value(self, cores: int, label: str) -> float:
+        return self.normalized[(cores, label)]
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Fig15Report:
+    """Regenerate Figure 15 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    matrix = policy_matrix(profile)
+    model = EnergyModel()
+    normalized = {}
+    for cores in profile.core_counts:
+        names = matrix.mix_names[cores]
+        for label in ENERGY_LABELS:
+            ratios = []
+            for name in names:
+                base = model.evaluate(matrix.get(cores, name, "lru").result)
+                this = model.evaluate(matrix.get(cores, name, label).result)
+                ratios.append(this.normalized_to(base))
+            normalized[(cores, label)] = sum(ratios) / len(ratios)
+    return Fig15Report(profile=profile, normalized=normalized,
+                       matrix=matrix)

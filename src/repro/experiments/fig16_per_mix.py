@@ -1,0 +1,71 @@
+"""Figure 16: per-mix normalised WS, Mockingjay vs D-Mockingjay, sorted.
+
+Paper shape (32 cores, 70 mixes): D-Mockingjay's sorted curve dominates
+Mockingjay's across (nearly) the whole range, with the largest gaps on
+mcf-dominated homogeneous mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    pct,
+    policy_matrix,
+    render_table,
+)
+
+
+@dataclass
+class Fig16Report:
+    """Structured results for Figure 16."""
+
+    profile: ExperimentProfile
+    cores: int
+    # (mix name, mockingjay %, d-mockingjay %), sorted by d-mockingjay
+    per_mix: List[Tuple[str, float, float]]
+    matrix: PolicyMatrix
+
+    def rows(self) -> List[Tuple]:
+        return [(i, name, mj, dmj)
+                for i, (name, mj, dmj) in enumerate(self.per_mix)]
+
+    def render(self) -> str:
+        from repro.analysis.ascii_chart import series_chart
+        headers = ["idx", "mix", "mockingjay (%)", "d-mockingjay (%)"]
+        lines = [render_table(
+            f"Figure 16: per-mix WS improvement, {self.cores} cores "
+            "(sorted)", headers, self.rows())]
+        if len(self.per_mix) >= 2:
+            lines.append("")
+            lines.append(series_chart(
+                {"mockingjay": [mj for _n, mj, _d in self.per_mix],
+                 "d-mockingjay": [d for _n, _mj, d in self.per_mix]},
+                height=8))
+        return "\n".join(lines)
+
+    def domination_fraction(self) -> float:
+        """Fraction of mixes where D-Mockingjay >= Mockingjay."""
+        if not self.per_mix:
+            return 0.0
+        wins = sum(1 for _n, mj, dmj in self.per_mix if dmj >= mj)
+        return wins / len(self.per_mix)
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Fig16Report:
+    """Regenerate Figure 16 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    matrix = policy_matrix(profile)
+    cores = profile.max_cores
+    per_mix = []
+    for name in matrix.mix_names[cores]:
+        mj = pct(matrix.normalized_ws(cores, name, "mockingjay"))
+        dmj = pct(matrix.normalized_ws(cores, name, "d-mockingjay"))
+        per_mix.append((name, mj, dmj))
+    per_mix.sort(key=lambda row: row[2])
+    return Fig16Report(profile=profile, cores=cores, per_mix=per_mix,
+                       matrix=matrix)

@@ -1,0 +1,79 @@
+"""Figure 17: utility of each Drishti enhancement on Mockingjay.
+
+Three bars per suite: Mockingjay, D-Mockingjay with only the global view
+(Enhancement I), and D-Mockingjay with global view + dynamic sampled
+cache (full).  Paper shape (32 cores): 3.8%→6%→9.7% on SPEC-dominated
+mixes and 9.7%→15%→16.9% on GAP — each enhancement adds on top of the
+previous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    pct,
+    policy_matrix,
+    render_table,
+)
+
+ABLATION_POLICIES = (
+    ("lru", "lru", DrishtiConfig.baseline()),
+    ("mockingjay", "mockingjay", DrishtiConfig.baseline()),
+    ("mj+global", "mockingjay", DrishtiConfig.global_view_only()),
+    ("mj+global+dsc", "mockingjay", DrishtiConfig.full()),
+)
+
+BAR_LABELS = ("mockingjay", "mj+global", "mj+global+dsc")
+
+
+@dataclass
+class Fig17Report:
+    """Structured results for Figure 17."""
+
+    profile: ExperimentProfile
+    cores: int
+    # suite ("spec"/"gap"/"mixed"/"all") -> label -> percent improvement
+    improvements: Dict[str, Dict[str, float]]
+    matrix: PolicyMatrix
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for suite, values in sorted(self.improvements.items()):
+            out.append((suite,) + tuple(values[l] for l in BAR_LABELS))
+        return out
+
+    def render(self) -> str:
+        headers = ["suite"] + [f"{l} (%)" for l in BAR_LABELS]
+        return render_table(
+            f"Figure 17: enhancement ablation, {self.cores} cores",
+            headers, self.rows())
+
+    def value(self, suite: str, label: str) -> float:
+        return self.improvements[suite][label]
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Fig17Report:
+    """Regenerate Figure 17 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    matrix = policy_matrix(profile, policies=ABLATION_POLICIES)
+    cores = profile.max_cores
+
+    suites = sorted({matrix.mix_suites[name]
+                     for name in matrix.mix_names[cores]})
+    improvements: Dict[str, Dict[str, float]] = {}
+    for suite in suites + ["all"]:
+        mix_filter = None if suite == "all" else \
+            (lambda n, s=suite: matrix.mix_suites[n] == s)
+        values = {}
+        for label in BAR_LABELS:
+            values[label] = pct(matrix.average_normalized_ws(
+                cores, label, mix_filter=mix_filter))
+        improvements[suite] = values
+    return Fig17Report(profile=profile, cores=cores,
+                       improvements=improvements, matrix=matrix)

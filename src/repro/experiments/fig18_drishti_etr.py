@@ -1,0 +1,89 @@
+"""Figure 18: Drishti's ETR predictions track the global view.
+
+Paper shape (16-core xalan): with Drishti (per-core-yet-global predictor
++ dynamic sampled cache) the predicted ETRs sit close to the pure global
+view's, i.e. the DSC's re-targeted sampling does not distort what the
+global predictor learns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.drishti import DrishtiConfig
+from repro.core.signature import make_signature
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.analysis.etr_views import most_frequent_pc
+from repro.sim.simulator import Simulator
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+
+@dataclass
+class Fig18Report:
+    """Structured results for Figure 18."""
+
+    profile: ExperimentProfile
+    cores: int
+    workload: str
+    pc: int
+    # core -> (global-view ETR, Drishti ETR)
+    per_core: Dict[int, Tuple[Optional[int], Optional[int]]]
+
+    def rows(self) -> List[Tuple]:
+        return [(core, g, d) for core, (g, d) in
+                sorted(self.per_core.items())]
+
+    def render(self) -> str:
+        lines = [render_table(
+            f"Figure 18: ETR with Drishti vs global view "
+            f"(PC {self.pc:#x}, {self.workload}, {self.cores} cores)",
+            ["core", "global-view ETR", "Drishti ETR"], self.rows())]
+        err = self.mean_abs_difference()
+        lines.append("mean |Drishti - global| over co-trained cores: "
+                     f"{err:.2f}" if err is not None else
+                     "no co-trained cores")
+        return "\n".join(lines)
+
+    def mean_abs_difference(self) -> Optional[float]:
+        diffs = [abs(g - d) for g, d in self.per_core.values()
+                 if g is not None and d is not None]
+        if not diffs:
+            return None
+        return sum(diffs) / len(diffs)
+
+
+def _read_predictions(profile: ExperimentProfile, cores: int,
+                      traces, drishti: DrishtiConfig,
+                      pc: int) -> Dict[int, Optional[int]]:
+    config = profile.config(cores, "mockingjay", drishti)
+    sim = Simulator(config, traces)
+    sim.run()
+    fabric = sim.hierarchy.llc.fabric
+    table_bits = config.llc_policy_params.get("table_bits", 11)
+    out = {}
+    for core in range(cores):
+        sig = make_signature(pc, core, False, table_bits)
+        out[core] = fabric.instances[core].predict(sig)
+    return out
+
+
+def run(profile: Optional[ExperimentProfile] = None, cores: int = 16,
+        workload: str = "xalancbmk") -> Fig18Report:
+    """Regenerate Figure 18 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    ref_cfg = profile.config(cores, "mockingjay",
+                             DrishtiConfig.baseline())
+    mix = homogeneous_mix(workload, cores)
+    traces = make_mix(mix, ref_cfg, profile.scale.accesses_per_core,
+                      seed=profile.seed)
+    pc = most_frequent_pc(traces)
+    global_view = _read_predictions(profile, cores, traces,
+                                    DrishtiConfig.global_view_only(), pc)
+    drishti_view = _read_predictions(profile, cores, traces,
+                                     DrishtiConfig.full(), pc)
+    per_core = {core: (global_view[core], drishti_view[core])
+                for core in range(cores)}
+    return Fig18Report(profile=profile, cores=cores, workload=workload,
+                       pc=pc, per_core=per_core)

@@ -1,0 +1,28 @@
+"""Figure 19: Drishti on CVP1 / Google / CloudSuite / XSBench mixes.
+
+Paper shape: on datacenter-class traces the headroom for Hawkeye and
+Mockingjay shrinks to 2–3% (max 13%), and Drishti adds ~2% on average —
+the same ordering as SPEC/GAP at much smaller magnitudes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.sensitivity import SweepReport, run_sweep
+from repro.traces.mixes import datacenter_mixes
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        cores: int = 16, num_mixes: int = 2) -> SweepReport:
+    """Regenerate Figure 19 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    mixes = datacenter_mixes(cores, count=num_mixes, seed=profile.seed)
+    return run_sweep(
+        title=f"Figure 19: datacenter workloads, {cores} cores "
+              "(WS% vs LRU)",
+        profile=profile, cores=cores,
+        points=[("datacenter", lambda cfg: None)],
+        mixes=mixes)

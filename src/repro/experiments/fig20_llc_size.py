@@ -1,0 +1,40 @@
+"""Figure 20: LLC slice-size sensitivity (16 cores).
+
+The paper sweeps 1 MB / 2 MB / 4 MB per-core slices with the sampled-set
+count fixed at the 2 MB value; Drishti's advantage holds across sizes
+and peaks at the 2 MB design point.  Here the sweep halves/doubles the
+profile's per-slice set count while the workloads stay sized for the
+reference geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.sensitivity import SweepReport, run_sweep
+from repro.traces.mixes import homogeneous_mix
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        cores: int = 16, workload: str = "xalancbmk") -> SweepReport:
+    """Regenerate Figure 20 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    base_sets = profile.scale.llc_sets_per_slice
+
+    def set_llc(sets):
+        def mutate(cfg, sets=sets):
+            cfg.llc_sets_per_slice = sets
+        return mutate
+
+    points = [
+        ("half (1MB/core)", set_llc(base_sets // 2)),
+        ("base (2MB/core)", set_llc(base_sets)),
+        ("double (4MB/core)", set_llc(base_sets * 2)),
+    ]
+    mixes = [homogeneous_mix(workload, cores)]
+    return run_sweep(
+        title=f"Figure 20: LLC slice-size sweep, {cores} cores "
+              "(WS% vs LRU)",
+        profile=profile, cores=cores, points=points, mixes=mixes)

@@ -1,0 +1,39 @@
+"""Figure 21: L2 size sensitivity (16 cores).
+
+Paper shape: Drishti keeps its edge across L2 sizes; with a large L2
+(2 MB) more working sets fit in the private levels, baseline LLC MPKI
+falls below 1 and every policy's headroom shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.sensitivity import SweepReport, run_sweep
+from repro.traces.mixes import homogeneous_mix
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        cores: int = 16, workload: str = "xalancbmk") -> SweepReport:
+    """Regenerate Figure 21 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    base_sets = profile.scale.l2_sets
+
+    def set_l2(sets):
+        def mutate(cfg, sets=sets):
+            cfg.l2 = replace(cfg.l2, sets=sets)
+        return mutate
+
+    points = [
+        ("half L2", set_l2(max(8, base_sets // 2))),
+        ("base L2", set_l2(base_sets)),
+        ("2x L2", set_l2(base_sets * 2)),
+        ("4x L2", set_l2(base_sets * 4)),
+    ]
+    mixes = [homogeneous_mix(workload, cores)]
+    return run_sweep(
+        title=f"Figure 21: L2 size sweep, {cores} cores (WS% vs LRU)",
+        profile=profile, cores=cores, points=points, mixes=mixes)

@@ -1,0 +1,38 @@
+"""Figure 23: Drishti under different hardware prefetchers.
+
+Paper shape: Drishti's enhancements stay effective under SPP+PPF, Bingo,
+IPCP, Berti and Gaze; the most accurate prefetchers (SPP+PPF, Berti)
+raise the baseline itself, so the replacement policies' headroom is
+marginally lower.  Each sweep point swaps the (L1, L2) prefetcher pair
+and re-normalises to LRU *with the same prefetchers*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.sensitivity import SweepReport, run_sweep
+from repro.traces.mixes import homogeneous_mix
+
+PREFETCHERS = ("baseline", "spp_ppf", "bingo", "ipcp", "berti")
+
+
+def run(profile: Optional[ExperimentProfile] = None, cores: int = 16,
+        workload: str = "xalancbmk",
+        prefetchers: Sequence[str] = PREFETCHERS) -> SweepReport:
+    """Regenerate Figure 23 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+
+    def set_pf(name):
+        def mutate(cfg, name=name):
+            cfg.prefetcher = name
+        return mutate
+
+    points = [(name, set_pf(name)) for name in prefetchers]
+    mixes = [homogeneous_mix(workload, cores)]
+    return run_sweep(
+        title=f"Figure 23: prefetcher sweep, {cores} cores (WS% vs LRU "
+              "with matching prefetcher)",
+        profile=profile, cores=cores, points=points, mixes=mixes)

@@ -1,0 +1,96 @@
+"""Shared machinery for the sensitivity studies (Figures 19–23).
+
+Each sensitivity experiment sweeps one system parameter and reports the
+average WS improvement over LRU for the four headline configurations at
+each sweep point.  The sweeps run on the profile's mixes at a fixed core
+count (the paper uses 16-core homogeneous mixes for Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_mix
+from repro.traces.mixes import MixSpec, make_mix
+
+SWEEP_POLICIES: Tuple[Tuple[str, str, DrishtiConfig], ...] = (
+    ("hawkeye", "hawkeye", DrishtiConfig.baseline()),
+    ("d-hawkeye", "hawkeye", DrishtiConfig.full()),
+    ("mockingjay", "mockingjay", DrishtiConfig.baseline()),
+    ("d-mockingjay", "mockingjay", DrishtiConfig.full()),
+)
+
+
+@dataclass
+class SweepReport:
+    """WS% vs LRU for each (sweep point, policy label)."""
+
+    title: str
+    points: List[str]
+    labels: List[str]
+    improvements: Dict[Tuple[str, str], float]
+
+    def rows(self) -> List[Tuple]:
+        return [(point,) + tuple(self.improvements[(point, label)]
+                                 for label in self.labels)
+                for point in self.points]
+
+    def render(self) -> str:
+        headers = ["point"] + [f"{l} (%)" for l in self.labels]
+        return render_table(self.title, headers, self.rows())
+
+    def value(self, point: str, label: str) -> float:
+        return self.improvements[(point, label)]
+
+
+def run_sweep(title: str, profile: ExperimentProfile, cores: int,
+              points: Sequence[Tuple[str, Callable[[SystemConfig], None]]],
+              mixes: Optional[Sequence[MixSpec]] = None,
+              policies=SWEEP_POLICIES) -> SweepReport:
+    """Run the sweep.
+
+    Args:
+        title: report heading.
+        profile: experiment scale.
+        cores: system size for the whole sweep.
+        points: (label, mutator) pairs; the mutator edits a fresh
+            SystemConfig in place (e.g. change DRAM channels).
+        mixes: mixes to average over (defaults to the profile's).
+        policies: (label, policy, drishti) triples to compare.
+    """
+    if mixes is None:
+        mixes = profile.mixes(cores)
+    labels = [label for label, _p, _d in policies]
+    improvements: Dict[Tuple[str, str], float] = {}
+    for point_name, mutate in points:
+        ratios: Dict[str, List[float]] = {label: [] for label in labels}
+        for mix in mixes:
+            # Traces are generated against the *reference* geometry and
+            # reused at every sweep point — the workload must not scale
+            # with the parameter being swept (e.g. the LLC-size sweep
+            # keeps footprints fixed while the cache changes).
+            ref_cfg = profile.config(cores, "lru",
+                                     DrishtiConfig.baseline())
+            traces = make_mix(mix, ref_cfg,
+                              profile.scale.accesses_per_core,
+                              seed=profile.seed)
+            base_cfg = profile.config(cores, "lru",
+                                      DrishtiConfig.baseline())
+            mutate(base_cfg)
+            alone: Dict[str, float] = {}
+            base = run_mix(base_cfg, traces, alone_ipc_cache=alone)
+            for label, policy, drishti in policies:
+                cfg = profile.config(cores, policy, drishti)
+                mutate(cfg)
+                this = run_mix(cfg, traces, alone_ipc_cache=alone)
+                ratios[label].append(this.ws / base.ws)
+        for label in labels:
+            vals = ratios[label]
+            improvements[(point_name, label)] = \
+                100.0 * (sum(vals) / len(vals) - 1.0)
+    return SweepReport(title=title, points=[p for p, _m in points],
+                       labels=labels, improvements=improvements)

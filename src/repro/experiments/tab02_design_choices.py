@@ -1,0 +1,83 @@
+"""Table 2: design choices for mitigating myopic predictions.
+
+The qualitative matrix plus a quantitative message-count model fed with
+event counts measured from a real Mockingjay run: global-sampled-cache
+designs pay a broadcast multiplier, centralized structures concentrate
+all messages at one node.  Drishti's row (local SC + distributed global
+predictor) has a global view, low bandwidth, and no broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.drishti import DrishtiConfig
+from repro.core.traffic import (
+    DesignChoice,
+    TrafficEstimate,
+    design_choice_matrix,
+    estimate_traffic,
+)
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.sim.simulator import Simulator
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+
+@dataclass
+class Tab02Report:
+    """Structured results for Table 2."""
+
+    profile: ExperimentProfile
+    cores: int
+    instructions: int
+    estimates: Dict[str, TrafficEstimate]
+
+    def rows(self) -> List[Tuple]:
+        rows = []
+        for choice in design_choice_matrix():
+            est = self.estimates[choice.label]
+            rows.append((
+                choice.sampled_cache, choice.predictor, choice.structure,
+                "yes" if choice.global_view else "no",
+                choice.bandwidth,
+                "yes" if choice.needs_broadcast else "no",
+                est.per_kilo_instr(self.instructions),
+                est.max_messages_at_one_node,
+            ))
+        return rows
+
+    def render(self) -> str:
+        return render_table(
+            f"Table 2: design choices ({self.cores} cores)",
+            ["sampled cache", "predictor", "type", "global view?",
+             "bandwidth", "broadcast?", "msgs/kinstr", "hotspot msgs"],
+            self.rows())
+
+    def estimate(self, choice: DesignChoice) -> TrafficEstimate:
+        return self.estimates[choice.label]
+
+
+def run(profile: Optional[ExperimentProfile] = None, cores: int = 16,
+        workload: str = "mcf") -> Tab02Report:
+    """Regenerate Table 2 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    # Measure real event counts under Drishti's fabric.
+    cfg = profile.config(cores, "mockingjay",
+                         DrishtiConfig.global_view_only())
+    mix = homogeneous_mix(workload, cores)
+    traces = make_mix(mix, cfg, profile.scale.accesses_per_core,
+                      seed=profile.seed)
+    result = Simulator(cfg, traces).run()
+    sampled_accesses = result.fabric_trains
+    fills = result.llc_stats.fills
+
+    estimates = {
+        choice.label: estimate_traffic(choice, cores, sampled_accesses,
+                                       fills)
+        for choice in design_choice_matrix()
+    }
+    return Tab02Report(profile=profile, cores=cores,
+                       instructions=result.total_instructions,
+                       estimates=estimates)

@@ -1,0 +1,58 @@
+"""Table 5: average LLC writebacks per kilo-instruction.
+
+Paper shape: LRU's WPKI is tiny (~0.18); Hawkeye and especially
+Mockingjay raise it sharply (they deprioritise dirty lines), and the
+D-variants bring Mockingjay's back down slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    policy_matrix,
+    render_table,
+)
+
+WPKI_LABELS = ("lru", "hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay")
+
+
+@dataclass
+class Tab05Report:
+    """Structured results for Table 5."""
+
+    profile: ExperimentProfile
+    wpki: Dict[Tuple[int, str], float]
+    matrix: PolicyMatrix
+
+    def rows(self) -> List[Tuple]:
+        out = []
+        for cores in self.profile.core_counts:
+            row = [cores]
+            for label in WPKI_LABELS:
+                row.append(self.wpki[(cores, label)])
+            out.append(tuple(row))
+        return out
+
+    def render(self) -> str:
+        headers = ["cores"] + list(WPKI_LABELS)
+        return render_table("Table 5: average LLC WPKI", headers,
+                            self.rows())
+
+    def value(self, cores: int, label: str) -> float:
+        return self.wpki[(cores, label)]
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Tab05Report:
+    """Regenerate Table 5 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    matrix = policy_matrix(profile)
+    wpki = {}
+    for cores in profile.core_counts:
+        for label in WPKI_LABELS:
+            wpki[(cores, label)] = matrix.average_wpki(cores, label)
+    return Tab05Report(profile=profile, wpki=wpki, matrix=matrix)

@@ -1,0 +1,79 @@
+"""Table 6: WS / HS / Unfairness / MIS at the largest core count.
+
+Paper shape (32 cores): Drishti lifts WS and HS substantially
+(Mockingjay 6.7→13.3% WS, 4.5→12.8% HS) while unfairness and MIS stay
+roughly flat or improve slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    PolicyMatrix,
+    pct,
+    policy_matrix,
+    render_table,
+)
+
+METRIC_LABELS = ("hawkeye", "d-hawkeye", "mockingjay", "d-mockingjay")
+
+
+@dataclass
+class Tab06Report:
+    """Structured results for Table 6."""
+
+    profile: ExperimentProfile
+    cores: int
+    ws_pct: Dict[str, float]
+    hs_pct: Dict[str, float]
+    unfairness: Dict[str, float]
+    mis_pct: Dict[str, float]
+    matrix: PolicyMatrix
+
+    def rows(self) -> List[Tuple]:
+        return [
+            ("WS (%)",) + tuple(self.ws_pct[p] for p in METRIC_LABELS),
+            ("HS (%)",) + tuple(self.hs_pct[p] for p in METRIC_LABELS),
+            ("Unfairness",) + tuple(self.unfairness[p]
+                                    for p in METRIC_LABELS),
+            ("MIS (%)",) + tuple(self.mis_pct[p] for p in METRIC_LABELS),
+        ]
+
+    def render(self) -> str:
+        headers = ["metric"] + list(METRIC_LABELS)
+        return render_table(
+            f"Table 6: metrics on {self.cores} cores", headers,
+            self.rows())
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Tab06Report:
+    """Regenerate Table 6 at *profile* scale; returns the report."""
+    if profile is None:
+        profile = ExperimentProfile.bench()
+    matrix = policy_matrix(profile)
+    cores = profile.max_cores
+    names = matrix.mix_names[cores]
+
+    ws_pct: Dict[str, float] = {}
+    hs_pct: Dict[str, float] = {}
+    unf: Dict[str, float] = {}
+    mis: Dict[str, float] = {}
+    for label in METRIC_LABELS:
+        ws_ratios, hs_ratios, unfs, miss = [], [], [], []
+        for name in names:
+            base = matrix.get(cores, name, "lru")
+            this = matrix.get(cores, name, label)
+            ws_ratios.append(this.ws / base.ws)
+            hs_ratios.append(this.hs / base.hs)
+            unfs.append(this.unfairness)
+            miss.append(this.mis)
+        ws_pct[label] = pct(sum(ws_ratios) / len(ws_ratios))
+        hs_pct[label] = pct(sum(hs_ratios) / len(hs_ratios))
+        unf[label] = sum(unfs) / len(unfs)
+        mis[label] = 100.0 * sum(miss) / len(miss)
+    return Tab06Report(profile=profile, cores=cores, ws_pct=ws_pct,
+                       hs_pct=hs_pct, unfairness=unf, mis_pct=mis,
+                       matrix=matrix)

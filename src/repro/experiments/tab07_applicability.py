@@ -1,0 +1,87 @@
+"""Table 7: which policies can adopt which Drishti enhancement.
+
+Memoryless set-duelers (DIP, RRIP/IPV) have no PC predictor — only the
+dynamic sampled cache applies (better leader sets).  Prediction-based
+policies (SDBP, SHiP++, Leeway, Glider, MPPPB, perceptron, MDPP, CARE,
+CHROME) use both structures, so both enhancements apply.  EVA keeps
+age-based statistics with neither a PC predictor nor sampled sets —
+neither enhancement applies.
+
+The implemented subset is cross-checked against the registry's
+capability flags so the table cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.common import ExperimentProfile, render_table
+from repro.replacement.registry import POLICY_REGISTRY
+
+# (policy, type, per-core global predictor?, dynamic sampled cache?,
+#  implemented-in-repo name or None)
+APPLICABILITY: Tuple[Tuple[str, str, bool, bool, Optional[str]], ...] = (
+    ("DIP", "memoryless", False, True, "dip"),
+    ("RRIP", "memoryless", False, True, "drrip"),
+    ("IPV", "memoryless", False, True, None),
+    ("SDBP", "prediction", True, True, "sdbp"),
+    ("SHiP/SHiP++", "prediction", True, True, "ship"),
+    ("Leeway", "prediction", True, True, "leeway"),
+    ("Glider", "prediction", True, True, "glider"),
+    ("MPPPB", "prediction", True, True, None),
+    ("Perceptron", "prediction", True, True, "perceptron"),
+    ("MDPP", "prediction", True, True, None),
+    ("CARE", "prediction", True, True, None),
+    ("CHROME", "prediction", True, True, "chrome"),
+    ("Hawkeye", "prediction", True, True, "hawkeye"),
+    ("Mockingjay", "prediction", True, True, "mockingjay"),
+    ("EVA", "statistical", False, False, "eva"),
+)
+
+
+@dataclass
+class Tab07Report:
+    """Structured results for Table 7."""
+
+    entries: Tuple[Tuple[str, str, bool, bool, Optional[str]], ...]
+
+    def rows(self) -> List[Tuple]:
+        return [(name, kind,
+                 "yes" if pred else "no",
+                 "yes" if dsc else "no",
+                 impl if impl else "-")
+                for name, kind, pred, dsc, impl in self.entries]
+
+    def render(self) -> str:
+        return render_table(
+            "Table 7: Drishti applicability across policies",
+            ["policy", "type", "global predictor?", "dynamic SC?",
+             "implemented as"],
+            self.rows())
+
+    def validate_against_registry(self) -> List[str]:
+        """Cross-check implemented rows against registry flags.
+
+        Returns a list of inconsistencies (empty = all consistent).
+        """
+        problems = []
+        for name, _kind, pred, dsc, impl in self.entries:
+            if impl is None:
+                continue
+            entry = POLICY_REGISTRY[impl]
+            if entry.uses_predictor != pred:
+                problems.append(
+                    f"{name}: table says predictor={pred}, registry "
+                    f"says {entry.uses_predictor}")
+            if entry.uses_sampled_sets != dsc:
+                problems.append(
+                    f"{name}: table says dsc={dsc}, registry says "
+                    f"{entry.uses_sampled_sets}")
+        return problems
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> Tab07Report:
+    """Regenerate Table 7 at *profile* scale; returns the report."""
+    del profile
+    return Tab07Report(entries=APPLICABILITY)

@@ -1,0 +1,17 @@
+"""On-chip interconnect models.
+
+Two fabrics matter to the paper:
+
+* the existing **mesh** NoC that carries core↔LLC-slice (NUCA) and
+  slice↔memory-controller traffic — multi-hop, ~20-cycle average latency
+  at 32 cores, and
+* **NOCSTAR** (in :mod:`repro.core.nocstar`), the dedicated side-band that
+  Drishti adds for slice↔predictor messages at a 3-cycle latency.
+
+Figure 11 reproduces by routing predictor messages over one or the other.
+"""
+
+from repro.interconnect.topology import MeshTopology
+from repro.interconnect.mesh import MeshNoC, NoCStats
+
+__all__ = ["MeshTopology", "MeshNoC", "NoCStats"]

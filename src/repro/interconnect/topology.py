@@ -1,0 +1,64 @@
+"""Mesh topology: node placement and XY-routed hop distances."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+class MeshTopology:
+    """A 2D mesh of ``num_nodes`` tiles.
+
+    Each tile holds a core, its private caches, and one LLC slice (the
+    paper's Table 4 baseline).  Nodes are laid out row-major on the
+    smallest near-square grid that fits, matching how commercial many-core
+    parts tile their dies.
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.cols = math.ceil(math.sqrt(num_nodes))
+        self.rows = math.ceil(num_nodes / self.cols)
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """(row, col) of *node* on the grid."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        return divmod(node, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        """XY-routed Manhattan hop count between two nodes."""
+        r1, c1 = self.coordinates(src)
+        r2, c2 = self.coordinates(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def average_hops(self) -> float:
+        """Mean hop count over all ordered src!=dst pairs."""
+        if self.num_nodes == 1:
+            return 0.0
+        total = 0
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if src != dst:
+                    total += self.hops(src, dst)
+        return total / (self.num_nodes * (self.num_nodes - 1))
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """The XY route from *src* to *dst*, inclusive of both endpoints."""
+        r1, c1 = self.coordinates(src)
+        r2, c2 = self.coordinates(dst)
+        path = [src]
+        c = c1
+        while c != c2:  # X first
+            c += 1 if c2 > c else -1
+            path.append(r1 * self.cols + c)
+        r = r1
+        while r != r2:  # then Y
+            r += 1 if r2 > r else -1
+            path.append(r * self.cols + c)
+        return path
+
+    def __repr__(self) -> str:
+        return f"MeshTopology({self.num_nodes} nodes, {self.rows}x{self.cols})"

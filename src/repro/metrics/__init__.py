@@ -1,0 +1,17 @@
+"""Multi-core performance and fairness metrics (paper Section 5.2)."""
+
+from repro.metrics.speedup import (
+    harmonic_speedup,
+    individual_slowdowns,
+    max_individual_slowdown,
+    unfairness,
+    weighted_speedup,
+)
+
+__all__ = [
+    "individual_slowdowns",
+    "weighted_speedup",
+    "harmonic_speedup",
+    "max_individual_slowdown",
+    "unfairness",
+]

@@ -1,0 +1,66 @@
+"""Weighted speedup, harmonic speedup, MIS and unfairness.
+
+Definitions from the paper (Section 5.2)::
+
+    IS_i = IPC_i^together / IPC_i^alone
+    WS   = sum_i IS_i
+    HS   = N / sum_i (IPC_i^alone / IPC_i^together)
+    MIS  = max_i IS_i            (the paper reports max *slowdown*, i.e.
+                                  the worst IS as a percentage loss)
+    Unfairness = max_i IS_i / min_i IS_i
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def individual_slowdowns(ipc_together: Sequence[float],
+                         ipc_alone: Sequence[float]) -> List[float]:
+    """IS_i for every core."""
+    if len(ipc_together) != len(ipc_alone):
+        raise ValueError("ipc_together and ipc_alone lengths differ")
+    if not ipc_together:
+        raise ValueError("need at least one core")
+    slowdowns = []
+    for together, alone in zip(ipc_together, ipc_alone):
+        if alone <= 0:
+            raise ValueError(f"IPC_alone must be positive, got {alone}")
+        slowdowns.append(together / alone)
+    return slowdowns
+
+
+def weighted_speedup(ipc_together: Sequence[float],
+                     ipc_alone: Sequence[float]) -> float:
+    """WS = sum of individual slowdowns (max N for no interference)."""
+    return sum(individual_slowdowns(ipc_together, ipc_alone))
+
+
+def harmonic_speedup(ipc_together: Sequence[float],
+                     ipc_alone: Sequence[float]) -> float:
+    """HS = harmonic mean of the individual slowdowns."""
+    slowdowns = individual_slowdowns(ipc_together, ipc_alone)
+    inverse_sum = sum(1.0 / s for s in slowdowns if s > 0)
+    if inverse_sum == 0:
+        return 0.0
+    return len(slowdowns) / inverse_sum
+
+
+def max_individual_slowdown(ipc_together: Sequence[float],
+                            ipc_alone: Sequence[float]) -> float:
+    """The worst core's slowdown, as a fractional loss (paper's MIS%).
+
+    A core running at 60% of its alone IPC contributes MIS = 0.4.
+    """
+    slowdowns = individual_slowdowns(ipc_together, ipc_alone)
+    return 1.0 - min(slowdowns)
+
+
+def unfairness(ipc_together: Sequence[float],
+               ipc_alone: Sequence[float]) -> float:
+    """max IS / min IS (1.0 = perfectly fair)."""
+    slowdowns = individual_slowdowns(ipc_together, ipc_alone)
+    low = min(slowdowns)
+    if low <= 0:
+        raise ValueError("cannot compute unfairness with a zero slowdown")
+    return max(slowdowns) / low

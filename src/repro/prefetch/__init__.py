@@ -1,0 +1,34 @@
+"""Hardware prefetchers.
+
+Baseline (paper Table 4): next-line at L1D, IP-stride at L2.  Figure 23
+additionally evaluates SPP+PPF, Bingo, IPCP, and Berti; the versions here
+are behavioural models that reproduce each design's coverage/accuracy
+profile rather than bit-exact reimplementations (see DESIGN.md).
+
+Prefetch requests carry the triggering load's PC and a prefetch bit —
+Section 3.3: replacement predictors distinguish demand from prefetch
+traffic by that bit, and the myopic-view problem applies to both.
+"""
+
+from repro.prefetch.base import Prefetcher, PrefetcherStats, NullPrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.ip_stride import IPStridePrefetcher
+from repro.prefetch.spp import SPPPrefetcher
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.ipcp import IPCPPrefetcher
+from repro.prefetch.berti import BertiPrefetcher
+from repro.prefetch.registry import PREFETCHER_REGISTRY, make_prefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetcherStats",
+    "NullPrefetcher",
+    "NextLinePrefetcher",
+    "IPStridePrefetcher",
+    "SPPPrefetcher",
+    "BingoPrefetcher",
+    "IPCPPrefetcher",
+    "BertiPrefetcher",
+    "PREFETCHER_REGISTRY",
+    "make_prefetcher",
+]

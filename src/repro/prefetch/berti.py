@@ -1,0 +1,100 @@
+"""Berti-like prefetcher (Navarro-Torres et al., MICRO'22).
+
+Berti selects, per PC, the *timely* local delta: the delta that most
+often predicts a future access far enough ahead to hide memory latency.
+The model tracks recent per-page access history with logical timestamps,
+scores candidate deltas by how often they hit the observed stream, and
+issues only deltas above a high coverage threshold — Berti's signature
+high-accuracy profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.prefetch.base import BLOCKS_PER_PAGE, Prefetcher
+
+
+class BertiPrefetcher(Prefetcher):
+    """Per-PC timely-delta selection."""
+
+    name = "berti"
+    PAGE_HISTORY = 16
+    DELTA_SCORE_THRESHOLD = 0.65
+    TABLE_SIZE = 256
+
+    def __init__(self, degree: int = 2):
+        super().__init__(degree=degree)
+        # page -> list of recent offsets (ordered)
+        self._page_hist: Dict[int, List[int]] = {}
+        # pc -> {delta: (hits, tries)}
+        self._delta_scores: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        # pc -> best delta cache
+        self._best_delta: Dict[int, int] = {}
+
+    MIN_TRIES = 4
+    MAX_DELTAS_PER_PC = 16
+
+    def _train_deltas(self, pc: int, history: List[int],
+                      offset: int) -> None:
+        scores = self._delta_scores.setdefault(pc, {})
+        if len(self._delta_scores) > self.TABLE_SIZE:
+            self._delta_scores.pop(next(iter(self._delta_scores)))
+        matched = {offset - prev for prev in history[-6:]
+                   if offset - prev != 0}
+        # Every training round is an opportunity for every known delta:
+        # coverage = hits / rounds, so noise decays and only deltas that
+        # keep predicting the stream stay above threshold.
+        for delta in list(scores):
+            hits, tries = scores[delta]
+            scores[delta] = (hits + (1 if delta in matched else 0),
+                             tries + 1)
+        for delta in matched:
+            if delta not in scores:
+                scores[delta] = (1, 1)
+        if len(scores) > self.MAX_DELTAS_PER_PC:
+            worst = min(scores, key=lambda d: scores[d][0] / scores[d][1])
+            del scores[worst]
+        # Refresh the best-delta cache.
+        best_delta, best_score = 0, 0.0
+        for delta, (hits, tries) in scores.items():
+            if tries < self.MIN_TRIES:
+                continue
+            score = hits / tries
+            if score > best_score or (score == best_score and
+                                      abs(delta) < abs(best_delta)):
+                best_delta, best_score = delta, score
+        if best_score >= self.DELTA_SCORE_THRESHOLD:
+            self._best_delta[pc] = best_delta
+        else:
+            self._best_delta.pop(pc, None)
+
+    def observe(self, pc: int, block: int, hit: bool) -> List[int]:
+        page = self.page_of(block)
+        offset = block % BLOCKS_PER_PAGE
+        history = self._page_hist.setdefault(page, [])
+        if len(self._page_hist) > 512:
+            self._page_hist.pop(next(iter(self._page_hist)))
+
+        if history:
+            self._train_deltas(pc, history, offset)
+        history.append(offset)
+        if len(history) > self.PAGE_HISTORY:
+            history.pop(0)
+
+        best = self._best_delta.get(pc)
+        if best is None:
+            return []
+        candidates = []
+        for i in range(1, self.degree + 1):
+            target_offset = offset + best * i
+            if not 0 <= target_offset < BLOCKS_PER_PAGE:
+                break
+            candidates.append(page * BLOCKS_PER_PAGE + target_offset)
+        return candidates
+
+    def reset(self) -> None:
+        super().reset()
+        self._page_hist.clear()
+        self._delta_scores.clear()
+        self._best_delta.clear()

@@ -1,0 +1,68 @@
+"""Bingo-like spatial prefetcher (Bakhshalipour et al., HPCA'19).
+
+Bingo records the footprint of blocks touched within a spatial region and
+replays the whole footprint when a matching trigger (PC+offset, falling
+back to PC+address) re-enters a region.  The model keeps the two-event
+association and footprint replay, giving Bingo's high-coverage,
+burst-issue profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.prefetch.base import BLOCKS_PER_PAGE, Prefetcher
+
+
+class BingoPrefetcher(Prefetcher):
+    """Footprint-replay spatial prefetching over 4 KB regions."""
+
+    name = "bingo"
+    HISTORY_SIZE = 1024
+    ACTIVE_REGIONS = 64
+
+    def __init__(self, degree: int = 8):
+        super().__init__(degree=degree)
+        # (pc, trigger offset) -> footprint offsets
+        self._history: Dict[tuple, Set[int]] = {}
+        # page -> (trigger key, offsets seen so far)
+        self._active: Dict[int, tuple] = {}
+
+    def _finalize_region(self, page: int) -> None:
+        key, offsets = self._active.pop(page)
+        if len(offsets) > 1:
+            if len(self._history) >= self.HISTORY_SIZE:
+                self._history.pop(next(iter(self._history)))
+            self._history[key] = set(offsets)
+
+    def observe(self, pc: int, block: int, hit: bool) -> List[int]:
+        page = self.page_of(block)
+        offset = block % BLOCKS_PER_PAGE
+
+        if page in self._active:
+            self._active[page][1].add(offset)
+            return []
+
+        # New region: retire the oldest active region's footprint.
+        if len(self._active) >= self.ACTIVE_REGIONS:
+            oldest = next(iter(self._active))
+            self._finalize_region(oldest)
+        key = (pc, offset)
+        self._active[page] = (key, {offset})
+
+        footprint = self._history.get(key)
+        if not footprint:
+            return []
+        candidates = []
+        for fp_offset in sorted(footprint):
+            if fp_offset == offset:
+                continue
+            candidates.append(page * BLOCKS_PER_PAGE + fp_offset)
+            if len(candidates) >= self.degree:
+                break
+        return candidates
+
+    def reset(self) -> None:
+        super().reset()
+        self._history.clear()
+        self._active.clear()

@@ -1,0 +1,65 @@
+"""IP-stride prefetcher — the paper's baseline L2 prefetcher.
+
+Classic per-PC stride detection: a table of (last block, stride,
+confidence); two consecutive identical strides arm the entry, after which
+``degree`` strided blocks are prefetched per trigger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prefetch.base import Prefetcher
+
+
+class _StrideEntry:
+    __slots__ = ("last_block", "stride", "confidence")
+
+    def __init__(self, block: int):
+        self.last_block = block
+        self.stride = 0
+        self.confidence = 0
+
+
+class IPStridePrefetcher(Prefetcher):
+    """Per-PC stride table with confidence arming."""
+
+    name = "ip_stride"
+    TABLE_SIZE = 256
+    CONFIDENCE_THRESHOLD = 2
+    CONFIDENCE_MAX = 3
+
+    def __init__(self, degree: int = 2):
+        super().__init__(degree=degree)
+        self._table: Dict[int, _StrideEntry] = {}
+
+    def observe(self, pc: int, block: int, hit: bool) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.TABLE_SIZE:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _StrideEntry(block)
+            return []
+
+        stride = block - entry.last_block
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, self.CONFIDENCE_MAX)
+        else:
+            entry.confidence = 0
+            entry.stride = stride
+        entry.last_block = block
+
+        if entry.confidence < self.CONFIDENCE_THRESHOLD:
+            return []
+        candidates = []
+        for i in range(1, self.degree + 1):
+            target = block + stride * i
+            if target > 0 and self.same_page(block, target):
+                candidates.append(target)
+        return candidates
+
+    def reset(self) -> None:
+        super().reset()
+        self._table.clear()

@@ -1,0 +1,91 @@
+"""IPCP-like prefetcher (Pakalapati & Panda, ISCA'20).
+
+Instruction Pointer Classifier-based Prefetching sorts IPs into classes —
+constant stride (CS), complex pattern (CPLX), global stream (GS) — and
+applies a class-specific prefetch strategy.  The model implements the
+classifier and the CS/GS strategies; CPLX falls back to a short delta
+history replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prefetch.base import Prefetcher
+
+
+class _IPEntry:
+    __slots__ = ("last_block", "stride", "cs_conf", "deltas", "stream_conf")
+
+    def __init__(self, block: int):
+        self.last_block = block
+        self.stride = 0
+        self.cs_conf = 0
+        self.deltas: List[int] = []
+        self.stream_conf = 0
+
+
+class IPCPPrefetcher(Prefetcher):
+    """IP classification with class-specific prefetch strategies."""
+
+    name = "ipcp"
+    TABLE_SIZE = 512
+    CS_THRESHOLD = 2
+
+    def __init__(self, degree: int = 3):
+        super().__init__(degree=degree)
+        self._table: Dict[int, _IPEntry] = {}
+
+    def observe(self, pc: int, block: int, hit: bool) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.TABLE_SIZE:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = _IPEntry(block)
+            return []
+
+        delta = block - entry.last_block
+        entry.last_block = block
+        if delta == 0:
+            return []
+
+        # Classifier updates.
+        if delta == entry.stride:
+            entry.cs_conf = min(entry.cs_conf + 1, 3)
+        else:
+            entry.cs_conf = max(entry.cs_conf - 1, 0)
+            if entry.cs_conf == 0:
+                entry.stride = delta
+        entry.deltas.append(delta)
+        if len(entry.deltas) > 4:
+            entry.deltas.pop(0)
+        if delta == 1:
+            entry.stream_conf = min(entry.stream_conf + 1, 3)
+        else:
+            entry.stream_conf = max(entry.stream_conf - 1, 0)
+
+        candidates: List[int] = []
+        if entry.cs_conf >= self.CS_THRESHOLD:
+            # Constant-stride class.
+            for i in range(1, self.degree + 1):
+                target = block + entry.stride * i
+                if target > 0 and self.same_page(block, target):
+                    candidates.append(target)
+        elif entry.stream_conf >= self.CS_THRESHOLD:
+            # Global-stream class: aggressive next-line runs.
+            for i in range(1, self.degree + 2):
+                target = block + i
+                if self.same_page(block, target):
+                    candidates.append(target)
+        elif len(entry.deltas) == 4:
+            # Complex class: replay the recent delta history once.
+            target = block
+            for d in entry.deltas[-2:]:
+                target += d
+                if target > 0 and self.same_page(block, target):
+                    candidates.append(target)
+        return candidates[:max(self.degree, 1)]
+
+    def reset(self) -> None:
+        super().reset()
+        self._table.clear()

@@ -1,0 +1,24 @@
+"""Next-line prefetcher — the paper's baseline L1D prefetcher."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetch.base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Fetch block+1 (within the page) on every demand access."""
+
+    name = "next_line"
+
+    def __init__(self, degree: int = 1):
+        super().__init__(degree=degree)
+
+    def observe(self, pc: int, block: int, hit: bool) -> List[int]:
+        candidates = []
+        for i in range(1, self.degree + 1):
+            nxt = block + i
+            if self.same_page(block, nxt):
+                candidates.append(nxt)
+        return candidates

@@ -1,0 +1,37 @@
+"""Prefetcher registry: name -> (L1 prefetcher, L2 prefetcher) pair.
+
+Figure 23's configurations swap the L1/L2 prefetcher pair as a unit, with
+the baseline being next-line at L1D plus IP-stride at L2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.prefetch.base import NullPrefetcher, Prefetcher
+from repro.prefetch.berti import BertiPrefetcher
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.ip_stride import IPStridePrefetcher
+from repro.prefetch.ipcp import IPCPPrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.spp import SPPPrefetcher
+
+PrefetcherPair = Tuple[Prefetcher, Prefetcher]
+
+PREFETCHER_REGISTRY: Dict[str, Callable[[], PrefetcherPair]] = {
+    "none": lambda: (NullPrefetcher(), NullPrefetcher()),
+    "baseline": lambda: (NextLinePrefetcher(), IPStridePrefetcher()),
+    "spp_ppf": lambda: (NextLinePrefetcher(), SPPPrefetcher()),
+    "bingo": lambda: (NextLinePrefetcher(), BingoPrefetcher()),
+    "ipcp": lambda: (IPCPPrefetcher(), IPStridePrefetcher()),
+    "berti": lambda: (NextLinePrefetcher(), BertiPrefetcher()),
+    "gaze": lambda: (NextLinePrefetcher(), SPPPrefetcher(degree=6)),
+}
+
+
+def make_prefetcher(name: str) -> PrefetcherPair:
+    """(L1, L2) prefetcher pair for a named configuration."""
+    if name not in PREFETCHER_REGISTRY:
+        raise ValueError(f"unknown prefetcher config {name!r}; "
+                         f"known: {sorted(PREFETCHER_REGISTRY)}")
+    return PREFETCHER_REGISTRY[name]()

@@ -1,0 +1,61 @@
+"""LLC replacement policies.
+
+Baselines (LRU, Random, SRRIP, BRRIP, DRRIP, DIP), the two state-of-the-art
+sampler+predictor policies the paper focuses on (Hawkeye, Mockingjay), and
+the three extra policies of Table 8 (SHiP++, Glider, CHROME).
+
+Policies are created per LLC slice through :func:`make_policy` /
+:class:`PolicySpec`; sampler+predictor policies additionally take a shared
+:class:`repro.core.predictor_fabric.PredictorFabric` so that Drishti's
+per-core-yet-global predictor can be swapped in without touching policy
+logic.
+"""
+
+from repro.replacement.base import AccessContext, ReplacementPolicy
+from repro.replacement.lru import LRUPolicy
+from repro.replacement.random_policy import RandomPolicy
+from repro.replacement.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.replacement.dip import DIPPolicy
+from repro.replacement.ship import SHiPPolicy
+from repro.replacement.hawkeye import HawkeyePolicy
+from repro.replacement.mockingjay import MockingjayPolicy
+from repro.replacement.glider import GliderPolicy
+from repro.replacement.chrome import ChromePolicy
+from repro.replacement.eva import EVAPolicy
+from repro.replacement.sdbp import SDBPPolicy
+from repro.replacement.leeway import LeewayPolicy
+from repro.replacement.perceptron import PerceptronPolicy
+from repro.replacement.registry import (
+    POLICY_REGISTRY,
+    PolicySpec,
+    make_policy,
+    policy_names,
+    policy_uses_predictor,
+    policy_uses_sampled_sets,
+)
+
+__all__ = [
+    "AccessContext",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "DIPPolicy",
+    "SHiPPolicy",
+    "HawkeyePolicy",
+    "MockingjayPolicy",
+    "GliderPolicy",
+    "ChromePolicy",
+    "EVAPolicy",
+    "SDBPPolicy",
+    "LeewayPolicy",
+    "PerceptronPolicy",
+    "POLICY_REGISTRY",
+    "PolicySpec",
+    "make_policy",
+    "policy_names",
+    "policy_uses_predictor",
+    "policy_uses_sampled_sets",
+]

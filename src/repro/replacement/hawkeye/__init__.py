@@ -1,0 +1,13 @@
+"""Hawkeye (Jain & Lin, ISCA'16): Belady-emulating replacement.
+
+Hawkeye reconstructs what Belady's OPT would have done on the observed
+access stream of a few sampled sets (OPTgen), trains a PC-indexed binary
+predictor (cache-friendly vs cache-averse) from those reconstructed
+decisions, and drives an RRIP-style eviction policy from the predictions.
+"""
+
+from repro.replacement.hawkeye.optgen import OptGen
+from repro.replacement.hawkeye.predictor import HawkeyePredictor
+from repro.replacement.hawkeye.hawkeye import HawkeyePolicy
+
+__all__ = ["OptGen", "HawkeyePredictor", "HawkeyePolicy"]

@@ -1,0 +1,85 @@
+"""OPTgen: reconstructing Belady's OPT decisions from past accesses.
+
+Belady's MIN caches a line iff, looking *forward*, it is reused before the
+cache would overflow.  OPTgen inverts this into a backward computation
+that works online: keep an occupancy vector over recent time quanta (one
+quantum per access to the sampled set); a reuse at time ``t`` of a block
+last touched at ``t0`` would have been an OPT hit iff every quantum in
+``[t0, t)`` still had spare capacity.  If so, the interval's occupancy is
+incremented (OPT would have kept the line) and the predictor learns the
+load's PC as cache-friendly; otherwise cache-averse.
+
+One OPTgen instance covers one sampled set; the vector length of
+8×associativity covers the usable reuse window (Hawkeye models a cache
+8× the LLC to decide reuse).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class OptGen:
+    """Occupancy-vector OPT emulator for one sampled set.
+
+    Args:
+        capacity: ways of the modelled set (OPT's space constraint).
+        history: vector length in quanta (default 8× capacity).
+    """
+
+    def __init__(self, capacity: int, history: Optional[int] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.history = history if history is not None else 8 * capacity
+        if self.history < 1:
+            raise ValueError(f"history must be >= 1, got {self.history}")
+        self._occupancy = [0] * self.history
+        self.time = 0
+        self.opt_hits = 0
+        self.opt_misses = 0
+
+    def access(self, last_time: Optional[int]) -> Optional[bool]:
+        """Process an access at the current quantum.
+
+        Args:
+            last_time: quantum of this block's previous access, or None if
+                the block is not in the tracked history (first touch).
+
+        Returns:
+            True if OPT would have hit this reuse, False if it would have
+            missed, None if there was no previous access to judge.
+        """
+        t = self.time
+        verdict: Optional[bool] = None
+        if last_time is not None and 0 <= t - last_time < self.history:
+            interval = range(last_time, t)
+            fits = all(self._occupancy[i % self.history] < self.capacity
+                       for i in interval)
+            if fits:
+                for i in interval:
+                    self._occupancy[i % self.history] += 1
+                self.opt_hits += 1
+                verdict = True
+            else:
+                self.opt_misses += 1
+                verdict = False
+        # Advance the clock; the slot we rotate into leaves the window.
+        self.time = t + 1
+        self._occupancy[self.time % self.history] = 0
+        return verdict
+
+    @property
+    def opt_hit_rate(self) -> float:
+        judged = self.opt_hits + self.opt_misses
+        return self.opt_hits / judged if judged else 0.0
+
+    def occupancy_at(self, quantum: int) -> int:
+        """Occupancy recorded for *quantum* (within the window)."""
+        if not 0 <= self.time - quantum < self.history:
+            raise ValueError(f"quantum {quantum} outside history window")
+        return self._occupancy[quantum % self.history]
+
+    def __repr__(self) -> str:
+        return (f"OptGen(capacity={self.capacity}, history={self.history}, "
+                f"t={self.time}, hit_rate={self.opt_hit_rate:.2f})")

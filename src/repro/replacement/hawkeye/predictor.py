@@ -1,0 +1,69 @@
+"""Hawkeye's PC-indexed binary reuse predictor.
+
+A table of 3-bit saturating counters (8K entries × 3 b = 3 KB, Table 3)
+indexed by hash(PC, core, prefetch-bit).  Counters above the midpoint
+predict *cache-friendly*; OPTgen hits increment, OPTgen misses and
+evictions of friendly lines decrement.
+"""
+
+from __future__ import annotations
+
+
+class HawkeyePredictor:
+    """3-bit counter table with friendly/averse classification.
+
+    Counters start at the midpoint (weakly friendly): Hawkeye treats
+    unseen PCs optimistically so cold code does not get thrashed out.
+    """
+
+    def __init__(self, table_bits: int = 13, counter_bits: int = 3):
+        if table_bits < 1 or counter_bits < 1:
+            raise ValueError("table_bits and counter_bits must be >= 1")
+        self.table_bits = table_bits
+        self.counter_bits = counter_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self._counters = [self.threshold] * (1 << table_bits)
+        self.trains_friendly = 0
+        self.trains_averse = 0
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def _check(self, signature: int) -> None:
+        if not 0 <= signature < len(self._counters):
+            raise ValueError(
+                f"signature {signature} out of range for "
+                f"{self.table_bits}-bit table")
+
+    def predict(self, signature: int) -> bool:
+        """True = cache-friendly."""
+        self._check(signature)
+        return self._counters[signature] >= self.threshold
+
+    def confidence(self, signature: int) -> int:
+        """Raw counter value (used by the Figure 4 histograms)."""
+        self._check(signature)
+        return self._counters[signature]
+
+    def train_friendly(self, signature: int) -> None:
+        self._check(signature)
+        if self._counters[signature] < self.counter_max:
+            self._counters[signature] += 1
+        self.trains_friendly += 1
+
+    def train_averse(self, signature: int) -> None:
+        self._check(signature)
+        if self._counters[signature] > 0:
+            self._counters[signature] -= 1
+        self.trains_averse += 1
+
+    def reset(self) -> None:
+        for i in range(len(self._counters)):
+            self._counters[i] = self.threshold
+        self.trains_friendly = 0
+        self.trains_averse = 0
+
+    def __repr__(self) -> str:
+        return (f"HawkeyePredictor({len(self._counters)} entries, "
+                f"{self.counter_bits}-bit)")

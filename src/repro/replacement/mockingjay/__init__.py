@@ -1,0 +1,20 @@
+"""Mockingjay (Shah, Jain & Lin, HPCA'22): multi-class Belady mimicry.
+
+Where Hawkeye classifies lines as friendly/averse, Mockingjay predicts
+each line's reuse *distance* (Estimated Time of Arrival) and keeps, per
+line, an Estimated Time Remaining (ETR) counter that counts down as the
+set is accessed; eviction picks the line with the largest |ETR| (reused
+farthest in the future — or overdue), which preserves OPT's relative
+ordering.
+"""
+
+from repro.replacement.mockingjay.predictor import (
+    ETRPredictor,
+    INF_SCALED,
+    MAX_SCALED,
+    scaled_granularity,
+)
+from repro.replacement.mockingjay.mockingjay import MockingjayPolicy
+
+__all__ = ["ETRPredictor", "MockingjayPolicy", "INF_SCALED", "MAX_SCALED",
+           "scaled_granularity"]

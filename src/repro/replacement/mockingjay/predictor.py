@@ -1,0 +1,116 @@
+"""Mockingjay's reuse-distance (ETA) predictor.
+
+A table indexed by hash(PC, core, prefetch-bit) whose entries hold a
+*scaled* reuse distance — distances are quantised by the clock granularity
+(8 sampled-set accesses per tick) so a 5-bit signed per-line ETR counter
+covers the useful range (Table 3's 20.75 KB of ETR state).
+
+Training:
+
+* a sampled-cache reuse trains with the observed scaled distance, blended
+  with the previous estimate (temporal-difference style smoothing);
+* a sampled-cache eviction without reuse trains INFINITE — the PC's loads
+  die before coming back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Scaled-distance ceiling for finite reuse; one below the INF marker.
+MAX_SCALED = 14
+#: The INFINITE reuse marker (predicted dead on arrival).
+INF_SCALED = 15
+
+
+def scaled_granularity(num_sets: int, reference_sets: int = 2048,
+                       reference_granularity: int = 8) -> int:
+    """Clock granularity adjusted for slice size.
+
+    The paper's granularity of 8 assumes 2048-set slices: per-set reuse
+    distances there are ~8x larger than on a shrunken ScaleProfile
+    slice, so scaled simulations shrink the granularity to keep the
+    4-bit scaled-distance range meaningful.  Floor of 4: a faster decay
+    clock makes ETR ranking noise-dominated (measured across the
+    calibration workloads — see EXPERIMENTS.md).
+    """
+    return max(4, (reference_granularity * num_sets) // reference_sets)
+
+
+class ETRPredictor:
+    """Scaled reuse-distance table.
+
+    Args:
+        table_bits: log2 of the table size (paper: 2048 entries).
+        granularity: sampled-set accesses per clock tick (paper: 8).
+    """
+
+    def __init__(self, table_bits: int = 11, granularity: int = 8):
+        if table_bits < 1:
+            raise ValueError(f"table_bits must be >= 1, got {table_bits}")
+        if granularity < 1:
+            raise ValueError(f"granularity must be >= 1, got {granularity}")
+        self.table_bits = table_bits
+        self.granularity = granularity
+        size = 1 << table_bits
+        self._values = [0] * size
+        self._valid = [False] * size
+        self.trains = 0
+        self.trains_inf = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _check(self, signature: int) -> None:
+        if not 0 <= signature < len(self._values):
+            raise ValueError(
+                f"signature {signature} out of range for "
+                f"{self.table_bits}-bit table")
+
+    def scale(self, raw_distance: int) -> int:
+        """Quantise a raw sampled-set reuse distance to clock ticks."""
+        return min(MAX_SCALED, max(0, raw_distance // self.granularity))
+
+    def predict(self, signature: int) -> Optional[int]:
+        """Scaled predicted reuse distance, or None for a cold entry."""
+        self._check(signature)
+        if not self._valid[signature]:
+            return None
+        return self._values[signature]
+
+    def train(self, signature: int, scaled_distance: int) -> None:
+        """Blend an observed (scaled) reuse distance into the estimate."""
+        self._check(signature)
+        scaled_distance = min(MAX_SCALED, max(0, scaled_distance))
+        if not self._valid[signature]:
+            self._values[signature] = scaled_distance
+            self._valid[signature] = True
+        else:
+            old = self._values[signature]
+            blended = (old + scaled_distance + 1) // 2
+            if blended == old and scaled_distance != old:
+                blended += 1 if scaled_distance > old else -1
+            self._values[signature] = min(INF_SCALED, max(0, blended))
+        self.trains += 1
+
+    def train_inf(self, signature: int) -> None:
+        """The PC's lines are not being reused: predict dead on arrival."""
+        self._check(signature)
+        if not self._valid[signature]:
+            self._values[signature] = INF_SCALED
+            self._valid[signature] = True
+        else:
+            old = self._values[signature]
+            self._values[signature] = min(INF_SCALED, (old + INF_SCALED + 1) // 2)
+        self.trains_inf += 1
+
+    def reset(self) -> None:
+        for i in range(len(self._values)):
+            self._values[i] = 0
+            self._valid[i] = False
+        self.trains = 0
+        self.trains_inf = 0
+
+    def __repr__(self) -> str:
+        return (f"ETRPredictor({len(self._values)} entries, "
+                f"granularity={self.granularity})")

@@ -1,0 +1,37 @@
+"""The trace-driven multi-core simulator.
+
+:mod:`repro.sim.config` holds the system description (paper Table 4 plus
+scale knobs), :mod:`repro.sim.simulator` the interleaved run loop,
+:mod:`repro.sim.runner` the alone/together methodology that produces
+weighted-speedup numbers, and :mod:`repro.sim.energy` the uncore energy
+model for Figure 15.
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    DrishtiConfig,
+    NOCConfig,
+    ScaleProfile,
+    SystemConfig,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.runner import MixResult, run_mix
+from repro.sim.energy import EnergyModel, UncoreEnergy
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DRAMConfig",
+    "DrishtiConfig",
+    "NOCConfig",
+    "ScaleProfile",
+    "SystemConfig",
+    "Simulator",
+    "SimulationResult",
+    "MixResult",
+    "run_mix",
+    "EnergyModel",
+    "UncoreEnergy",
+]

@@ -1,0 +1,81 @@
+"""Uncore (LLC + NoC + DRAM) energy model for Figure 15.
+
+The paper derives energies from CACTI-P (caches, 7 nm), McPAT (NoC) and
+the Micron power calculator (DRAM); here the same roles are played by
+per-event constants of representative magnitude.  Figure 15 is a
+*relative* comparison (normalised to LRU on the same system), so only the
+ratios between event energies matter — a policy that trades DRAM reads
+for LLC writebacks must see DRAM events dominate, which these constants
+preserve.
+
+NOCSTAR's dynamic energy uses the paper's own 50 pJ/message figure, and
+its (negligible) static power is included for D-configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.simulator import SimulationResult
+
+# Per-event dynamic energies (nanojoules).
+LLC_ACCESS_NJ = 0.6  # one slice lookup/fill (2 MB slice, CACTI-P class)
+NOC_MESSAGE_NJ = 0.15  # per mesh message (flit count folded in)
+DRAM_READ_NJ = 15.0  # 64 B read at DDR5 energy/bit
+DRAM_WRITE_NJ = 15.0
+NOCSTAR_MESSAGE_NJ = 0.05  # the paper's 50 pJ per communication
+
+# Static power (milliwatts).
+LLC_SLICE_STATIC_MW = 60.0  # the paper's 2 MB slice figure
+NOCSTAR_STATIC_MW = 2.4  # switch + arbiter per node (paper Section 4.1.4)
+
+
+@dataclass
+class UncoreEnergy:
+    """Energy breakdown in microjoules."""
+
+    llc_uj: float
+    noc_uj: float
+    dram_uj: float
+    nocstar_uj: float
+    static_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        return (self.llc_uj + self.noc_uj + self.dram_uj +
+                self.nocstar_uj + self.static_uj)
+
+    def normalized_to(self, baseline: "UncoreEnergy") -> float:
+        """This config's uncore energy relative to *baseline* (Figure 15)."""
+        if baseline.total_uj <= 0:
+            raise ValueError("baseline energy must be positive")
+        return self.total_uj / baseline.total_uj
+
+
+class EnergyModel:
+    """Turns a :class:`SimulationResult` into an uncore energy estimate."""
+
+    def __init__(self, frequency_ghz: float = 4.0):
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        self.frequency_ghz = frequency_ghz
+
+    def evaluate(self, result: SimulationResult) -> UncoreEnergy:
+        llc_events = result.llc_stats.accesses + result.llc_stats.fills
+        llc_uj = llc_events * LLC_ACCESS_NJ / 1000.0
+        noc_uj = result.noc_messages * NOC_MESSAGE_NJ / 1000.0
+        dram_uj = (result.dram_reads * DRAM_READ_NJ +
+                   result.dram_writes * DRAM_WRITE_NJ) / 1000.0
+        nocstar_uj = result.nocstar_energy_pj / 1e6
+
+        # Static energy over the measured execution time.
+        seconds = (max(result.cycles) if result.cycles else 0.0) / \
+            (self.frequency_ghz * 1e9)
+        num_slices = result.config.num_cores
+        static_mw = LLC_SLICE_STATIC_MW * num_slices
+        if result.nocstar_messages or result.config.drishti.use_nocstar:
+            static_mw += NOCSTAR_STATIC_MW * num_slices
+        static_uj = static_mw * seconds * 1000.0
+
+        return UncoreEnergy(llc_uj=llc_uj, noc_uj=noc_uj, dram_uj=dram_uj,
+                            nocstar_uj=nocstar_uj, static_uj=static_uj)

@@ -1,0 +1,103 @@
+"""Structured result export.
+
+``SimulationResult`` and ``MixResult`` convert to plain dictionaries /
+JSON so experiment outputs can be archived, diffed across calibration
+runs, and consumed by external tooling without parsing ASCII tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.sim.runner import MixResult
+from repro.sim.simulator import SimulationResult
+
+PathLike = Union[str, pathlib.Path]
+
+
+def simulation_to_dict(result: SimulationResult) -> dict:
+    """Flatten a :class:`SimulationResult` into JSON-safe primitives."""
+    config = result.config
+    return {
+        "config": {
+            "num_cores": config.num_cores,
+            "llc_policy": config.llc_policy,
+            "drishti": {
+                "predictor_scope": config.drishti.predictor_scope,
+                "use_nocstar": config.drishti.use_nocstar,
+                "dynamic_sampled_cache":
+                    config.drishti.dynamic_sampled_cache,
+            },
+            "llc_sets_per_slice": config.llc_sets_per_slice,
+            "llc_ways": config.llc_ways,
+            "prefetcher": config.prefetcher,
+            "seed": config.seed,
+        },
+        "traces": list(result.trace_names),
+        "instructions": list(result.instructions),
+        "cycles": list(result.cycles),
+        "ipc": list(result.ipc),
+        "mpki": result.mpki(),
+        "mpki_per_core": [result.mpki(i)
+                          for i in range(len(result.instructions))],
+        "wpki": result.wpki,
+        "llc": {
+            "accesses": result.llc_stats.accesses,
+            "hits": result.llc_stats.hits,
+            "misses": result.llc_stats.misses,
+            "demand_misses": result.llc_stats.demand_misses,
+            "fills": result.llc_stats.fills,
+            "bypasses": result.llc_stats.bypasses,
+            "writebacks_out": result.llc_stats.writebacks_out,
+        },
+        "dram": {
+            "reads": result.dram_reads,
+            "writes": result.dram_writes,
+            "row_hit_rate": result.dram_row_hit_rate,
+        },
+        "noc": {
+            "messages": result.noc_messages,
+            "avg_latency": result.noc_avg_latency,
+        },
+        "fabric": {
+            "lookups": result.fabric_lookups,
+            "trains": result.fabric_trains,
+            "apki": result.fabric_apki,
+            "avg_lookup_latency": result.fabric_lookup_latency_avg,
+        },
+        "nocstar": {
+            "messages": result.nocstar_messages,
+            "energy_pj": result.nocstar_energy_pj,
+        },
+    }
+
+
+def mix_to_dict(mix: MixResult) -> dict:
+    """Flatten a :class:`MixResult` (speedup metrics + run payload)."""
+    return {
+        "traces": list(mix.trace_names),
+        "ipc_together": list(mix.ipc_together),
+        "ipc_alone": list(mix.ipc_alone),
+        "slowdowns": list(mix.slowdowns),
+        "ws": mix.ws,
+        "hs": mix.hs,
+        "mis": mix.mis,
+        "unfairness": mix.unfairness,
+        "mpki": mix.mpki,
+        "wpki": mix.wpki,
+        "run": simulation_to_dict(mix.result),
+    }
+
+
+def save_json(payload: dict, path: PathLike) -> None:
+    """Pretty-print *payload* to *path*."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: PathLike) -> dict:
+    with open(path) as fh:
+        return json.load(fh)

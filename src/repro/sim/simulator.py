@@ -1,0 +1,229 @@
+"""The multi-core trace-driven simulation loop.
+
+Cores interleave in cycle order: each step advances the core whose local
+clock is furthest behind, so shared-resource contention (LLC slices, DRAM
+channels, mesh links) is experienced in a realistic global order without
+a cycle-accurate event wheel.
+
+Warmup: each core's leading ``warmup_accesses`` train caches and
+predictors without counting; when the last core crosses its warmup
+boundary all hierarchy statistics reset and per-core IPC measurement
+windows open.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.cache import CacheStats
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cpu.core_model import CoreTiming
+from repro.sim.config import SystemConfig
+from repro.traces.trace import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produces."""
+
+    config: SystemConfig
+    trace_names: List[str]
+    instructions: List[int]  # measured window, per core
+    cycles: List[float]  # measured window, per core
+    llc_stats: CacheStats
+    llc_demand_accesses: List[int]  # per core, measured window
+    llc_demand_misses: List[int]
+    l2_misses: List[int]
+    l1_misses: List[int]
+    dram_reads: int
+    dram_writes: int
+    dram_row_hit_rate: float
+    noc_messages: int
+    noc_avg_latency: float
+    fabric_lookups: int = 0
+    fabric_trains: int = 0
+    fabric_lookup_latency_avg: float = 0.0
+    fabric_per_instance: List[int] = field(default_factory=list)
+    nocstar_messages: int = 0
+    nocstar_energy_pj: float = 0.0
+    per_set_mpka: Optional[np.ndarray] = None
+
+    @property
+    def ipc(self) -> List[float]:
+        return [inst / cyc if cyc > 0 else 0.0
+                for inst, cyc in zip(self.instructions, self.cycles)]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instructions)
+
+    def mpki(self, core_id: Optional[int] = None) -> float:
+        """LLC demand misses per kilo-instruction (per core or overall)."""
+        if core_id is not None:
+            instr = self.instructions[core_id]
+            misses = self.llc_demand_misses[core_id]
+        else:
+            instr = self.total_instructions
+            misses = sum(self.llc_demand_misses)
+        return 1000.0 * misses / instr if instr else 0.0
+
+    @property
+    def wpki(self) -> float:
+        """LLC writebacks (to DRAM) per kilo-instruction, Table 5's metric."""
+        instr = self.total_instructions
+        return (1000.0 * self.llc_stats.writebacks_out / instr
+                if instr else 0.0)
+
+    @property
+    def fabric_apki(self) -> float:
+        """Predictor accesses per kilo-instruction (Figure 10's metric)."""
+        instr = self.total_instructions
+        total = self.fabric_lookups + self.fabric_trains
+        return 1000.0 * total / instr if instr else 0.0
+
+
+class Simulator:
+    """Runs a set of per-core traces on a configured system.
+
+    Args:
+        config: system description.
+        traces: one trace per core (shorter lists leave trailing cores
+            idle).
+        warmup_accesses: per-core accesses excluded from statistics
+            (defaults to 20% of the shortest trace).
+    """
+
+    def __init__(self, config: SystemConfig, traces: Sequence[Trace],
+                 warmup_accesses: Optional[int] = None):
+        if len(traces) > config.num_cores:
+            raise ValueError(
+                f"{len(traces)} traces for {config.num_cores} cores")
+        self.config = config
+        self.traces = list(traces)
+        if warmup_accesses is None:
+            shortest = min((len(t) for t in self.traces), default=0)
+            warmup_accesses = shortest // 5
+        self.warmup_accesses = warmup_accesses
+        self.hierarchy = MemoryHierarchy(config)
+        self.cores = [
+            CoreTiming(issue_width=config.core.issue_width,
+                       rob_size=config.core.rob_size,
+                       max_outstanding=config.core.max_outstanding)
+            for _ in range(config.num_cores)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute all traces to completion; returns measured statistics."""
+        num_active = len(self.traces)
+        positions = [0] * num_active
+        processed = [0] * num_active
+        warm = [self.warmup_accesses == 0] * num_active
+        snapshots: Dict[int, tuple] = {}
+        stats_reset_done = self.warmup_accesses == 0
+        warm_snapshot_core: Dict[int, tuple] = {}
+
+        if stats_reset_done:
+            for i in range(num_active):
+                snapshots[i] = (0, 0.0)
+
+        heap = [(0.0, i) for i in range(num_active)]
+        heapq.heapify(heap)
+
+        while heap:
+            _cycle, core_id = heapq.heappop(heap)
+            trace = self.traces[core_id]
+            pos = positions[core_id]
+            if pos >= len(trace):
+                self.cores[core_id].finish()
+                continue
+            access = trace[pos]
+            positions[core_id] = pos + 1
+            core = self.cores[core_id]
+
+            core.advance(access.instr_gap)
+            latency = self.hierarchy.demand_access(core_id, access,
+                                                   int(core.cycle))
+            # L1 hits retire through the ROB like ordinary instructions;
+            # only accesses that left the L1 hold an MSHR.
+            is_miss = latency > self.config.l1.latency + 1
+            core.issue_memory(latency, dependent=access.dependent,
+                              is_miss=is_miss)
+
+            processed[core_id] += 1
+            if not warm[core_id] and \
+                    processed[core_id] >= self.warmup_accesses:
+                warm[core_id] = True
+                warm_snapshot_core[core_id] = core.snapshot()
+                if all(warm) and not stats_reset_done:
+                    self.hierarchy.reset_stats()
+                    stats_reset_done = True
+                    # Open every measurement window at the reset point.
+                    for i in range(num_active):
+                        snapshots[i] = self.cores[i].snapshot()
+
+            if positions[core_id] < len(trace):
+                heapq.heappush(heap, (core.cycle, core_id))
+            else:
+                core.finish()
+
+        if not stats_reset_done:
+            # Traces shorter than warmup: measure everything.
+            for i in range(num_active):
+                snapshots.setdefault(i, (0, 0.0))
+
+        return self._collect(snapshots, num_active)
+
+    # ------------------------------------------------------------------
+    def _collect(self, snapshots: Dict[int, tuple],
+                 num_active: int) -> SimulationResult:
+        instructions = []
+        cycles = []
+        for i in range(num_active):
+            snap_instr, snap_cycle = snapshots.get(i, (0, 0.0))
+            core = self.cores[i]
+            instructions.append(core.instructions - snap_instr)
+            cycles.append(core.cycle - snap_cycle)
+
+        hierarchy = self.hierarchy
+        llc_stats = hierarchy.llc.aggregate_stats()
+        core_stats = hierarchy.core_stats[:num_active]
+        fabric = hierarchy.llc.fabric
+        nocstar = hierarchy.llc.nocstar
+
+        per_set = None
+        if self.config.track_set_stats:
+            per_set = hierarchy.llc.per_set_mpka()
+
+        result = SimulationResult(
+            config=self.config,
+            trace_names=[t.name for t in self.traces],
+            instructions=instructions,
+            cycles=cycles,
+            llc_stats=llc_stats,
+            llc_demand_accesses=[cs.llc_accesses for cs in core_stats],
+            llc_demand_misses=[cs.llc_misses for cs in core_stats],
+            l2_misses=[cs.l2_misses for cs in core_stats],
+            l1_misses=[cs.l1_misses for cs in core_stats],
+            dram_reads=hierarchy.dram.stats.reads,
+            dram_writes=hierarchy.dram.stats.writes,
+            dram_row_hit_rate=hierarchy.dram.stats.row_hit_rate,
+            noc_messages=hierarchy.mesh.stats.messages,
+            noc_avg_latency=hierarchy.mesh.stats.average_latency,
+            per_set_mpka=per_set,
+        )
+        if fabric is not None:
+            result.fabric_lookups = fabric.stats.lookups
+            result.fabric_trains = fabric.stats.trains
+            result.fabric_lookup_latency_avg = \
+                fabric.stats.average_lookup_latency
+            result.fabric_per_instance = \
+                list(fabric.stats.per_instance_accesses)
+        if nocstar is not None:
+            result.nocstar_messages = nocstar.stats.total_messages
+            result.nocstar_energy_pj = nocstar.stats.dynamic_energy_pj
+        return result

@@ -1,0 +1,46 @@
+"""Workload traces: records, synthetic generators, and benchmark models.
+
+The paper drives ChampSim with SPEC CPU2017 / GAP simpoint traces.  Those
+traces are unavailable here, so this package builds parametric workload
+models that reproduce the properties the paper's mechanisms key on:
+
+* PC-to-slice scatter fraction (Figure 2),
+* per-set miss skew (Figure 5),
+* reuse-distance mixtures (cache-friendly vs cache-averse PCs),
+* streaming vs pointer-chasing access structure.
+
+``repro.traces.gap`` goes further and emits address streams from *actual*
+graph algorithm executions (PageRank, BFS, ...) over synthetic CSR graphs.
+"""
+
+from repro.traces.trace import MemoryAccess, Trace, TraceStats
+from repro.traces.synthetic import SyntheticWorkload, WorkloadSpec, PCBehavior
+from repro.traces.spec import SPEC_WORKLOADS, make_spec_trace, spec_workload_names
+from repro.traces.gap import GAP_WORKLOADS, make_gap_trace, gap_workload_names
+from repro.traces.datacenter import (
+    DATACENTER_WORKLOADS,
+    datacenter_workload_names,
+    make_datacenter_trace,
+)
+from repro.traces.mixes import MixSpec, make_mix, standard_mixes
+
+__all__ = [
+    "MemoryAccess",
+    "Trace",
+    "TraceStats",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "PCBehavior",
+    "SPEC_WORKLOADS",
+    "make_spec_trace",
+    "spec_workload_names",
+    "GAP_WORKLOADS",
+    "make_gap_trace",
+    "gap_workload_names",
+    "DATACENTER_WORKLOADS",
+    "make_datacenter_trace",
+    "datacenter_workload_names",
+    "MixSpec",
+    "make_mix",
+    "standard_mixes",
+]

@@ -1,0 +1,138 @@
+"""Trace tooling CLI.
+
+Usage::
+
+    python -m repro.traces list
+    python -m repro.traces generate mcf --out mcf.npz --accesses 20000
+    python -m repro.traces info mcf.npz
+    python -m repro.traces graph pagerank --vertices 50000 --out pr.npz
+
+``generate`` materialises a workload model against a chosen geometry;
+``graph`` runs the real CSR engine; ``info`` prints a saved trace's
+statistics, including its PC-to-slice scatter fraction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.myopia import scatter_fraction
+from repro.cache.slice_hash import SliceHash
+from repro.traces.datacenter import DATACENTER_WORKLOADS
+from repro.traces.gap import (
+    GAP_WORKLOADS,
+    CSRGraph,
+    GraphTraceGenerator,
+)
+from repro.traces.io import load_trace, save_trace, trace_checksum
+from repro.traces.mixes import resolve_workload
+from repro.traces.spec import SPEC_WORKLOADS
+from repro.traces.synthetic import build_trace
+
+GRAPH_ALGORITHMS = ("pagerank", "bfs", "cc", "sssp")
+
+
+def cmd_list(_args) -> int:
+    """List all workload models and graph algorithms."""
+    for suite, pool in (("SPEC", SPEC_WORKLOADS),
+                        ("GAP", GAP_WORKLOADS),
+                        ("datacenter", DATACENTER_WORKLOADS)):
+        print(f"{suite}:")
+        for name in sorted(pool):
+            spec = pool[name]
+            print(f"  {name:16s} apki={spec.apki:5.1f} "
+                  f"affinity={spec.slice_affinity:.2f} "
+                  f"skew_band={spec.set_skew_band:.2f}")
+    print(f"graph algorithms: {', '.join(GRAPH_ALGORITHMS)}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """Materialise a workload model and save it as .npz."""
+    spec = resolve_workload(args.workload)
+    trace = build_trace(spec,
+                        capacity_blocks=args.capacity_blocks,
+                        num_slices=args.slices,
+                        num_sets=args.sets,
+                        num_accesses=args.accesses,
+                        seed=args.seed)
+    save_trace(trace, args.out)
+    print(f"wrote {args.out}: {len(trace)} accesses, "
+          f"checksum {trace_checksum(trace):#018x}")
+    return 0
+
+
+def cmd_graph(args) -> int:
+    """Run the CSR graph engine and save the emitted trace."""
+    graph = CSRGraph(num_vertices=args.vertices, avg_degree=args.degree,
+                     power_law=not args.uniform, seed=args.seed)
+    gen = GraphTraceGenerator(graph, seed=args.seed)
+    runner = {
+        "pagerank": gen.pagerank,
+        "bfs": gen.bfs,
+        "cc": gen.connected_components,
+        "sssp": gen.sssp,
+    }[args.algorithm]
+    trace = runner(max_accesses=args.accesses)
+    save_trace(trace, args.out)
+    print(f"wrote {args.out}: {len(trace)} accesses from "
+          f"{args.algorithm} over {graph.num_vertices} vertices / "
+          f"{graph.num_edges} edges")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Print a saved trace's statistics and scatter fraction."""
+    trace = load_trace(args.path)
+    stats = trace.stats
+    print(f"trace {trace.name}: {stats.num_accesses} accesses, "
+          f"{stats.num_instructions} instructions")
+    print(f"  APKI {stats.accesses_per_kilo_instr:.1f}, "
+          f"writes {stats.write_fraction:.1%}")
+    print(f"  {stats.unique_pcs} PCs, {stats.unique_blocks} blocks "
+          f"({stats.footprint_bytes / 1024:.0f} KB footprint)")
+    sh = SliceHash(args.slices)
+    print(f"  one-slice PC fraction @ {args.slices} slices: "
+          f"{scatter_fraction(trace, sh):.2f}")
+    print(f"  checksum {trace_checksum(trace):#018x}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="python -m repro.traces")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workload models")
+
+    gen = sub.add_parser("generate", help="generate a model trace")
+    gen.add_argument("workload")
+    gen.add_argument("--out", required=True)
+    gen.add_argument("--accesses", type=int, default=20_000)
+    gen.add_argument("--capacity-blocks", type=int, default=2048)
+    gen.add_argument("--slices", type=int, default=4)
+    gen.add_argument("--sets", type=int, default=128)
+    gen.add_argument("--seed", type=int, default=0)
+
+    graph = sub.add_parser("graph", help="run the CSR graph engine")
+    graph.add_argument("algorithm", choices=GRAPH_ALGORITHMS)
+    graph.add_argument("--out", required=True)
+    graph.add_argument("--vertices", type=int, default=50_000)
+    graph.add_argument("--degree", type=int, default=8)
+    graph.add_argument("--uniform", action="store_true",
+                       help="uniform (Urand-like) instead of power-law")
+    graph.add_argument("--accesses", type=int, default=20_000)
+    graph.add_argument("--seed", type=int, default=0)
+
+    info = sub.add_parser("info", help="inspect a saved trace")
+    info.add_argument("path")
+    info.add_argument("--slices", type=int, default=16)
+
+    args = parser.parse_args(argv)
+    return {"list": cmd_list, "generate": cmd_generate,
+            "graph": cmd_graph, "info": cmd_info}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Workload-mix construction (paper Section 5.1).
+
+The paper simulates 70 mixes — 35 homogeneous (every core runs a
+different simpoint of one benchmark) and 35 heterogeneous (random draws
+from the SPEC+GAP pool).  Here a homogeneous mix gives every core the
+same workload model with a different generation seed (the simpoint
+analogue), and heterogeneous mixes are seeded random draws.
+
+Figure 19's datacenter study uses :func:`datacenter_mixes` over the
+CVP1/Google/CloudSuite/XSBench pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.signature import stable_hash
+from repro.sim.config import SystemConfig
+from repro.traces.datacenter import DATACENTER_WORKLOADS
+from repro.traces.gap import GAP_WORKLOADS
+from repro.traces.spec import SPEC_WORKLOADS
+from repro.traces.synthetic import WorkloadSpec, build_trace
+from repro.traces.trace import Trace
+
+HOMOGENEOUS = "homogeneous"
+HETEROGENEOUS = "heterogeneous"
+
+
+def resolve_workload(name: str) -> WorkloadSpec:
+    """Find a workload model by name across all suites."""
+    for pool in (SPEC_WORKLOADS, GAP_WORKLOADS, DATACENTER_WORKLOADS):
+        if name in pool:
+            return pool[name]
+    known = (sorted(SPEC_WORKLOADS) + sorted(GAP_WORKLOADS) +
+             sorted(DATACENTER_WORKLOADS))
+    raise ValueError(f"unknown workload {name!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """A named assignment of workloads to cores."""
+
+    name: str
+    workloads: Tuple[str, ...]
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in (HOMOGENEOUS, HETEROGENEOUS):
+            raise ValueError(f"unknown mix kind {self.kind!r}")
+        if not self.workloads:
+            raise ValueError("a mix needs at least one workload")
+        for name in self.workloads:
+            resolve_workload(name)  # validate eagerly
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.workloads)
+
+
+def make_mix(mix: MixSpec, config: SystemConfig, accesses_per_core: int,
+             seed: int = 0) -> List[Trace]:
+    """Generate one trace per core for *mix* on *config*'s geometry.
+
+    Homogeneous mixes give each core a different seed (the "different
+    simpoints of the same benchmark" of Section 5.1).
+    """
+    if mix.num_cores != config.num_cores:
+        raise ValueError(f"mix has {mix.num_cores} workloads but config "
+                         f"has {config.num_cores} cores")
+    traces = []
+    for core, name in enumerate(mix.workloads):
+        spec = resolve_workload(name)
+        trace = build_trace(
+            spec,
+            capacity_blocks=config.llc_lines_per_core,
+            num_slices=config.num_cores,
+            num_sets=config.llc_sets_per_slice,
+            num_accesses=accesses_per_core,
+            seed=seed * 10_007 + core * 131 + (stable_hash(name) & 0xFFFF),
+            hash_scheme=config.hash_scheme)
+        # Name encodes seed and core so alone-IPC caches never collide
+        # across mixes or placements.
+        trace.name = f"{name}#s{seed}#c{core}"
+        traces.append(trace)
+    return traces
+
+
+def _default_pool() -> List[str]:
+    """SPEC + GAP model pool.
+
+    The paper's marquee workloads lead the list so that small
+    homogeneous-mix subsets (bench profiles take the first N) cover the
+    behaviours the paper keys on — mcf's skew, xalancbmk's scatter,
+    lbm's uniformity — rather than an alphabetical accident.
+    """
+    marquee = ["mcf", "xalancbmk", "gcc", "lbm", "omnetpp",
+               "pr_kron", "bfs_kron", "cc_urand"]
+    rest = [name for name in sorted(set(SPEC_WORKLOADS) |
+                                    set(GAP_WORKLOADS))
+            if name not in marquee]
+    return marquee + rest
+
+
+def standard_mixes(num_cores: int, num_homogeneous: int = 35,
+                   num_heterogeneous: int = 35, seed: int = 7,
+                   pool: Optional[Sequence[str]] = None) -> List[MixSpec]:
+    """The paper's 70-mix set (35 homogeneous + 35 heterogeneous).
+
+    Homogeneous mixes cycle through the workload pool; heterogeneous
+    mixes are seeded random draws with replacement (as in Mockingjay's
+    methodology).
+    """
+    if pool is None:
+        pool = _default_pool()
+    pool = list(pool)
+    rng = np.random.default_rng(seed)
+    mixes: List[MixSpec] = []
+    for i in range(num_homogeneous):
+        name = pool[i % len(pool)]
+        mixes.append(MixSpec(name=f"homo_{i:02d}_{name}",
+                             workloads=(name,) * num_cores,
+                             kind=HOMOGENEOUS))
+    for i in range(num_heterogeneous):
+        chosen = rng.choice(len(pool), size=num_cores, replace=True)
+        names = tuple(pool[j] for j in chosen)
+        mixes.append(MixSpec(name=f"hetero_{i:02d}",
+                             workloads=names,
+                             kind=HETEROGENEOUS))
+    return mixes
+
+
+def homogeneous_mix(workload: str, num_cores: int) -> MixSpec:
+    """A single homogeneous mix of *workload*."""
+    return MixSpec(name=f"homo_{workload}", workloads=(workload,) * num_cores,
+                   kind=HOMOGENEOUS)
+
+
+def datacenter_mixes(num_cores: int, count: int = 50,
+                     seed: int = 11) -> List[MixSpec]:
+    """Figure 19's random datacenter mixes."""
+    pool = sorted(DATACENTER_WORKLOADS)
+    rng = np.random.default_rng(seed)
+    mixes = []
+    for i in range(count):
+        chosen = rng.choice(len(pool), size=num_cores, replace=True)
+        names = tuple(pool[j] for j in chosen)
+        mixes.append(MixSpec(name=f"dc_{i:02d}", workloads=names,
+                             kind=HETEROGENEOUS))
+    return mixes

@@ -1,0 +1,323 @@
+"""Parametric workload models.
+
+Each workload is a population of PCs, each with an access *pattern* and a
+candidate-block *pool*.  The properties the paper's mechanisms key on are
+explicit knobs:
+
+* ``slice_affinity`` — fraction of PCs whose pool is rejection-sampled to
+  a single LLC slice (Figure 2's per-workload scatter fraction);
+* ``set_skew`` — fraction of the miss-heavy pools confined to a narrow
+  band of set indices (Figure 5's non-uniform per-set MPKA);
+* pattern kinds that span the reuse spectrum:
+
+  - ``cyclic``  — small working set revisited in order (cache-friendly),
+  - ``scan``    — a loop over a region larger than the cache (the classic
+    LRU-thrashing, RRIP-friendly pattern),
+  - ``stream``  — sequential, no reuse, prefetchable,
+  - ``chase``   — dependent pointer walk over a large pool (mcf-style:
+    high MPKI *and* exposed latency).
+
+Pool sizes are specified relative to the per-core LLC capacity so the
+same spec exerts the same pressure at any :class:`ScaleProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.slice_hash import SliceHash
+from repro.core.signature import stable_hash
+from repro.traces.trace import BLOCK_SHIFT, MemoryAccess, Trace
+
+PATTERNS = ("cyclic", "scan", "stream", "chase", "phased")
+
+
+@dataclass(frozen=True)
+class PCClassSpec:
+    """A class of PCs sharing a pattern and sizing.
+
+    Attributes:
+        pattern: one of :data:`PATTERNS`.
+        count: PCs in this class.
+        pool_frac: per-PC pool size as a fraction of the per-core LLC
+            capacity in blocks (e.g. 0.05 = comfortably cache-resident,
+            4.0 = heavy thrashing).
+        weight: this class's share of the workload's accesses.
+        write_frac: fraction of this class's accesses that are stores.
+        in_skew_band: confine this class's pools to the skew band of set
+            indices (drives per-set MPKA non-uniformity).
+        phase_len: for the ``phased`` pattern: accesses per phase before
+            the PC flips between its friendly and averse working sets.
+            Phased PCs are what make the *myopic* predictor problem bite:
+            each slice's predictor sees so few sampled observations per
+            phase that it is always a phase behind, while a global
+            predictor pooling all slices' observations tracks the flips.
+        averse_mult: for ``phased``: the averse-phase pool is
+            ``averse_mult`` times the friendly pool.
+        band_frac: override the width of this class's skew band as a
+            fraction of the set space (defaults to the workload's
+            ``set_skew_band``).  Bands are nested at a common origin, so
+            a class with a narrow band concentrates on the hottest sets
+            — this is what produces Figure 5a's extreme per-set MPKA
+            spikes without forcing the protectable working sets into
+            over-committed sets.
+    """
+
+    pattern: str
+    count: int
+    pool_frac: float
+    weight: float
+    write_frac: float = 0.0
+    in_skew_band: bool = False
+    phase_len: int = 0
+    averse_mult: float = 6.0
+    band_frac: Optional[float] = None
+
+    def __post_init__(self):
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.pattern == "phased" and self.phase_len < 1:
+            raise ValueError("phased pattern needs phase_len >= 1")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.pool_frac <= 0:
+            raise ValueError("pool_frac must be positive")
+        if not 0 <= self.write_frac <= 1:
+            raise ValueError("write_frac must be in [0, 1]")
+        if self.averse_mult <= 0:
+            raise ValueError("averse_mult must be positive")
+        if self.band_frac is not None and not 0 < self.band_frac <= 1:
+            raise ValueError("band_frac must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload model.
+
+    Attributes:
+        name: workload label ("mcf", "xalancbmk", ...).
+        apki: accesses per kilo-instruction (sets ``instr_gap``).
+        slice_affinity: fraction of non-stream PCs pinned to one slice.
+        set_skew_band: fraction of set-index space that skew-band pools
+            occupy (smaller = sharper Figure 5 spikes); 1.0 disables
+            skew.
+        classes: the PC population.
+        suite: "spec" / "gap" / "datacenter" (reporting only).
+    """
+
+    name: str
+    apki: float
+    slice_affinity: float
+    set_skew_band: float
+    classes: Tuple[PCClassSpec, ...]
+    suite: str = "spec"
+
+    def __post_init__(self):
+        if self.apki <= 0:
+            raise ValueError("apki must be positive")
+        if not 0 <= self.slice_affinity <= 1:
+            raise ValueError("slice_affinity must be in [0, 1]")
+        if not 0 < self.set_skew_band <= 1:
+            raise ValueError("set_skew_band must be in (0, 1]")
+        if not self.classes:
+            raise ValueError("need at least one PC class")
+
+
+class PCBehavior:
+    """One PC's materialised pattern state."""
+
+    __slots__ = ("pc", "pattern", "pool", "write_frac", "dependent",
+                 "averse_pool", "phase_len", "_ptr", "_averse_ptr",
+                 "_count")
+
+    def __init__(self, pc: int, pattern: str, pool: np.ndarray,
+                 write_frac: float, averse_pool: Optional[np.ndarray] = None,
+                 phase_len: int = 0):
+        self.pc = pc
+        self.pattern = pattern
+        self.pool = pool
+        self.write_frac = write_frac
+        self.dependent = pattern == "chase"
+        self.averse_pool = averse_pool
+        self.phase_len = phase_len
+        self._ptr = 0
+        self._averse_ptr = 0
+        self._count = 0
+
+    def next_block(self) -> int:
+        if self.pattern == "phased":
+            # Even phases walk the friendly pool, odd phases the averse.
+            in_averse = (self._count // self.phase_len) % 2 == 1
+            self._count += 1
+            if in_averse:
+                block = int(self.averse_pool[
+                    self._averse_ptr % len(self.averse_pool)])
+                self._averse_ptr += 1
+                return block
+        block = int(self.pool[self._ptr % len(self.pool)])
+        self._ptr += 1
+        return block
+
+
+class SyntheticWorkload:
+    """Materialises a :class:`WorkloadSpec` against a system geometry.
+
+    Args:
+        spec: the workload model.
+        capacity_blocks: per-core LLC capacity in blocks (pool sizing).
+        num_slices: LLC slices (slice-affinity sampling).
+        num_sets: sets per slice (skew-band sampling).
+        seed: generation seed; same seed → identical trace.
+        hash_scheme: must match the simulated LLC's hash.
+    """
+
+    # Region allocator stride: keep PC regions far apart.
+    REGION_ALIGN_BLOCKS = 1 << 22
+
+    def __init__(self, spec: WorkloadSpec, capacity_blocks: int,
+                 num_slices: int, num_sets: int, seed: int = 0,
+                 hash_scheme: str = "fold_xor"):
+        if capacity_blocks < 16:
+            raise ValueError("capacity_blocks too small")
+        self.spec = spec
+        self.capacity_blocks = capacity_blocks
+        self.num_slices = num_slices
+        self.num_sets = num_sets
+        self.seed = seed
+        self.hash = SliceHash(num_slices, scheme=hash_scheme)
+        self._rng = np.random.default_rng(seed)
+        self._next_region = 1 + (seed % 97)
+        self.behaviors: List[PCBehavior] = []
+        self.weights: np.ndarray = np.empty(0)
+        self._materialise()
+
+    # ------------------------------------------------------------------
+    def _alloc_region(self) -> int:
+        base = self._next_region * self.REGION_ALIGN_BLOCKS
+        self._next_region += 1
+        return base
+
+    def _sample_pool(self, size: int, home_slice: Optional[int],
+                     skew_band: Optional[Tuple[int, int]],
+                     contiguous: bool) -> np.ndarray:
+        """Draw *size* candidate blocks honouring slice/set constraints."""
+        base = self._alloc_region()
+        if contiguous and home_slice is None and skew_band is None:
+            return np.arange(base, base + size, dtype=np.uint64)
+
+        # Rejection-sample within the region.
+        accept_rate = 1.0
+        if home_slice is not None:
+            accept_rate /= self.num_slices
+        if skew_band is not None:
+            lo, hi = skew_band
+            accept_rate *= (hi - lo) / self.num_sets
+        needed = int(size / max(accept_rate, 1e-6) * 2) + 64
+        needed = min(needed, 4_000_000)
+        candidates = base + self._rng.integers(
+            0, self.REGION_ALIGN_BLOCKS // 2, size=needed, dtype=np.uint64)
+        mask = np.ones(len(candidates), dtype=bool)
+        if home_slice is not None:
+            mask &= self.hash.slices_of(candidates) == home_slice
+        if skew_band is not None:
+            lo, hi = skew_band
+            set_idx = candidates.astype(np.int64) & (self.num_sets - 1)
+            mask &= (set_idx >= lo) & (set_idx < hi)
+        pool = np.unique(candidates[mask])
+        if len(pool) < size:
+            # Extremely constrained pool: tile what we have.
+            if len(pool) == 0:
+                raise RuntimeError(
+                    f"could not sample pool for {self.spec.name}: "
+                    f"constraints too tight")
+            reps = size // len(pool) + 1
+            pool = np.tile(pool, reps)
+        pool = pool[:size]
+        self._rng.shuffle(pool)
+        return pool
+
+    def _materialise(self) -> None:
+        spec = self.spec
+        rng = self._rng
+        default_width = max(1, int(round(spec.set_skew_band *
+                                         self.num_sets)))
+        skew_lo = int(rng.integers(0, max(1, self.num_sets -
+                                          default_width)))
+        pc_base = 0x400000 + (stable_hash(spec.name) & 0xFFFF) * 0x1000
+
+        weights: List[float] = []
+        pc_counter = 0
+        for cls in spec.classes:
+            per_pc_weight = cls.weight / cls.count
+            for _ in range(cls.count):
+                pc = pc_base + pc_counter * 0x14
+                pc_counter += 1
+                pool_size = max(4, int(cls.pool_frac * self.capacity_blocks))
+                is_stream = cls.pattern == "stream"
+                affine = (not is_stream and
+                          rng.random() < spec.slice_affinity)
+                home = int(rng.integers(0, self.num_slices)) if affine \
+                    else None
+                band = None
+                if cls.in_skew_band and spec.set_skew_band < 1.0:
+                    frac = cls.band_frac if cls.band_frac is not None \
+                        else spec.set_skew_band
+                    width = max(1, int(round(frac * self.num_sets)))
+                    band = (skew_lo, min(self.num_sets,
+                                         skew_lo + width))
+                pool = self._sample_pool(pool_size, home, band,
+                                         contiguous=is_stream)
+                if cls.pattern == "cyclic":
+                    pool = np.sort(pool)
+                averse_pool = None
+                if cls.pattern == "phased":
+                    averse_size = max(8, int(pool_size * cls.averse_mult))
+                    averse_pool = self._sample_pool(
+                        averse_size, home, band, contiguous=False)
+                self.behaviors.append(
+                    PCBehavior(pc, cls.pattern, pool, cls.write_frac,
+                               averse_pool=averse_pool,
+                               phase_len=cls.phase_len))
+                weights.append(per_pc_weight)
+        total = sum(weights)
+        self.weights = np.array([w / total for w in weights])
+
+    # ------------------------------------------------------------------
+    def generate(self, num_accesses: int) -> Trace:
+        """Emit a trace of *num_accesses* records."""
+        if num_accesses < 1:
+            raise ValueError("num_accesses must be >= 1")
+        rng = self._rng
+        mean_gap = max(0.0, 1000.0 / self.spec.apki - 1.0)
+        p = 1.0 / (mean_gap + 1.0)
+        pc_choices = rng.choice(len(self.behaviors), size=num_accesses,
+                                p=self.weights)
+        gaps = rng.geometric(p, size=num_accesses) - 1
+        write_draws = rng.random(num_accesses)
+
+        records: List[MemoryAccess] = []
+        append = records.append
+        behaviors = self.behaviors
+        for i in range(num_accesses):
+            beh = behaviors[pc_choices[i]]
+            block = beh.next_block()
+            append(MemoryAccess(
+                pc=beh.pc,
+                address=block << BLOCK_SHIFT,
+                is_write=bool(write_draws[i] < beh.write_frac),
+                instr_gap=int(gaps[i]),
+                dependent=beh.dependent))
+        return Trace(self.spec.name, records)
+
+
+def build_trace(spec: WorkloadSpec, capacity_blocks: int, num_slices: int,
+                num_sets: int, num_accesses: int, seed: int = 0,
+                hash_scheme: str = "fold_xor") -> Trace:
+    """One-call helper: materialise a spec and emit a trace."""
+    workload = SyntheticWorkload(spec, capacity_blocks, num_slices,
+                                 num_sets, seed=seed,
+                                 hash_scheme=hash_scheme)
+    return workload.generate(num_accesses)

@@ -1,0 +1,136 @@
+"""Tests for the analysis tools behind the motivation figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.myopia import (
+    average_scatter_fraction,
+    pc_slice_scatter,
+    scatter_fraction,
+)
+from repro.analysis.pred_hist import (
+    etr_histogram,
+    histogram_spread,
+    rrip_histogram,
+)
+from repro.analysis.setmpka import (
+    mpka_summary,
+    select_sets_by_mpka,
+    set_mpka_profile,
+)
+from repro.cache.slice_hash import SliceHash
+from repro.core.predictor_fabric import PredictorFabric, PredictorScope
+from repro.replacement.hawkeye.predictor import HawkeyePredictor
+from repro.replacement.mockingjay.predictor import ETRPredictor
+from repro.traces.trace import MemoryAccess, Trace
+
+
+def trace_from_blocks(pc_blocks):
+    """pc_blocks: list of (pc, block)."""
+    return Trace("t", [MemoryAccess(pc=pc, address=b * 64)
+                       for pc, b in pc_blocks])
+
+
+class TestMyopia:
+    def test_single_slice_pc_detected(self):
+        sh = SliceHash(4)
+        # Find two blocks on the same slice and one elsewhere.
+        target = sh.slice_of(0)
+        same = [b for b in range(200) if sh.slice_of(b) == target][:3]
+        other = next(b for b in range(200) if sh.slice_of(b) != target)
+        tr = trace_from_blocks([(1, same[0]), (1, same[1]), (1, same[2]),
+                                (2, same[0]), (2, other)])
+        assert scatter_fraction(tr, sh) == pytest.approx(0.5)
+
+    def test_single_load_pcs_excluded(self):
+        sh = SliceHash(4)
+        tr = trace_from_blocks([(1, 0)])
+        assert scatter_fraction(tr, sh) == 0.0
+
+    def test_writes_excluded(self):
+        sh = SliceHash(4)
+        tr = Trace("t", [MemoryAccess(pc=1, address=0, is_write=True),
+                         MemoryAccess(pc=1, address=64, is_write=True)])
+        assert pc_slice_scatter(tr, sh) == {}
+
+    def test_average_over_mix(self):
+        sh = SliceHash(2)
+        target = sh.slice_of(0)
+        same = [b for b in range(50) if sh.slice_of(b) == target][:2]
+        tr = trace_from_blocks([(1, same[0]), (1, same[1])])
+        assert average_scatter_fraction([tr, tr], 2) == pytest.approx(1.0)
+
+
+class TestSetMPKA:
+    def test_profile_flattens(self):
+        m = np.arange(8).reshape(2, 4)
+        assert set_mpka_profile(m).shape == (8,)
+
+    def test_summary_uniform(self):
+        s = mpka_summary(np.full(100, 5.0))
+        assert s.mean == pytest.approx(5.0)
+        assert s.skew_ratio == pytest.approx(0.1, abs=0.01)
+        assert s.is_uniform
+
+    def test_summary_skewed(self):
+        vec = np.ones(100)
+        vec[:5] = 100.0
+        s = mpka_summary(vec)
+        assert s.skew_ratio > 0.5
+        assert not s.is_uniform
+
+    def test_select_highest(self):
+        vec = np.array([1.0, 9.0, 3.0, 7.0])
+        assert select_sets_by_mpka(vec, 2, "highest") == [1, 3]
+
+    def test_select_lowest(self):
+        vec = np.array([1.0, 9.0, 3.0, 7.0])
+        assert select_sets_by_mpka(vec, 2, "lowest") == [0, 2]
+
+    def test_select_mixed(self):
+        vec = np.array([1.0, 9.0, 3.0, 7.0])
+        chosen = select_sets_by_mpka(vec, 2, "mixed")
+        assert 1 in chosen  # highest
+        assert 0 in chosen  # lowest
+
+    def test_bad_case(self):
+        with pytest.raises(ValueError):
+            select_sets_by_mpka(np.ones(4), 2, "bogus")
+
+    def test_2d_rejected_for_slice_selection(self):
+        with pytest.raises(ValueError):
+            select_sets_by_mpka(np.ones((2, 4)), 2, "highest")
+
+
+def make_fabric(factory, count=2):
+    return PredictorFabric(PredictorScope.LOCAL, count, count,
+                           predictor_factory=lambda _i: factory())
+
+
+class TestPredHist:
+    def test_etr_histogram_counts_trained_entries(self):
+        fabric = make_fabric(lambda: ETRPredictor(table_bits=4))
+        fabric.instances[0].train(0, 3)
+        fabric.instances[0].train(1, 3)
+        fabric.instances[1].train(0, 7)
+        hist = etr_histogram(fabric)
+        assert hist == {3: 2, 7: 1}
+
+    def test_rrip_histogram(self):
+        fabric = make_fabric(lambda: HawkeyePredictor(table_bits=4))
+        fabric.instances[0].train_friendly(0)
+        fabric.instances[0].train_averse(1)
+        fabric.instances[0].train_averse(1)
+        hist = rrip_histogram(fabric)
+        assert hist["rrip0_friendly"] == 1
+        assert hist["rrip7_averse"] == 1
+
+    def test_wrong_predictor_type_rejected(self):
+        fabric = make_fabric(lambda: HawkeyePredictor(table_bits=4))
+        with pytest.raises(TypeError):
+            etr_histogram(fabric)
+
+    def test_histogram_spread(self):
+        assert histogram_spread({5: 10}) == 0.0
+        assert histogram_spread({0: 1, 10: 1}) == pytest.approx(5.0)
+        assert histogram_spread({}) == 0.0

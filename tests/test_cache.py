@@ -1,0 +1,181 @@
+"""Tests for the generic set-associative cache."""
+
+import pytest
+
+from repro.cache.block import DEMAND, PREFETCH, WRITEBACK, AccessContext
+from repro.cache.cache import Cache
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.lru import LRUPolicy
+
+
+def ctx(block, pc=0x400, core=0, write=False, kind=DEMAND, cycle=0):
+    return AccessContext(pc=pc, block=block, core_id=core, is_write=write,
+                         kind=kind, cycle=cycle)
+
+
+def make_cache(sets=4, ways=2, **kw):
+    return Cache("test", sets, ways, LRUPolicy(sets, ways), **kw)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            make_cache(sets=3)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            Cache("t", 4, 0, LRUPolicy(4, 1))
+
+    def test_set_index_uses_low_bits(self):
+        c = make_cache(sets=8)
+        assert c.set_index(0) == 0
+        assert c.set_index(9) == 1
+        assert c.set_index(16) == 0
+
+
+class TestAccessAndFill:
+    def test_miss_then_fill_then_hit(self):
+        c = make_cache()
+        assert not c.access(ctx(5)).hit
+        c.fill(ctx(5))
+        assert c.access(ctx(5)).hit
+
+    def test_fill_returns_no_eviction_when_invalid_ways(self):
+        c = make_cache()
+        evicted, extra = c.fill(ctx(0))
+        assert evicted is None
+        assert extra == 0
+
+    def test_eviction_when_set_full(self):
+        c = make_cache(sets=1, ways=2)
+        c.fill(ctx(0))
+        c.fill(ctx(1))
+        evicted, _ = c.fill(ctx(2))
+        assert evicted is not None
+        assert evicted.block in (0, 1)
+
+    def test_lru_eviction_order(self):
+        c = make_cache(sets=1, ways=2)
+        c.fill(ctx(0))
+        c.fill(ctx(1))
+        c.access(ctx(0))  # 0 is now MRU
+        evicted, _ = c.fill(ctx(2))
+        assert evicted.block == 1
+
+    def test_dirty_tracking_via_write_access(self):
+        c = make_cache(sets=1, ways=2)
+        c.fill(ctx(0))
+        c.access(ctx(0, write=True))
+        c.fill(ctx(1))
+        evicted, _ = c.fill(ctx(2))  # evicts 0 or 1; 1 is MRU so evicts 0
+        assert evicted.block == 0
+        assert evicted.dirty
+
+    def test_writeback_fill_is_dirty(self):
+        c = make_cache(sets=1, ways=1)
+        c.fill(ctx(0, kind=WRITEBACK))
+        evicted, _ = c.fill(ctx(1))
+        assert evicted.dirty
+
+    def test_refill_resident_block_refreshes(self):
+        c = make_cache(sets=1, ways=2)
+        c.fill(ctx(0))
+        evicted, extra = c.fill(ctx(0, write=True))
+        assert evicted is None
+        blocks = c.blocks_in_set(0)
+        way = c.find_way(0, 0)
+        assert blocks[way].dirty
+
+    def test_contains(self):
+        c = make_cache()
+        assert not c.contains(7)
+        c.fill(ctx(7))
+        assert c.contains(7)
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.fill(ctx(3))
+        assert c.invalidate(3)
+        assert not c.contains(3)
+        assert not c.invalidate(3)
+
+    def test_occupancy(self):
+        c = make_cache(sets=2, ways=2)
+        assert c.occupancy() == 0.0
+        c.fill(ctx(0))
+        assert c.occupancy() == pytest.approx(0.25)
+
+
+class TestStats:
+    def test_demand_counters(self):
+        c = make_cache()
+        c.access(ctx(0))
+        c.fill(ctx(0))
+        c.access(ctx(0))
+        s = c.stats
+        assert s.demand_accesses == 2
+        assert s.demand_misses == 1
+        assert s.demand_hits == 1
+        assert s.fills == 1
+
+    def test_prefetch_counters_separate(self):
+        c = make_cache()
+        c.access(ctx(0, kind=PREFETCH))
+        s = c.stats
+        assert s.prefetch_accesses == 1
+        assert s.demand_accesses == 0
+
+    def test_writebacks_out_counted(self):
+        c = make_cache(sets=1, ways=1)
+        c.fill(ctx(0, write=True, kind=WRITEBACK))
+        c.fill(ctx(1))
+        assert c.stats.writebacks_out == 1
+
+    def test_hit_rate(self):
+        c = make_cache()
+        c.fill(ctx(0))
+        c.access(ctx(0))
+        c.access(ctx(1))
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+    def test_per_set_stats(self):
+        c = make_cache(sets=4, track_set_stats=True)
+        c.access(ctx(0))
+        c.access(ctx(1))
+        c.fill(ctx(1))
+        c.access(ctx(1))
+        assert c.set_accesses[0] == 1
+        assert c.set_misses[0] == 1
+        assert c.set_accesses[1] == 2
+        assert c.set_misses[1] == 1
+
+    def test_writeback_not_in_set_stats(self):
+        c = make_cache(sets=4, track_set_stats=True)
+        c.access(ctx(0, kind=WRITEBACK))
+        assert c.set_accesses[0] == 0
+
+    def test_merge(self):
+        c1, c2 = make_cache(), make_cache()
+        c1.access(ctx(0))
+        c2.access(ctx(0))
+        c2.access(ctx(1))
+        merged = c1.stats.merge(c2.stats)
+        assert merged.accesses == 3
+
+
+class BypassingPolicy(ReplacementPolicy):
+    """Always bypasses, charging 5 cycles of pending latency."""
+
+    def choose_victim(self, set_idx, blocks, ctx):
+        self.add_fill_latency(5)
+        return self.BYPASS
+
+
+class TestBypass:
+    def test_bypass_skips_install_and_collects_latency(self):
+        c = Cache("t", 2, 2, BypassingPolicy(2, 2))
+        evicted, extra = c.fill(ctx(0))
+        assert evicted is None
+        assert extra == 5
+        assert not c.contains(0)
+        assert c.stats.bypasses == 1

@@ -1,0 +1,82 @@
+"""Tests for the report-comparison tool."""
+
+import pytest
+
+from repro.analysis.compare import (
+    MetricDelta,
+    compare_reports,
+    render_comparison,
+)
+
+
+def payload(mpki=10.0, ws=1.5, reads=100):
+    return {"mpki": mpki, "wpki": 0.5, "ws": ws, "hs": 0.8,
+            "unfairness": 1.1,
+            "run": {"dram": {"reads": reads, "writes": 10},
+                    "llc": {"bypasses": 5},
+                    "fabric": {"apki": 2.0}}}
+
+
+class TestCompare:
+    def test_all_metrics_found(self):
+        deltas = compare_reports(payload(), payload())
+        assert len(deltas) == 9
+
+    def test_missing_metrics_skipped(self):
+        deltas = compare_reports({"mpki": 1.0}, {"mpki": 2.0})
+        assert len(deltas) == 1
+        assert deltas[0].path == "mpki"
+
+    def test_lower_mpki_is_improvement(self):
+        deltas = {d.path: d for d in
+                  compare_reports(payload(mpki=10.0), payload(mpki=8.0))}
+        assert deltas["mpki"].verdict == "+"
+
+    def test_higher_ws_is_improvement(self):
+        deltas = {d.path: d for d in
+                  compare_reports(payload(ws=1.0), payload(ws=1.2))}
+        assert deltas["ws"].verdict == "+"
+
+    def test_regression_flagged(self):
+        deltas = {d.path: d for d in
+                  compare_reports(payload(mpki=8.0), payload(mpki=10.0))}
+        assert deltas["mpki"].verdict == "-"
+
+    def test_neutral_metric(self):
+        deltas = {d.path: d for d in
+                  compare_reports(payload(), payload())}
+        assert deltas["run.fabric.apki"].verdict == "~"
+
+    def test_pct(self):
+        d = MetricDelta("x", "x", before=10.0, after=12.0,
+                        higher_is_better=True)
+        assert d.pct == pytest.approx(20.0)
+        zero = MetricDelta("x", "x", before=0.0, after=1.0,
+                           higher_is_better=True)
+        assert zero.pct == 0.0
+
+    def test_render(self):
+        text = render_comparison(payload(mpki=10.0), payload(mpki=9.0),
+                                 "lru", "mockingjay")
+        assert "LLC MPKI" in text
+        assert "lru" in text and "mockingjay" in text
+        assert "-10.0%" in text
+
+    def test_render_empty(self):
+        assert render_comparison({}, {}) == "(no comparable metrics)"
+
+    def test_round_trip_with_real_report(self):
+        from repro.sim.config import CacheConfig, SystemConfig
+        from repro.sim.report import mix_to_dict
+        from repro.sim.runner import run_mix
+        from repro.traces.trace import MemoryAccess, Trace
+        cfg = SystemConfig(num_cores=1, llc_sets_per_slice=32,
+                           l1=CacheConfig(sets=4, ways=2, latency=5),
+                           l2=CacheConfig(sets=8, ways=2, latency=15),
+                           prefetcher="none")
+        tr = Trace("t", [MemoryAccess(pc=0x400, address=i * 97 * 64)
+                         for i in range(100)])
+        mix = run_mix(cfg, [tr], warmup_accesses=5)
+        report = mix_to_dict(mix)
+        deltas = compare_reports(report, report)
+        assert all(d.delta == 0 for d in deltas)

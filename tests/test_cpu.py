@@ -1,0 +1,97 @@
+"""Tests for the analytic core timing model."""
+
+import pytest
+
+from repro.cpu.core_model import CoreTiming
+
+
+class TestAdvance:
+    def test_issue_width_charging(self):
+        core = CoreTiming(issue_width=4)
+        core.advance(8)
+        assert core.cycle == pytest.approx(2.0)
+        assert core.instructions == 8
+
+    def test_zero_gap_free(self):
+        core = CoreTiming()
+        core.advance(0)
+        assert core.cycle == 0.0
+
+
+class TestMemoryOverlap:
+    def test_independent_misses_overlap(self):
+        wide = CoreTiming(issue_width=1, rob_size=352, max_outstanding=8)
+        for _ in range(8):
+            wide.issue_memory(100.0)
+        wide.finish()
+        # All eight misses overlap: total ~ 100 + issue slots, not 800.
+        assert wide.cycle < 150
+
+    def test_dependent_misses_serialise(self):
+        core = CoreTiming(issue_width=1, max_outstanding=8)
+        for _ in range(4):
+            core.issue_memory(100.0, dependent=True)
+        core.finish()
+        assert core.cycle >= 400
+
+    def test_mshr_limit_bounds_overlap(self):
+        limited = CoreTiming(issue_width=1, max_outstanding=2)
+        for _ in range(6):
+            limited.issue_memory(100.0)
+        limited.finish()
+        # Three waves of two overlapped misses.
+        assert limited.cycle >= 300
+
+    def test_rob_limit_bounds_runahead(self):
+        tiny_rob = CoreTiming(issue_width=1, rob_size=4, max_outstanding=32)
+        big_rob = CoreTiming(issue_width=1, rob_size=400,
+                             max_outstanding=32)
+        for core in (tiny_rob, big_rob):
+            for _ in range(16):
+                core.advance(2)
+                core.issue_memory(100.0)
+            core.finish()
+        assert tiny_rob.cycle > big_rob.cycle
+
+    def test_zero_latency_access(self):
+        core = CoreTiming()
+        core.issue_memory(0.0)
+        core.finish()
+        assert core.instructions == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTiming().issue_memory(-1.0)
+
+
+class TestAccounting:
+    def test_ipc(self):
+        core = CoreTiming(issue_width=2)
+        core.advance(100)
+        core.finish()
+        assert core.ipc == pytest.approx(2.0)
+
+    def test_snapshot_window(self):
+        core = CoreTiming(issue_width=1)
+        core.advance(10)
+        snap_i, snap_c = core.snapshot()
+        core.advance(20)
+        assert core.instructions - snap_i == 20
+        assert core.cycle - snap_c == pytest.approx(20.0)
+
+    def test_finish_waits_for_outstanding(self):
+        core = CoreTiming(issue_width=1)
+        core.issue_memory(500.0)
+        assert core.cycle < 500
+        core.finish()
+        assert core.cycle >= 500
+
+    def test_stall_cycles_tracked(self):
+        core = CoreTiming(issue_width=1, max_outstanding=1)
+        core.issue_memory(100.0)
+        core.issue_memory(100.0)
+        assert core.stall_cycles > 0
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTiming(issue_width=0)

@@ -1,0 +1,44 @@
+"""The README and docs/api.md code snippets must use real API names."""
+
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def extract_imports(markdown: str):
+    """`from X import a, b` statements inside fenced python blocks."""
+    blocks = re.findall(r"```python\n(.*?)```", markdown, re.DOTALL)
+    imports = []
+    for block in blocks:
+        for line in block.splitlines():
+            line = line.strip()
+            m = re.match(r"from ([\w.]+) import \(?([\w, \n#]+)\)?", line)
+            if m:
+                names = [n.strip() for n in m.group(2).split(",")
+                         if n.strip() and not n.strip().startswith("#")]
+                imports.append((m.group(1), names))
+    return imports
+
+
+class TestSnippetsResolve:
+    def check(self, doc):
+        text = (REPO / doc).read_text()
+        for module_name, names in extract_imports(text):
+            module = __import__(module_name, fromlist=names)
+            for name in names:
+                assert hasattr(module, name), \
+                    f"{doc}: {module_name}.{name} does not exist"
+
+    def test_readme_snippets(self):
+        self.check("README.md")
+
+    def test_api_doc_snippets(self):
+        self.check("docs/api.md")
+
+    def test_policy_names_listed_in_api_doc_are_real(self):
+        from repro.replacement import policy_names
+        text = (REPO / "docs" / "api.md").read_text()
+        for name in policy_names():
+            assert f"'{name}'" in text, \
+                f"docs/api.md policy list is missing {name!r}"

@@ -1,0 +1,107 @@
+"""Tests for the DRAM controller."""
+
+import pytest
+
+from repro.dram.controller import DRAMController
+from repro.dram.timing import DRAMTiming
+
+
+class TestTiming:
+    def test_latencies(self):
+        t = DRAMTiming(t_rp=50, t_rcd=50, t_cas=50)
+        assert t.row_hit_latency == 50
+        assert t.row_miss_latency == 150
+
+    def test_for_frequency(self):
+        t = DRAMTiming.for_frequency(ghz=4.0, ns=12.5)
+        assert t.t_cas == 50
+
+
+class TestController:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            DRAMController(num_channels=0)
+        with pytest.raises(ValueError):
+            DRAMController(banks_per_channel=0)
+
+    def test_first_read_is_row_miss(self):
+        d = DRAMController(num_channels=1)
+        lat = d.read(0, now=0)
+        assert d.stats.row_misses == 1
+        assert lat >= d.timing.row_miss_latency
+
+    def test_second_read_same_row_is_hit(self):
+        d = DRAMController(num_channels=1)
+        d.read(0, now=0)
+        d.read(1, now=1000)  # same 4 KB row
+        assert d.stats.row_hits == 1
+
+    def test_different_row_conflicts(self):
+        d = DRAMController(num_channels=1, banks_per_channel=1)
+        d.read(0, now=0)
+        blocks_per_row = d.timing.row_buffer_bytes // 64
+        d.read(blocks_per_row * 7, now=1000)
+        assert d.stats.row_misses == 2
+
+    def test_bus_queueing(self):
+        d = DRAMController(num_channels=1)
+        first = d.read(0, now=0)
+        # Back-to-back at the same instant: second waits for the bus.
+        second = d.read(1, now=0)
+        assert second > d.timing.row_hit_latency
+        assert d.stats.queue_wait_cycles > 0
+
+    def test_writes_are_posted(self):
+        d = DRAMController(num_channels=1)
+        d.write(0, now=0)
+        assert d.stats.writes == 1
+        assert d.stats.reads == 0
+
+    def test_writes_below_watermark_are_free(self):
+        d = DRAMController(num_channels=1)
+        for i in range(8):
+            d.write(i * 1000, now=0)
+        lat = d.read(99_000, now=0)
+        # 8 buffered writes sit below the watermark: no read penalty.
+        assert lat <= d.timing.row_miss_latency + d.timing.burst_cycles
+
+    def test_write_watermark_forces_drain(self):
+        d = DRAMController(num_channels=1, write_queue_depth=32)
+        for i in range(64):
+            d.write(i * 1000, now=0)
+        lat = d.read(99_000, now=0)
+        # Way past the watermark: the read waits for a forced drain.
+        assert lat > d.timing.row_miss_latency + d.timing.burst_cycles
+
+    def test_idle_gaps_drain_writes(self):
+        d = DRAMController(num_channels=1, write_queue_depth=32)
+        for i in range(40):
+            d.write(i * 1000, now=0)
+        # A long idle period drains the queue; a later read is clean.
+        lat = d.read(99_000, now=100_000)
+        assert lat <= d.timing.row_miss_latency + d.timing.burst_cycles
+
+    def test_more_channels_less_queueing(self):
+        def total_latency(channels):
+            d = DRAMController(num_channels=channels)
+            return sum(d.read(i * 977, now=0) for i in range(32))
+
+        assert total_latency(8) < total_latency(1)
+
+    def test_row_hit_rate(self):
+        d = DRAMController(num_channels=1)
+        d.read(0, now=0)
+        d.read(1, now=10_000)
+        d.read(2, now=20_000)
+        assert d.stats.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_average_read_latency(self):
+        d = DRAMController()
+        d.read(0, now=0)
+        assert d.stats.average_read_latency > 0
+
+    def test_reset_stats(self):
+        d = DRAMController()
+        d.read(0, now=0)
+        d.reset_stats()
+        assert d.stats.reads == 0

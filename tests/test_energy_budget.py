@@ -1,0 +1,121 @@
+"""Tests for the energy model, hardware budget and traffic model."""
+
+import pytest
+
+from repro.core.budget import (
+    budget_for,
+    hawkeye_budget,
+    mockingjay_budget,
+    storage_saving_kb,
+)
+from repro.core.traffic import (
+    design_choice_matrix,
+    drishti_choice,
+    estimate_traffic,
+    traffic_comparison,
+)
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.simulator import Simulator
+from repro.traces.trace import MemoryAccess, Trace
+
+
+class TestBudget:
+    def test_hawkeye_totals_match_table3(self):
+        assert hawkeye_budget(False).total_kb == pytest.approx(28.0)
+        assert hawkeye_budget(True).total_kb == pytest.approx(20.75)
+
+    def test_mockingjay_totals_match_table3(self):
+        assert mockingjay_budget(False).total_kb == pytest.approx(31.91)
+        assert mockingjay_budget(True).total_kb == pytest.approx(28.95)
+
+    def test_savings_match_paper(self):
+        assert storage_saving_kb("hawkeye") == pytest.approx(7.25)
+        assert storage_saving_kb("mockingjay") == pytest.approx(2.96)
+
+    def test_components_present(self):
+        b = hawkeye_budget(True)
+        assert "Saturating counters" in b.components_kb
+        assert "Sampled Cache" in b.components_kb
+
+    def test_scales_with_slice_size(self):
+        half = budget_for("hawkeye", False, sets=1024)
+        full = budget_for("hawkeye", False, sets=2048)
+        assert half.total_kb < full.total_kb
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            budget_for("lru", False)
+
+
+class TestTrafficModel:
+    def test_matrix_has_four_rows(self):
+        rows = design_choice_matrix()
+        assert len(rows) == 4
+        assert all(r.global_view for r in rows)
+
+    def test_drishti_row_properties(self):
+        row = drishti_choice()
+        assert row.sampled_cache == "local"
+        assert row.predictor == "global"
+        assert row.structure == "distributed"
+        assert not row.needs_broadcast
+        assert row.bandwidth == "low"
+
+    def test_broadcast_multiplies_by_slices(self):
+        global_central = design_choice_matrix()[0]
+        est = estimate_traffic(global_central, num_slices=32,
+                               sampled_accesses=100, fills=1000)
+        assert est.broadcast_messages == 3200
+
+    def test_drishti_traffic_lowest_hotspot(self):
+        comp = traffic_comparison(num_slices=32, sampled_accesses=100,
+                                  fills=1000)
+        drishti = comp[drishti_choice().label]
+        central = comp[design_choice_matrix()[2].label]
+        assert drishti.max_messages_at_one_node <= \
+            central.max_messages_at_one_node
+
+    def test_per_kilo_instr(self):
+        est = estimate_traffic(drishti_choice(), 4, 10, 90)
+        assert est.per_kilo_instr(100_000) == pytest.approx(1.0)
+
+
+def run_small(policy="lru", **overrides):
+    cfg = SystemConfig(num_cores=2, llc_policy=policy,
+                       llc_sets_per_slice=32,
+                       l1=CacheConfig(sets=4, ways=2, latency=5),
+                       l2=CacheConfig(sets=8, ways=2, latency=15),
+                       prefetcher="none", **overrides)
+    traces = [Trace("t", [MemoryAccess(pc=0x400, address=i * 97 * 64,
+                                       instr_gap=5) for i in range(200)])
+              for _ in range(2)]
+    return Simulator(cfg, traces, warmup_accesses=10).run()
+
+
+class TestEnergyModel:
+    def test_components_positive(self):
+        result = run_small()
+        energy = EnergyModel().evaluate(result)
+        assert energy.llc_uj > 0
+        assert energy.dram_uj > 0
+        assert energy.noc_uj > 0
+        assert energy.total_uj > 0
+
+    def test_dram_dominates_for_memory_bound(self):
+        result = run_small()
+        energy = EnergyModel().evaluate(result)
+        assert energy.dram_uj > energy.llc_uj
+
+    def test_normalized_to_self_is_one(self):
+        result = run_small()
+        energy = EnergyModel().evaluate(result)
+        assert energy.normalized_to(energy) == pytest.approx(1.0)
+
+    def test_nocstar_energy_only_for_drishti(self):
+        base = EnergyModel().evaluate(run_small())
+        assert base.nocstar_uj == 0.0
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(frequency_ghz=0)

@@ -1,0 +1,103 @@
+"""Tests for the EVA policy."""
+
+import pytest
+
+from repro.cache.block import DEMAND, WRITEBACK, AccessContext
+from repro.cache.cache import Cache
+from repro.replacement.eva import MAX_AGE, EVAPolicy
+
+
+def ctx(block, pc=0x400, kind=DEMAND):
+    return AccessContext(pc=pc, block=block, core_id=0, kind=kind)
+
+
+def make(sets=2, ways=2, **kw):
+    policy = EVAPolicy(sets, ways, **kw)
+    return Cache("t", sets, ways, policy), policy
+
+
+class TestEVA:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            EVAPolicy(2, 2, age_granularity=0)
+        with pytest.raises(ValueError):
+            EVAPolicy(2, 2, update_interval=0)
+
+    def test_fill_resets_age(self):
+        cache, policy = make()
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        assert policy._age[0][way] == 0
+
+    def test_ages_grow_with_set_accesses(self):
+        cache, policy = make(age_granularity=1)
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        for i in range(1, 5):
+            cache.access(ctx(2 * i))  # same set, other blocks
+        assert policy._age[0][way] >= 3
+
+    def test_hit_starts_new_generation(self):
+        cache, policy = make(age_granularity=1)
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        for i in range(1, 4):
+            cache.access(ctx(2 * i))
+        cache.access(ctx(0))
+        assert policy._age[0][way] == 0
+
+    def test_age_saturates(self):
+        cache, policy = make(age_granularity=1)
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        for i in range(1, 2 * MAX_AGE + 10):
+            cache.access(ctx(2 * i))
+        assert policy._age[0][way] == MAX_AGE
+
+    def test_histograms_fed(self):
+        cache, policy = make(age_granularity=1)
+        cache.fill(ctx(0))
+        cache.access(ctx(0))  # hit at age 0-ish
+        assert sum(policy._hits_at) > 0
+        cache.fill(ctx(2))
+        cache.fill(ctx(4))  # forces an eviction in set 0
+        assert sum(policy._evictions_at) > 0
+
+    def test_eva_learns_to_keep_reused_ages(self):
+        """After training on a pattern where young lines hit and old
+        lines die, the EVA curve must rank young ages above old ones."""
+        cache, policy = make(sets=2, ways=4, age_granularity=1,
+                             update_interval=64)
+        # Reuse blocks quickly, let others rot.
+        for r in range(300):
+            for hot in (0, 2):
+                if not cache.access(ctx(hot)).hit:
+                    cache.fill(ctx(hot))
+            cold = 100 + 2 * r
+            cache.access(ctx(cold))
+            cache.fill(ctx(cold))
+        assert policy._eva[0] > policy._eva[MAX_AGE]
+
+    def test_works_end_to_end(self):
+        cache, policy = make(sets=4, ways=2, update_interval=32)
+        miss = 0
+        for i in range(400):
+            b = i % 6
+            if not cache.access(ctx(b)).hit:
+                miss += 1
+                cache.fill(ctx(b))
+        assert miss < 400
+
+    def test_writeback_access_ignored(self):
+        cache, policy = make()
+        before = policy._accesses
+        cache.access(ctx(0, kind=WRITEBACK))
+        assert policy._accesses == before
+
+    def test_reset(self):
+        cache, policy = make()
+        cache.fill(ctx(0))
+        cache.access(ctx(0))
+        policy.reset()
+        assert sum(policy._hits_at) == 0
+        assert policy._accesses == 0

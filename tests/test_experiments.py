@@ -1,0 +1,142 @@
+"""Tests for the experiment harness at micro scale.
+
+These exercise the experiment modules' plumbing (sweeps, caching,
+report rendering) with tiny systems — the paper-shape assertions live in
+the benchmark suite at proper scale.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import (
+    ExperimentProfile,
+    clear_matrix_cache,
+    pct,
+    policy_matrix,
+    render_table,
+)
+from repro.sim.config import ScaleProfile
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return ExperimentProfile(scale=ScaleProfile.smoke(),
+                             core_counts=(2, 4), num_homogeneous=1,
+                             num_heterogeneous=1, seed=3)
+
+
+@pytest.fixture(scope="module")
+def micro_matrix(micro):
+    clear_matrix_cache()
+    return policy_matrix(micro)
+
+
+class TestCommon:
+    def test_render_table(self):
+        text = render_table("T", ["a", "b"], [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_pct(self):
+        assert pct(1.1) == pytest.approx(10.0)
+
+    def test_profile_presets(self):
+        bench = ExperimentProfile.bench()
+        full = ExperimentProfile.full()
+        assert bench.scale.accesses_per_core < \
+            full.scale.accesses_per_core
+        assert full.max_cores >= bench.max_cores
+
+    def test_profile_mixes_sized_to_cores(self, micro):
+        mixes = micro.mixes(4)
+        assert all(m.num_cores == 4 for m in mixes)
+        assert len(mixes) == 2
+
+
+class TestPolicyMatrix:
+    def test_all_cells_present(self, micro, micro_matrix):
+        for cores in micro.core_counts:
+            for name in micro_matrix.mix_names[cores]:
+                for label in micro_matrix.labels:
+                    assert (cores, name, label) in micro_matrix.results
+
+    def test_lru_normalized_ws_is_one(self, micro, micro_matrix):
+        for cores in micro.core_counts:
+            for name in micro_matrix.mix_names[cores]:
+                assert micro_matrix.normalized_ws(
+                    cores, name, "lru") == pytest.approx(1.0)
+
+    def test_cache_hit_returns_same_object(self, micro, micro_matrix):
+        again = policy_matrix(micro)
+        assert again is micro_matrix
+
+    def test_average_helpers(self, micro, micro_matrix):
+        cores = micro.core_counts[0]
+        assert micro_matrix.average_mpki(cores, "lru") >= 0
+        assert micro_matrix.average_wpki(cores, "lru") >= 0
+        assert micro_matrix.average_normalized_ws(cores, "lru") == \
+            pytest.approx(1.0)
+
+    def test_mix_filter(self, micro, micro_matrix):
+        cores = micro.core_counts[0]
+        value = micro_matrix.average_normalized_ws(
+            cores, "lru", mix_filter=lambda n: n.startswith("homo"))
+        assert value == pytest.approx(1.0)
+
+
+class TestExperimentModules:
+    def test_fig13_report_structure(self, micro, micro_matrix):
+        from repro.experiments import fig13_performance
+        report = fig13_performance.run(micro)
+        assert len(report.rows()) == len(micro.core_counts)
+        text = report.render()
+        assert "Figure 13" in text
+
+    def test_fig14_uses_same_matrix(self, micro):
+        from repro.experiments import fig14_mpki
+        report = fig14_mpki.run(micro)
+        for cores in micro.core_counts:
+            for label in ("hawkeye", "mockingjay"):
+                assert isinstance(report.reduction(cores, label), float)
+
+    def test_tab05_values_nonnegative(self, micro):
+        from repro.experiments import tab05_wpki
+        report = tab05_wpki.run(micro)
+        for row in report.rows():
+            assert all(v >= 0 for v in row[1:])
+
+    def test_fig16_sorted(self, micro):
+        from repro.experiments import fig16_per_mix
+        report = fig16_per_mix.run(micro)
+        values = [dmj for _n, _mj, dmj in report.per_mix]
+        assert values == sorted(values)
+
+    def test_tab06_metrics_sane(self, micro):
+        from repro.experiments import tab06_metrics
+        report = tab06_metrics.run(micro)
+        for label, value in report.unfairness.items():
+            assert value >= 1.0
+
+    def test_fig15_normalized_positive(self, micro):
+        from repro.experiments import fig15_energy
+        report = fig15_energy.run(micro)
+        for row in report.rows():
+            assert all(v > 0 for v in row[1:])
+
+    def test_cli_list(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "tab08" in out
+
+    def test_cli_unknown(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["bogus"]) == 2
+
+    def test_cli_runs_tab03(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["tab03"]) == 0
+        assert "Table 3" in capsys.readouterr().out

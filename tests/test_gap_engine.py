@@ -1,0 +1,109 @@
+"""Tests for the real CSR graph engine."""
+
+import pytest
+
+from repro.traces.gap import CSRGraph, GraphTraceGenerator
+
+
+class TestCSRGraph:
+    def test_construction(self):
+        g = CSRGraph(100, avg_degree=4, seed=0)
+        assert g.num_vertices == 100
+        assert g.num_edges > 0
+        assert len(g.offsets) == 101
+
+    def test_offsets_monotonic(self):
+        g = CSRGraph(50, avg_degree=4, seed=1)
+        assert all(g.offsets[i] <= g.offsets[i + 1] for i in range(50))
+        assert g.offsets[-1] == g.num_edges
+
+    def test_neighbors_in_range(self):
+        g = CSRGraph(50, avg_degree=4, seed=1)
+        assert (g.neighbors >= 0).all()
+        assert (g.neighbors < 50).all()
+
+    def test_out_neighbors(self):
+        g = CSRGraph(50, avg_degree=4, seed=1)
+        for v in range(50):
+            assert len(g.out_neighbors(v)) == \
+                g.offsets[v + 1] - g.offsets[v]
+
+    def test_power_law_concentrates_on_hubs(self):
+        import numpy as np
+        pl = CSRGraph(500, avg_degree=8, power_law=True, seed=0)
+        ur = CSRGraph(500, avg_degree=8, power_law=False, seed=0)
+        pl_counts = np.bincount(pl.neighbors, minlength=500)
+        ur_counts = np.bincount(ur.neighbors, minlength=500)
+        # Top-10 vertices carry a much larger share in the power-law graph.
+        pl_share = np.sort(pl_counts)[-10:].sum() / pl.num_edges
+        ur_share = np.sort(ur_counts)[-10:].sum() / ur.num_edges
+        assert pl_share > 3 * ur_share
+
+    def test_deterministic(self):
+        a = CSRGraph(50, seed=3)
+        b = CSRGraph(50, seed=3)
+        assert (a.neighbors == b.neighbors).all()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            CSRGraph(1)
+
+
+class TestGraphTraces:
+    @pytest.fixture
+    def gen(self):
+        return GraphTraceGenerator(CSRGraph(200, avg_degree=4, seed=0),
+                                   seed=0)
+
+    def test_pagerank_emits(self, gen):
+        tr = gen.pagerank(max_accesses=500)
+        assert 0 < len(tr) <= 500
+        assert tr.name == "pagerank"
+
+    def test_pagerank_has_all_pc_roles(self, gen):
+        tr = gen.pagerank(max_accesses=1000)
+        pcs = {acc.pc for acc in tr}
+        assert GraphTraceGenerator.PC_OFFSETS in pcs
+        assert GraphTraceGenerator.PC_NEIGHBORS in pcs
+        assert GraphTraceGenerator.PC_PROP_READ in pcs
+
+    def test_property_reads_dependent(self, gen):
+        tr = gen.pagerank(max_accesses=1000)
+        prop_reads = [a for a in tr
+                      if a.pc == GraphTraceGenerator.PC_PROP_READ]
+        assert prop_reads
+        assert all(a.dependent for a in prop_reads)
+
+    def test_bfs_visits_and_writes(self, gen):
+        tr = gen.bfs(max_accesses=2000)
+        assert len(tr) > 0
+        assert any(a.is_write for a in tr)
+
+    def test_cc_emits(self, gen):
+        tr = gen.connected_components(max_accesses=800)
+        assert 0 < len(tr) <= 800
+
+    def test_sssp_emits(self, gen):
+        tr = gen.sssp(max_accesses=800)
+        assert 0 < len(tr) <= 800
+
+    def test_regions_disjoint(self, gen):
+        tr = gen.pagerank(max_accesses=500)
+        offsets = {a.block for a in tr
+                   if a.pc == GraphTraceGenerator.PC_OFFSETS}
+        props = {a.block for a in tr
+                 if a.pc == GraphTraceGenerator.PC_PROP_READ}
+        assert not (offsets & props)
+
+    def test_max_accesses_respected(self, gen):
+        assert len(gen.pagerank(max_accesses=100)) <= 100
+
+    def test_hub_property_reuse(self, gen):
+        """Power-law property reads revisit hub blocks heavily."""
+        tr = gen.pagerank(max_accesses=2000)
+        from collections import Counter
+        prop_blocks = Counter(a.block for a in tr
+                              if a.pc == GraphTraceGenerator.PC_PROP_READ)
+        if prop_blocks:
+            top = prop_blocks.most_common(1)[0][1]
+            assert top >= 3

@@ -1,0 +1,192 @@
+"""Tests for Hawkeye: OPTgen, the predictor, and the policy."""
+
+import pytest
+
+from repro.cache.block import DEMAND, WRITEBACK, AccessContext
+from repro.cache.cache import Cache
+from repro.core.sampled_sets import ExplicitSampledSets
+from repro.replacement.hawkeye import HawkeyePolicy, HawkeyePredictor, OptGen
+from repro.replacement.hawkeye.hawkeye import RRPV_MAX
+
+
+def ctx(block, pc=0x400, core=0, kind=DEMAND):
+    return AccessContext(pc=pc, block=block, core_id=core, kind=kind)
+
+
+class TestOptGen:
+    def test_first_access_gives_no_verdict(self):
+        gen = OptGen(capacity=2)
+        assert gen.access(None) is None
+
+    def test_reuse_within_capacity_is_opt_hit(self):
+        gen = OptGen(capacity=2)
+        gen.access(None)  # t=0: A
+        assert gen.access(0) is True  # A reused at t=1, occupancy fits
+
+    def test_capacity_exhaustion_gives_opt_miss(self):
+        gen = OptGen(capacity=1)
+        gen.access(None)  # t=0: A
+        gen.access(None)  # t=1: B
+        assert gen.access(1) is True  # B reused: interval [1,2) free
+        # A's interval [0,3) includes t=1..2 where B holds the only slot.
+        assert gen.access(0) is False
+
+    def test_out_of_window_reuse_has_no_verdict(self):
+        gen = OptGen(capacity=1, history=4)
+        gen.access(None)  # t=0
+        for _ in range(5):
+            gen.access(None)
+        assert gen.access(0) is None  # too far back
+
+    def test_occupancy_incremented_on_hit(self):
+        gen = OptGen(capacity=2)
+        gen.access(None)  # t=0
+        gen.access(0)  # hit: occ[0] += 1
+        assert gen.occupancy_at(gen.time - 1) in (0, 1)
+
+    def test_hit_rate(self):
+        gen = OptGen(capacity=4)
+        gen.access(None)
+        gen.access(0)
+        gen.access(1)
+        assert gen.opt_hit_rate == 1.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            OptGen(capacity=0)
+
+    def test_interleaved_reuse_both_hit_with_capacity(self):
+        gen = OptGen(capacity=2)
+        gen.access(None)  # t0: A
+        gen.access(None)  # t1: B
+        assert gen.access(0) is True  # A
+        assert gen.access(1) is True  # B
+
+
+class TestHawkeyePredictor:
+    def test_initially_friendly(self):
+        p = HawkeyePredictor(table_bits=4)
+        assert p.predict(0)
+
+    def test_train_averse_flips(self):
+        p = HawkeyePredictor(table_bits=4)
+        p.train_averse(3)
+        assert not p.predict(3)
+
+    def test_counters_saturate(self):
+        p = HawkeyePredictor(table_bits=4, counter_bits=3)
+        for _ in range(20):
+            p.train_friendly(1)
+        assert p.confidence(1) == 7
+        for _ in range(20):
+            p.train_averse(1)
+        assert p.confidence(1) == 0
+
+    def test_signature_bounds_checked(self):
+        p = HawkeyePredictor(table_bits=4)
+        with pytest.raises(ValueError):
+            p.predict(16)
+
+    def test_reset(self):
+        p = HawkeyePredictor(table_bits=4)
+        p.train_averse(0)
+        p.reset()
+        assert p.predict(0)
+        assert p.trains_averse == 0
+
+    def test_size(self):
+        assert len(HawkeyePredictor(table_bits=6)) == 64
+
+
+class TestHawkeyePolicy:
+    def make(self, sets=4, ways=2, sampled=(0, 1)):
+        selector = ExplicitSampledSets(sets, list(sampled))
+        policy = HawkeyePolicy(sets, ways, selector=selector, seed=0)
+        return Cache("t", sets, ways, policy), policy
+
+    def test_friendly_fill_gets_rrpv0(self):
+        cache, policy = self.make()
+        cache.access(ctx(0))
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        assert policy._rrpv[0][way] == 0
+
+    def test_averse_pc_inserted_distant(self):
+        cache, policy = self.make(sets=4, ways=2)
+        # Train PC 0x999 averse through the fabric directly.
+        sig = policy._signature(0x999, 0, False)
+        predictor = policy.fabric.instances[0]
+        for _ in range(8):
+            predictor.train_averse(sig)
+        cache.fill(ctx(8, pc=0x999))
+        way = cache.find_way(0, 8)
+        assert policy._rrpv[0][way] == RRPV_MAX
+        assert not policy._friendly[0][way]
+
+    def test_averse_line_evicted_first(self):
+        cache, policy = self.make(sets=1, ways=2, sampled=(0,))
+        sig = policy._signature(0x999, 0, False)
+        for _ in range(8):
+            policy.fabric.instances[0].train_averse(sig)
+        cache.fill(ctx(0, pc=0x400))  # friendly
+        cache.fill(ctx(1, pc=0x999))  # averse
+        evicted, _ = cache.fill(ctx(2, pc=0x400))
+        assert evicted.block == 1
+
+    def test_friendly_eviction_detrains(self):
+        cache, policy = self.make(sets=1, ways=1, sampled=(0,))
+        predictor = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        before = predictor.confidence(sig)
+        cache.fill(ctx(0, pc=0x400))
+        cache.fill(ctx(1, pc=0x400))  # evicts friendly block 0
+        assert predictor.confidence(sig) < before
+
+    def test_sampled_reuse_trains_friendly(self):
+        cache, policy = self.make(sets=4, ways=2, sampled=(0,))
+        predictor = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        base = predictor.confidence(sig)
+        cache.access(ctx(0, pc=0x400))
+        cache.access(ctx(0, pc=0x400))  # immediate reuse: OPT hit
+        assert predictor.confidence(sig) >= base
+
+    def test_unsampled_sets_do_not_train(self):
+        cache, policy = self.make(sets=4, ways=2, sampled=(0,))
+        cache.access(ctx(1, pc=0x500))
+        cache.access(ctx(1, pc=0x500))
+        assert policy.sampler.lookup(1, 1) is None
+
+    def test_sampler_capacity_eviction_trains_averse(self):
+        selector = ExplicitSampledSets(2, [0])
+        policy = HawkeyePolicy(2, 2, selector=selector,
+                               sampled_entries_per_set=2, seed=0)
+        cache = Cache("t", 2, 2, policy)
+        predictor = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        before = predictor.confidence(sig)
+        # Three distinct never-reused blocks through a 2-entry history.
+        for block in (0, 2, 4):
+            cache.access(ctx(block, pc=0x400))
+        assert predictor.confidence(sig) < before
+
+    def test_writeback_fill_does_not_predict(self):
+        cache, policy = self.make()
+        lookups_before = policy.fabric.stats.lookups
+        cache.fill(ctx(0, kind=WRITEBACK))
+        assert policy.fabric.stats.lookups == lookups_before
+
+    def test_hit_promotes_to_zero(self):
+        cache, policy = self.make()
+        cache.fill(ctx(0))
+        policy._rrpv[0][cache.find_way(0, 0)] = 5
+        cache.access(ctx(0))
+        assert policy._rrpv[0][cache.find_way(0, 0)] == 0
+
+    def test_reset_clears_state(self):
+        cache, policy = self.make()
+        cache.access(ctx(0))
+        cache.fill(ctx(0))
+        policy.reset()
+        assert len(policy.sampler) == 0
+        assert policy._rrpv[0][0] == RRPV_MAX

@@ -1,0 +1,70 @@
+"""Tests for the inclusive-LLC (back-invalidation) mode."""
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.traces.trace import MemoryAccess
+
+
+def make(inclusive):
+    # The LLC is deliberately tinier than the privates: conflict blocks
+    # (multiples of 4, excluding multiples of 16/32) collide in the LLC
+    # set but land in distinct L1/L2 sets, so only inclusion can remove
+    # the private copy of block 0.
+    cfg = SystemConfig(num_cores=1,
+                       llc_sets_per_slice=4,
+                       llc_ways=2,
+                       l1=CacheConfig(sets=16, ways=2, latency=5),
+                       l2=CacheConfig(sets=32, ways=2, latency=15),
+                       prefetcher="none",
+                       llc_inclusive=inclusive)
+    return MemoryHierarchy(cfg)
+
+
+def acc(block, pc=0x400):
+    return MemoryAccess(pc=pc, address=block * 64)
+
+
+CONFLICTS = [4, 8, 12, 20, 24, 28]  # LLC set 0; L1/L2 sets != 0
+
+
+class TestInclusiveMode:
+    def _thrash_block_out_of_llc(self, h, block):
+        """Evict *block* from its tiny LLC set with conflicting fills."""
+        for i, conflict in enumerate(CONFLICTS):
+            h.demand_access(0, acc(block + conflict), cycle=i * 1000)
+
+    def test_non_inclusive_keeps_private_copy(self):
+        h = make(inclusive=False)
+        h.demand_access(0, acc(0), cycle=0)
+        assert h.l1[0].contains(0)
+        self._thrash_block_out_of_llc(h, 0)
+        if not h.llc.contains(0):
+            # LLC dropped it; the private copy survives (non-inclusive).
+            assert h.l1[0].contains(0) or h.l2[0].contains(0)
+
+    def test_inclusive_back_invalidates(self):
+        h = make(inclusive=True)
+        h.demand_access(0, acc(0), cycle=0)
+        assert h.l1[0].contains(0)
+        self._thrash_block_out_of_llc(h, 0)
+        if not h.llc.contains(0):
+            assert not h.l1[0].contains(0)
+            assert not h.l2[0].contains(0)
+
+    def test_inclusive_never_beats_non_inclusive_hits(self):
+        """Back-invalidation can only remove private hits."""
+        pattern = [0, 1, 2] + [8 * i for i in range(1, 8)] + [0, 1, 2]
+
+        def hits(inclusive):
+            h = make(inclusive=inclusive)
+            total = 0
+            for i, b in enumerate(pattern):
+                latency = h.demand_access(0, acc(b), cycle=i * 1000)
+                total += latency <= h.config.l1.latency + 1
+            return total
+
+        assert hits(True) <= hits(False)
+
+    def test_flag_defaults_off(self):
+        cfg = SystemConfig(num_cores=1)
+        assert not cfg.llc_inclusive

@@ -1,0 +1,135 @@
+"""End-to-end integration tests: the paper's qualitative claims at
+smoke scale.
+
+These are slower than unit tests (seconds each) but pin the behaviours
+the reproduction stands on: smart policies beat LRU on policy-sensitive
+workloads, Drishti's fabric changes training visibility, the DSC detects
+uniformity, traffic shapes match Figure 10.
+"""
+
+import pytest
+
+from repro.core.drishti import DrishtiConfig
+from repro.sim.config import ScaleProfile, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.traces.mixes import homogeneous_mix, make_mix
+
+
+PROFILE = ScaleProfile.smoke()
+
+
+def run(workload, cores, policy, drishti=None, seed=1, **overrides):
+    cfg = SystemConfig.from_profile(
+        cores, PROFILE, llc_policy=policy,
+        drishti=drishti or DrishtiConfig.baseline(), **overrides)
+    traces = make_mix(homogeneous_mix(workload, cores), cfg,
+                      PROFILE.accesses_per_core, seed=seed)
+    return Simulator(cfg, traces).run()
+
+
+class TestPolicyOrdering:
+    """Smart policies beat LRU where the paper says they should."""
+
+    @pytest.mark.parametrize("policy", ["hawkeye", "mockingjay"])
+    def test_beats_lru_on_xalancbmk_mpki(self, policy):
+        base = run("xalancbmk", 4, "lru")
+        smart = run("xalancbmk", 4, policy)
+        assert smart.mpki() < base.mpki()
+
+    def test_mockingjay_beats_lru_on_mcf_ipc(self):
+        base = run("mcf", 4, "lru")
+        smart = run("mcf", 4, "mockingjay")
+        assert sum(smart.ipc) > sum(base.ipc)
+
+    def test_wpki_ordering_table5(self):
+        """Hawkeye writes back more than LRU (dirty lines deprioritised).
+
+        Table 5: LRU 0.18 vs Hawkeye 1.48 WPKI.  (Mockingjay's WPKI
+        inflation does not fully reproduce here because its bypassing
+        reduces fills — recorded as a deviation in EXPERIMENTS.md.)
+        """
+        lru = run("omnetpp", 4, "lru")
+        hawkeye = run("omnetpp", 4, "hawkeye")
+        assert hawkeye.wpki >= lru.wpki
+
+
+class TestDrishtiEffects:
+    def test_global_view_reduces_mpki_on_scattered_workload(self):
+        local = run("xalancbmk", 8, "mockingjay")
+        global_view = run("xalancbmk", 8, "mockingjay",
+                          DrishtiConfig.global_view_only())
+        assert global_view.mpki() <= local.mpki() * 1.02
+
+    def test_per_core_fabric_traffic_spread(self):
+        """Figure 10: per-core instances each see a small share."""
+        result = run("mcf", 8, "mockingjay",
+                     DrishtiConfig.global_view_only())
+        per_instance = result.fabric_per_instance
+        total = sum(per_instance)
+        assert len(per_instance) == 8
+        assert max(per_instance) < total  # spread, not centralized
+
+    def test_centralized_concentrates_traffic(self):
+        result = run("mcf", 8, "mockingjay", DrishtiConfig.centralized())
+        assert len(result.fabric_per_instance) == 1
+
+    def test_nocstar_lookup_cheaper_than_mesh(self):
+        with_noc = run("mcf", 8, "mockingjay", DrishtiConfig.full())
+        without = run("mcf", 8, "mockingjay",
+                      DrishtiConfig.without_nocstar())
+        assert with_noc.fabric_lookup_latency_avg < \
+            without.fabric_lookup_latency_avg
+
+    def test_nocstar_messages_counted(self):
+        result = run("mcf", 4, "mockingjay", DrishtiConfig.full())
+        assert result.nocstar_messages > 0
+        assert result.nocstar_energy_pj > 0
+
+    def test_dsc_uniformity_fallback_on_lbm(self):
+        """lbm's uniform demand must trip the DSC's uniformity detector."""
+        cfg = SystemConfig.from_profile(4, PROFILE,
+                                        llc_policy="mockingjay",
+                                        drishti=DrishtiConfig.full())
+        traces = make_mix(homogeneous_mix("lbm", 4), cfg,
+                          PROFILE.accesses_per_core, seed=1)
+        sim = Simulator(cfg, traces)
+        sim.run()
+        selectors = sim.hierarchy.llc.selectors
+        uniform = sum(s.uniform_phases for s in selectors)
+        dynamic = sum(s.dynamic_phases for s in selectors)
+        assert uniform > dynamic
+
+    def test_dsc_dynamic_selection_on_mcf(self):
+        """mcf's skewed demand must drive dynamic (top-MPKA) selection."""
+        cfg = SystemConfig.from_profile(4, PROFILE,
+                                        llc_policy="mockingjay",
+                                        drishti=DrishtiConfig.full())
+        traces = make_mix(homogeneous_mix("mcf", 4), cfg,
+                          PROFILE.accesses_per_core, seed=1)
+        sim = Simulator(cfg, traces)
+        sim.run()
+        selectors = sim.hierarchy.llc.selectors
+        dynamic = sum(s.dynamic_phases for s in selectors)
+        uniform = sum(s.uniform_phases for s in selectors)
+        assert dynamic > uniform
+
+
+class TestWorkloadCharacter:
+    def test_mcf_high_mpki(self):
+        assert run("mcf", 4, "lru").mpki() > 15
+
+    def test_datacenter_low_mpki(self):
+        assert run("google_search", 4, "lru").mpki() < \
+            run("mcf", 4, "lru").mpki()
+
+    def test_lbm_uniform_sets(self):
+        from repro.analysis.setmpka import mpka_summary
+        result = run("lbm", 4, "lru", track_set_stats=True)
+        mcf = run("mcf", 4, "lru", track_set_stats=True)
+        assert mpka_summary(result.per_set_mpka).skew_ratio < \
+            mpka_summary(mcf.per_set_mpka).skew_ratio
+
+    def test_prefetchers_cut_stride_latency(self):
+        off = run("lbm", 2, "lru", prefetcher="none")
+        on = run("lbm", 2, "lru", prefetcher="baseline")
+        assert sum(on.ipc) > sum(off.ipc)

@@ -1,0 +1,156 @@
+"""Tests for trace I/O, JSON reporting, and ASCII charts."""
+
+import json
+
+import pytest
+
+from repro.analysis.ascii_chart import (
+    bar_chart,
+    histogram,
+    series_chart,
+    sparkline,
+)
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.report import (
+    load_json,
+    mix_to_dict,
+    save_json,
+    simulation_to_dict,
+)
+from repro.sim.runner import run_mix
+from repro.sim.simulator import Simulator
+from repro.traces.io import (
+    load_trace,
+    load_trace_text,
+    save_trace,
+    save_trace_text,
+    trace_checksum,
+)
+from repro.traces.trace import MemoryAccess, Trace
+
+
+def sample_trace(n=50):
+    return Trace("sample", [
+        MemoryAccess(pc=0x400 + (i % 7), address=i * 64,
+                     is_write=(i % 5 == 0), instr_gap=i % 9,
+                     dependent=(i % 3 == 0))
+        for i in range(n)
+    ])
+
+
+class TestTraceIO:
+    def test_npz_round_trip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert trace_checksum(loaded) == trace_checksum(trace)
+
+    def test_npz_preserves_flags(self, tmp_path):
+        trace = sample_trace(10)
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for a, b in zip(trace, loaded):
+            assert (a.is_write, a.dependent) == (b.is_write, b.dependent)
+
+    def test_text_round_trip(self, tmp_path):
+        trace = sample_trace(20)
+        path = tmp_path / "t.trace"
+        save_trace_text(trace, path)
+        loaded = load_trace_text(path)
+        assert loaded.name == "sample"
+        assert trace_checksum(loaded) == trace_checksum(trace)
+
+    def test_text_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("0x400 0x1000\n")
+        with pytest.raises(ValueError):
+            load_trace_text(path)
+
+    def test_checksum_order_sensitive(self):
+        a = sample_trace(10)
+        b = Trace("sample", list(a.accesses)[::-1])
+        assert trace_checksum(a) != trace_checksum(b)
+
+    def test_checksum_detects_mutation(self):
+        a = sample_trace(10)
+        records = list(a.accesses)
+        records[3] = MemoryAccess(pc=0x999, address=records[3].address)
+        b = Trace("sample", records)
+        assert trace_checksum(a) != trace_checksum(b)
+
+
+def tiny_result():
+    cfg = SystemConfig(num_cores=2, llc_sets_per_slice=32,
+                       llc_policy="mockingjay",
+                       l1=CacheConfig(sets=4, ways=2, latency=5),
+                       l2=CacheConfig(sets=8, ways=2, latency=15),
+                       prefetcher="none")
+    traces = [Trace(f"t{i}", [MemoryAccess(pc=0x400, address=j * 97 * 64)
+                              for j in range(120)]) for i in range(2)]
+    return cfg, traces
+
+
+class TestReport:
+    def test_simulation_to_dict_is_json_safe(self):
+        cfg, traces = tiny_result()
+        result = Simulator(cfg, traces, warmup_accesses=10).run()
+        payload = simulation_to_dict(result)
+        text = json.dumps(payload)  # must not raise
+        assert "mockingjay" in text
+        assert payload["config"]["num_cores"] == 2
+        assert len(payload["ipc"]) == 2
+
+    def test_mix_to_dict(self):
+        cfg, traces = tiny_result()
+        mix = run_mix(cfg, traces, warmup_accesses=10)
+        payload = mix_to_dict(mix)
+        json.dumps(payload)
+        assert payload["ws"] == pytest.approx(mix.ws)
+        assert len(payload["slowdowns"]) == 2
+
+    def test_save_and_load_json(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_json({"a": 1, "b": [1.5, 2.5]}, path)
+        assert load_json(path) == {"a": 1, "b": [1.5, 2.5]}
+
+
+class TestCharts:
+    def test_sparkline_monotonic(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] != line[-1]
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_bar_chart_contains_labels_and_values(self):
+        text = bar_chart([("alpha", 2.0), ("beta", -1.0)], unit="%")
+        assert "alpha" in text and "beta" in text
+        assert "2.00%" in text
+        assert "-" in text  # negative marker
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([]) == "(empty)"
+
+    def test_histogram_bins_sum_to_n(self):
+        text = histogram([1, 2, 3, 4, 5, 5, 5], bins=4)
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()]
+        assert sum(counts) == 7
+
+    def test_histogram_constant(self):
+        assert "all values" in histogram([3, 3, 3])
+
+    def test_series_chart_has_legend(self):
+        text = series_chart({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_series_chart_empty(self):
+        assert series_chart({}) == "(empty)"

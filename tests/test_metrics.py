@@ -1,0 +1,112 @@
+"""Tests for speedup/fairness metrics and the mix runner."""
+
+import pytest
+
+from repro.metrics.speedup import (
+    harmonic_speedup,
+    individual_slowdowns,
+    max_individual_slowdown,
+    unfairness,
+    weighted_speedup,
+)
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.runner import normalized_ws, run_mix
+from repro.traces.trace import MemoryAccess, Trace
+
+
+class TestFormulas:
+    def test_individual_slowdowns(self):
+        assert individual_slowdowns([0.5, 1.0], [1.0, 1.0]) == [0.5, 1.0]
+
+    def test_ws_sum(self):
+        assert weighted_speedup([0.5, 0.5], [1.0, 1.0]) == 1.0
+
+    def test_ws_no_interference_equals_n(self):
+        assert weighted_speedup([2.0, 3.0], [2.0, 3.0]) == 2.0
+
+    def test_hs_harmonic_mean(self):
+        # slowdowns 0.5 and 1.0 -> HS = 2 / (2 + 1) = 0.667
+        assert harmonic_speedup([0.5, 1.0], [1.0, 1.0]) == \
+            pytest.approx(2 / 3)
+
+    def test_hs_below_arithmetic_mean(self):
+        hs = harmonic_speedup([0.2, 1.0], [1.0, 1.0])
+        assert hs < 0.6
+
+    def test_mis_is_worst_core_loss(self):
+        assert max_individual_slowdown([0.6, 0.9], [1.0, 1.0]) == \
+            pytest.approx(0.4)
+
+    def test_unfairness_ratio(self):
+        assert unfairness([0.5, 1.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_perfect_fairness(self):
+        assert unfairness([0.7, 0.7], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 1.0])
+
+    def test_zero_alone_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+
+def tiny_config(num_cores=2):
+    return SystemConfig(num_cores=num_cores, llc_sets_per_slice=32,
+                        l1=CacheConfig(sets=4, ways=2, latency=5),
+                        l2=CacheConfig(sets=8, ways=2, latency=15),
+                        prefetcher="none")
+
+
+def trace(name, stride_blocks=1, n=150, base=0):
+    return Trace(name, [MemoryAccess(pc=0x400,
+                                     address=base + i * stride_blocks * 64,
+                                     instr_gap=5) for i in range(n)])
+
+
+class TestRunMix:
+    def test_basic_metrics_available(self):
+        cfg = tiny_config()
+        mix = run_mix(cfg, [trace("a"), trace("b", stride_blocks=97)],
+                      warmup_accesses=10)
+        assert 0 < mix.ws <= 2.0 + 1e-6
+        assert 0 < mix.hs <= 1.0 + 1e-6
+        assert mix.unfairness >= 1.0
+        assert 0 <= mix.mis <= 1.0
+
+    def test_slowdowns_at_most_one_ish(self):
+        cfg = tiny_config()
+        # Disjoint address ranges: no constructive sharing, so together
+        # can never meaningfully beat alone on a shared system.
+        mix = run_mix(cfg, [trace("a"), trace("a2", base=1 << 30)],
+                      warmup_accesses=10)
+        assert all(s <= 1.1 for s in mix.slowdowns)
+
+    def test_alone_cache_reused(self):
+        cfg = tiny_config()
+        cache = {}
+        run_mix(cfg, [trace("a"), trace("b")], alone_ipc_cache=cache,
+                warmup_accesses=10)
+        assert set(cache) == {"a", "b"}
+        # Second call with a poisoned cache shows values are reused.
+        cache["a"] = 123.0
+        mix = run_mix(cfg, [trace("a"), trace("b")],
+                      alone_ipc_cache=cache, warmup_accesses=10)
+        assert mix.ipc_alone[0] == 123.0
+
+    def test_normalized_ws(self):
+        cfg = tiny_config()
+        traces = [trace("a"), trace("b")]
+        base = run_mix(cfg, traces, warmup_accesses=10)
+        assert normalized_ws(base, base) == pytest.approx(1.0)
+
+    def test_mpki_and_wpki_exposed(self):
+        cfg = tiny_config()
+        mix = run_mix(cfg, [trace("a"), trace("b")], warmup_accesses=10)
+        assert mix.mpki >= 0
+        assert mix.wpki >= 0

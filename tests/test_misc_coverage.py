@@ -1,0 +1,120 @@
+"""Coverage for smaller paths: runner helpers, config validation,
+prefetch crediting, DRAM mapping, chart labels."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_chart import series_chart
+from repro.analysis.myopia import pc_slice_scatter
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.slice_hash import SliceHash
+from repro.core.drishti import DrishtiConfig
+from repro.dram.controller import DRAMController
+from repro.experiments.common import ExperimentProfile
+from repro.sim.config import CacheConfig, ScaleProfile, SystemConfig
+from repro.sim.runner import run_alone
+from repro.traces.trace import MemoryAccess, Trace
+
+
+def tiny_cfg(**kw):
+    return SystemConfig(num_cores=2, llc_sets_per_slice=32,
+                        l1=CacheConfig(sets=4, ways=2, latency=5),
+                        l2=CacheConfig(sets=8, ways=2, latency=15),
+                        prefetcher=kw.pop("prefetcher", "none"), **kw)
+
+
+class TestRunnerHelpers:
+    def test_run_alone_single_core_result(self):
+        trace = Trace("t", [MemoryAccess(pc=0x400, address=i * 64)
+                            for i in range(100)])
+        result = run_alone(tiny_cfg(), trace, warmup_accesses=10)
+        assert len(result.ipc) == 1
+        assert result.ipc[0] > 0
+
+    def test_profile_config_override(self):
+        prof = ExperimentProfile.bench()
+        cfg = prof.config(4, "lru", DrishtiConfig.baseline(),
+                          prefetcher="none")
+        assert cfg.prefetcher == "none"
+
+    def test_profile_config_bad_override(self):
+        prof = ExperimentProfile.bench()
+        with pytest.raises(ValueError):
+            prof.config(4, "lru", DrishtiConfig.baseline(),
+                        nonsense_field=1)
+
+    def test_system_config_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+
+    def test_llc_capacity_helpers(self):
+        cfg = tiny_cfg()
+        assert cfg.llc_lines_per_core == 32 * 16
+        assert cfg.llc_capacity_bytes == 2 * 32 * 16 * 64
+
+
+class TestPrefetchCrediting:
+    def test_prefetched_line_counted_useful_once(self):
+        cfg = tiny_cfg(prefetcher="baseline")
+        h = MemoryHierarchy(cfg)
+        h.demand_access(0, MemoryAccess(pc=0x400, address=0x40000),
+                        cycle=0)
+        nxt = 0x40000 // 64 + 1
+        l2 = h.l2[0]
+        if l2.contains(nxt):
+            way = l2.find_way(l2.set_index(nxt), nxt)
+            assert l2.blocks_in_set(l2.set_index(nxt))[way].is_prefetch
+            h.demand_access(0, MemoryAccess(pc=0x400,
+                                            address=(nxt * 64)),
+                            cycle=100)
+            # L1 absorbed it or L2 credit consumed the flag.
+            way = l2.find_way(l2.set_index(nxt), nxt)
+            if way is not None:
+                line = l2.blocks_in_set(l2.set_index(nxt))[way]
+                assert not line.is_prefetch or h.l1[0].contains(nxt)
+
+
+class TestDRAMMapping:
+    def test_channels_cover_all(self):
+        d = DRAMController(num_channels=4)
+        channels = {d._map(block * 1000)[0] for block in range(200)}
+        assert channels == {0, 1, 2, 3}
+
+    def test_same_row_same_channel(self):
+        d = DRAMController(num_channels=4)
+        a = d._map(0)
+        b = d._map(1)  # same 4 KB row
+        assert a[:2] == b[:2]
+
+    def test_channels_for_derivation(self):
+        from repro.sim.config import DRAMConfig
+        assert DRAMConfig().channels_for(16) == 4
+        assert DRAMConfig().channels_for(2) == 1
+        assert DRAMConfig(channels=7).channels_for(16) == 7
+
+
+class TestChartsExtra:
+    def test_series_chart_x_labels_rendered(self):
+        text = series_chart({"a": [1, 2]}, x_labels=["p", "q"])
+        assert "p q" in text
+
+    def test_series_chart_collision_marker(self):
+        text = series_chart({"a": [5.0], "b": [5.0]}, height=3)
+        assert "*" in text
+
+
+class TestMyopiaParams:
+    def test_min_loads_threshold(self):
+        sh = SliceHash(4)
+        tr = Trace("t", [MemoryAccess(pc=1, address=0),
+                         MemoryAccess(pc=1, address=64),
+                         MemoryAccess(pc=1, address=128),
+                         MemoryAccess(pc=2, address=0)])
+        assert 1 in pc_slice_scatter(tr, sh, min_loads=3)
+        assert 2 not in pc_slice_scatter(tr, sh, min_loads=3)
+
+
+class TestScaleProfileAccounting:
+    def test_warmup_accesses_fraction(self):
+        prof = ScaleProfile.smoke()
+        assert prof.warmup_accesses == int(prof.accesses_per_core * 0.2)

@@ -1,0 +1,197 @@
+"""Tests for Mockingjay: the ETR predictor and the policy."""
+
+import pytest
+
+from repro.cache.block import DEMAND, WRITEBACK, AccessContext
+from repro.cache.cache import Cache
+from repro.core.sampled_sets import ExplicitSampledSets
+from repro.replacement.mockingjay import (
+    ETRPredictor,
+    INF_SCALED,
+    MAX_SCALED,
+    MockingjayPolicy,
+)
+
+
+def ctx(block, pc=0x400, core=0, kind=DEMAND, write=False):
+    return AccessContext(pc=pc, block=block, core_id=core, kind=kind,
+                         is_write=write)
+
+
+class TestETRPredictor:
+    def test_cold_entry_predicts_none(self):
+        p = ETRPredictor(table_bits=4)
+        assert p.predict(0) is None
+
+    def test_first_train_sets_value(self):
+        p = ETRPredictor(table_bits=4)
+        p.train(1, 5)
+        assert p.predict(1) == 5
+
+    def test_training_blends_toward_observation(self):
+        p = ETRPredictor(table_bits=4)
+        p.train(1, 0)
+        p.train(1, 10)
+        value = p.predict(1)
+        assert 0 < value <= 10
+
+    def test_blend_always_moves_when_different(self):
+        p = ETRPredictor(table_bits=4)
+        p.train(1, 4)
+        p.train(1, 5)
+        assert p.predict(1) == 5
+
+    def test_train_inf_pushes_toward_inf(self):
+        p = ETRPredictor(table_bits=4)
+        p.train_inf(2)
+        assert p.predict(2) == INF_SCALED
+
+    def test_inf_recovers_with_reuse(self):
+        p = ETRPredictor(table_bits=4)
+        p.train_inf(2)
+        for _ in range(6):
+            p.train(2, 1)
+        assert p.predict(2) < INF_SCALED
+
+    def test_scale_quantises(self):
+        p = ETRPredictor(table_bits=4, granularity=8)
+        assert p.scale(0) == 0
+        assert p.scale(7) == 0
+        assert p.scale(8) == 1
+        assert p.scale(10_000) == MAX_SCALED
+
+    def test_train_clamps(self):
+        p = ETRPredictor(table_bits=4)
+        p.train(0, 99)
+        assert p.predict(0) <= MAX_SCALED
+
+    def test_reset(self):
+        p = ETRPredictor(table_bits=4)
+        p.train(0, 3)
+        p.reset()
+        assert p.predict(0) is None
+
+    def test_signature_bounds(self):
+        p = ETRPredictor(table_bits=3)
+        with pytest.raises(ValueError):
+            p.train(8, 1)
+
+
+class TestMockingjayPolicy:
+    def make(self, sets=4, ways=2, sampled=(0,), **kw):
+        selector = ExplicitSampledSets(sets, list(sampled))
+        policy = MockingjayPolicy(sets, ways, selector=selector, seed=0,
+                                  **kw)
+        return Cache("t", sets, ways, policy), policy
+
+    def test_fill_sets_etr_from_default_when_cold(self):
+        cache, policy = self.make()
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        assert policy._etr[0][way] == policy.DEFAULT_SCALED
+
+    def test_fill_uses_trained_prediction(self):
+        cache, policy = self.make()
+        sig = policy._signature(0x400, 0, False)
+        policy.fabric.instances[0].train(sig, 2)
+        cache.fill(ctx(0, pc=0x400))
+        way = cache.find_way(0, 0)
+        assert policy._etr[0][way] == 2
+
+    def test_inf_prediction_bypasses(self):
+        cache, policy = self.make()
+        sig = policy._signature(0x999, 0, False)
+        policy.fabric.instances[0].train_inf(sig)
+        evicted, _ = cache.fill(ctx(0, pc=0x999))
+        assert not cache.contains(0)
+        assert cache.stats.bypasses == 1
+
+    def test_farther_than_all_residents_bypasses(self):
+        cache, policy = self.make(sets=1, ways=2)
+        near = policy._signature(0x400, 0, False)
+        far = policy._signature(0x999, 0, False)
+        policy.fabric.instances[0].train(near, 1)
+        policy.fabric.instances[0].train(far, 12)
+        cache.fill(ctx(0, pc=0x400))
+        cache.fill(ctx(1, pc=0x400))
+        cache.fill(ctx(2, pc=0x999))
+        assert not cache.contains(2)
+
+    def test_victim_is_max_abs_etr(self):
+        cache, policy = self.make(sets=1, ways=2)
+        a = policy._signature(0x400, 0, False)
+        b = policy._signature(0x500, 0, False)
+        mid = policy._signature(0x600, 0, False)
+        policy.fabric.instances[0].train(a, 2)
+        policy.fabric.instances[0].train(b, 9)
+        policy.fabric.instances[0].train(mid, 5)
+        cache.fill(ctx(0, pc=0x400))
+        cache.fill(ctx(1, pc=0x500))
+        evicted, _ = cache.fill(ctx(2, pc=0x600))
+        assert evicted.block == 1  # ETR 9 is farthest
+
+    def test_dirty_bias_prefers_dirty_victim(self):
+        cache, policy = self.make(sets=1, ways=2, dirty_bias=10)
+        sig = policy._signature(0x400, 0, False)
+        policy.fabric.instances[0].train(sig, 5)
+        cache.fill(ctx(0, pc=0x400))
+        cache.fill(ctx(1, pc=0x400))
+        cache.access(ctx(0, write=True))  # dirty block 0
+        evicted, _ = cache.fill(ctx(2, pc=0x400))
+        assert evicted.block == 0
+        assert evicted.dirty
+
+    def test_aging_decrements_etr(self):
+        cache, policy = self.make(sets=1, ways=2, granularity=1)
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        start = policy._etr[0][way]
+        cache.access(ctx(1))  # every set access ticks the clock
+        assert policy._etr[0][way] < start
+
+    def test_hit_restores_fill_prediction(self):
+        cache, policy = self.make(sets=1, ways=2, granularity=1)
+        cache.fill(ctx(0))
+        way = cache.find_way(0, 0)
+        init = policy._etr_init[0][way]
+        cache.access(ctx(1))  # ages block 0
+        cache.access(ctx(0))
+        assert policy._etr[0][way] == init
+
+    def test_sampled_reuse_trains_observed_distance(self):
+        cache, policy = self.make(sets=2, ways=2, sampled=(0,))
+        predictor = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        cache.access(ctx(0, pc=0x400))
+        cache.access(ctx(0, pc=0x400))  # distance 1 -> scaled 0
+        assert predictor.predict(sig) == 0
+
+    def test_sampler_eviction_trains_inf(self):
+        cache, policy = self.make(sets=2, ways=2, sampled=(0,),
+                                  sampled_entries_per_set=1)
+        predictor = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        cache.access(ctx(0, pc=0x400))
+        cache.access(ctx(2, pc=0x500))  # evicts block 0's entry
+        assert predictor.predict(sig) == INF_SCALED
+
+    def test_writeback_fill_deprioritised_and_unpredicted(self):
+        cache, policy = self.make()
+        lookups = policy.fabric.stats.lookups
+        cache.fill(ctx(0, kind=WRITEBACK))
+        way = cache.find_way(0, 0)
+        assert policy._etr[0][way] == MAX_SCALED
+        assert policy.fabric.stats.lookups == lookups
+
+    def test_writes_do_not_train_sampler(self):
+        cache, policy = self.make(sets=2, ways=2, sampled=(0,))
+        cache.access(ctx(0, kind=WRITEBACK))
+        assert policy.sampler.lookup(0, 0) is None
+
+    def test_reset(self):
+        cache, policy = self.make()
+        cache.access(ctx(0))
+        cache.fill(ctx(0))
+        policy.reset()
+        assert len(policy.sampler) == 0
+        assert policy._etr[0][0] == 0

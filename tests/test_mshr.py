@@ -1,0 +1,53 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+class TestMSHR:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_allocate_and_lookup(self):
+        m = MSHRFile(4)
+        m.allocate(block=1, completion_cycle=100, now=0)
+        assert m.lookup(1) == 100
+        assert m.lookup(2) is None
+
+    def test_merge_returns_existing_completion(self):
+        m = MSHRFile(4)
+        m.allocate(1, 100, now=0)
+        assert m.allocate(1, 200, now=10) == 100
+        assert m.merges == 1
+        assert m.allocations == 1
+
+    def test_expire(self):
+        m = MSHRFile(4)
+        m.allocate(1, 50, now=0)
+        m.expire(50)
+        assert m.lookup(1) is None
+
+    def test_full_file_stalls(self):
+        m = MSHRFile(2)
+        m.allocate(1, 100, now=0)
+        m.allocate(2, 120, now=0)
+        # Third miss must wait for the earliest (100) to retire.
+        completion = m.allocate(3, 80, now=0)
+        assert completion >= 100
+        assert m.full_stalls == 1
+
+    def test_len_and_clear(self):
+        m = MSHRFile(4)
+        m.allocate(1, 100, now=0)
+        m.allocate(2, 100, now=0)
+        assert len(m) == 2
+        m.clear()
+        assert len(m) == 0
+
+    def test_is_full(self):
+        m = MSHRFile(1)
+        assert not m.is_full
+        m.allocate(1, 100, now=0)
+        assert m.is_full

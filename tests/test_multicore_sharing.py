@@ -1,0 +1,71 @@
+"""Multi-core LLC sharing semantics."""
+
+import pytest
+
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.traces.trace import MemoryAccess, Trace
+
+
+def cfg(cores=4, **kw):
+    return SystemConfig(num_cores=cores, llc_sets_per_slice=32,
+                        l1=CacheConfig(sets=4, ways=2, latency=5),
+                        l2=CacheConfig(sets=8, ways=2, latency=15),
+                        prefetcher="none", **kw)
+
+
+def shared_trace(name, n=120):
+    """All cores touch the same shared region."""
+    return Trace(name, [MemoryAccess(pc=0x400, address=i % 40 * 64,
+                                     instr_gap=5) for i in range(n)])
+
+
+def private_trace(name, core, n=120):
+    return Trace(name, [MemoryAccess(pc=0x400,
+                                     address=(core << 26) + i * 64,
+                                     instr_gap=5) for i in range(n)])
+
+
+class TestSharing:
+    def test_shared_data_served_once_from_dram(self):
+        """Four cores over one 40-block region: far fewer DRAM reads
+        than four private copies would need."""
+        shared = Simulator(cfg(), [shared_trace(f"s{i}")
+                                   for i in range(4)],
+                           warmup_accesses=0).run()
+        private = Simulator(cfg(), [private_trace(f"p{i}", i)
+                                    for i in range(4)],
+                            warmup_accesses=0).run()
+        assert shared.dram_reads < private.dram_reads
+
+    def test_slices_partition_the_address_space(self):
+        sim = Simulator(cfg(), [private_trace(f"p{i}", i)
+                                for i in range(4)], warmup_accesses=0)
+        sim.run()
+        llc = sim.hierarchy.llc
+        # Every slice saw traffic (the hash spreads all four regions).
+        for sl in llc.slices:
+            assert sl.stats.accesses > 0
+
+    def test_destructive_interference_reduces_ipc(self):
+        """Adding three thrashing neighbours must not speed core 0 up."""
+        alone = Simulator(cfg(1), [private_trace("a", 0)],
+                          warmup_accesses=0).run()
+        crowd = [private_trace("a", 0)] + [
+            Trace(f"thrash{i}",
+                  [MemoryAccess(pc=0x900, address=(1 << 28) + (i << 26)
+                                + j * 97 * 64, instr_gap=2)
+                   for j in range(240)])
+            for i in range(3)]
+        together = Simulator(cfg(4), crowd, warmup_accesses=0).run()
+        assert together.ipc[0] <= alone.ipc[0] * 1.05
+
+    def test_per_core_miss_attribution(self):
+        traces = [private_trace("hot", 0, n=200),
+                  Trace("cold", [MemoryAccess(pc=0x500,
+                                              address=(1 << 30) +
+                                              j * 131 * 64)
+                                 for j in range(200)])]
+        result = Simulator(cfg(2), traces, warmup_accesses=0).run()
+        # The streaming core misses more at the LLC than the loop core.
+        assert result.llc_demand_misses[1] >= result.llc_demand_misses[0]

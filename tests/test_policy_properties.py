@@ -1,0 +1,111 @@
+"""Property-based tests: every policy upholds the cache contract under
+arbitrary access streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import DEMAND, AccessContext
+from repro.cache.cache import Cache
+from repro.core.sampled_sets import StaticSampledSets
+from repro.replacement.hawkeye.hawkeye import RRPV_MAX as HAWKEYE_MAX
+from repro.replacement.mockingjay.predictor import INF_SCALED
+from repro.replacement.mockingjay.mockingjay import ETR_MIN
+from repro.replacement.registry import POLICY_REGISTRY, make_policy
+
+SETS, WAYS = 8, 2
+
+stream = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=63),  # block
+              st.integers(min_value=0, max_value=7),  # pc selector
+              st.booleans()),  # write
+    min_size=1, max_size=120)
+
+
+def build(policy_name):
+    kwargs = {}
+    entry = POLICY_REGISTRY[policy_name]
+    if entry.uses_sampled_sets and entry.uses_predictor:
+        kwargs["selector"] = StaticSampledSets(SETS, 2, seed=1)
+    policy = make_policy(policy_name, SETS, WAYS, **kwargs)
+    return Cache("prop", SETS, WAYS, policy), policy
+
+
+def run_stream(cache, accesses):
+    for i, (block, pc_sel, write) in enumerate(accesses):
+        ctx = AccessContext(pc=0x400 + pc_sel * 4, block=block,
+                            core_id=0, is_write=write, kind=DEMAND,
+                            cycle=i)
+        if not cache.access(ctx).hit:
+            cache.fill(ctx)
+
+
+class TestEveryPolicyContract:
+    @given(stream)
+    @settings(max_examples=15, deadline=None)
+    def test_all_policies_survive_arbitrary_streams(self, accesses):
+        for name in sorted(POLICY_REGISTRY):
+            cache, _policy = build(name)
+            run_stream(cache, accesses)
+            s = cache.stats
+            assert s.hits + s.misses == s.accesses
+            assert cache.occupancy() <= 1.0
+
+    @given(stream)
+    @settings(max_examples=20, deadline=None)
+    def test_accessed_block_resident_unless_bypassing(self, accesses):
+        # Non-bypassing policies must hold the just-filled block.
+        for name in ("lru", "srrip", "drrip", "dip", "hawkeye", "ship",
+                     "eva", "sdbp", "leeway"):
+            cache, _policy = build(name)
+            for i, (block, pc_sel, write) in enumerate(accesses):
+                ctx = AccessContext(pc=0x400 + pc_sel * 4, block=block,
+                                    core_id=0, is_write=write,
+                                    kind=DEMAND, cycle=i)
+                if not cache.access(ctx).hit:
+                    cache.fill(ctx)
+                assert cache.contains(block), name
+
+
+class TestHawkeyeInvariants:
+    @given(stream)
+    @settings(max_examples=25, deadline=None)
+    def test_rrpv_bounds(self, accesses):
+        cache, policy = build("hawkeye")
+        run_stream(cache, accesses)
+        for set_idx in range(SETS):
+            for way in range(WAYS):
+                assert 0 <= policy._rrpv[set_idx][way] <= HAWKEYE_MAX
+
+
+class TestMockingjayInvariants:
+    @given(stream)
+    @settings(max_examples=25, deadline=None)
+    def test_etr_bounds(self, accesses):
+        cache, policy = build("mockingjay")
+        run_stream(cache, accesses)
+        for set_idx in range(SETS):
+            for way in range(WAYS):
+                assert ETR_MIN <= policy._etr[set_idx][way] <= INF_SCALED
+
+    @given(stream)
+    @settings(max_examples=25, deadline=None)
+    def test_predictor_values_bounded(self, accesses):
+        cache, policy = build("mockingjay")
+        run_stream(cache, accesses)
+        predictor = policy.fabric.instances[0]
+        for sig in range(len(predictor)):
+            value = predictor.predict(sig)
+            assert value is None or 0 <= value <= INF_SCALED
+
+
+class TestDeterminismProperty:
+    @given(stream)
+    @settings(max_examples=10, deadline=None)
+    def test_same_stream_same_stats(self, accesses):
+        for name in ("mockingjay", "hawkeye", "chrome"):
+            a_cache, _p = build(name)
+            b_cache, _p = build(name)
+            run_stream(a_cache, accesses)
+            run_stream(b_cache, accesses)
+            assert a_cache.stats.hits == b_cache.stats.hits
+            assert a_cache.stats.bypasses == b_cache.stats.bypasses

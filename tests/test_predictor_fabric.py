@@ -1,0 +1,170 @@
+"""Tests for the predictor fabric and NOCSTAR."""
+
+import pytest
+
+from repro.core.nocstar import ENERGY_PER_MESSAGE_PJ, NOCSTAR
+from repro.core.predictor_fabric import PredictorFabric, PredictorScope
+from repro.interconnect.mesh import MeshNoC
+
+
+class FakePredictor:
+    def __init__(self, ident):
+        self.ident = ident
+        self.resets = 0
+
+    def reset(self):
+        self.resets += 1
+
+
+def make_fabric(scope, slices=4, cores=4, **kw):
+    return PredictorFabric(scope, slices, cores,
+                           predictor_factory=FakePredictor, **kw)
+
+
+class TestScopes:
+    def test_local_one_instance_per_slice(self):
+        f = make_fabric(PredictorScope.LOCAL)
+        assert len(f.instances) == 4
+
+    def test_centralized_single_instance(self):
+        f = make_fabric(PredictorScope.CENTRALIZED)
+        assert len(f.instances) == 1
+
+    def test_per_core_one_per_core(self):
+        f = make_fabric(PredictorScope.PER_CORE_GLOBAL, slices=4, cores=4)
+        assert len(f.instances) == 4
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            make_fabric("bogus")
+
+
+class TestRouting:
+    def test_local_routes_to_own_slice(self):
+        f = make_fabric(PredictorScope.LOCAL)
+        pred, lat = f.predict(slice_id=2, core_id=0)
+        assert pred.ident == 2
+        assert lat == 0
+
+    def test_per_core_routes_to_core(self):
+        f = make_fabric(PredictorScope.PER_CORE_GLOBAL, use_nocstar=True)
+        pred, _lat = f.predict(slice_id=0, core_id=3)
+        assert pred.ident == 3
+        pred, _lat = f.train_target(slice_id=2, core_id=3)
+        assert pred.ident == 3
+
+    def test_centralized_always_instance_zero(self):
+        f = make_fabric(PredictorScope.CENTRALIZED)
+        for s in range(4):
+            pred, _ = f.predict(slice_id=s, core_id=s)
+            assert pred.ident == 0
+
+
+class TestLatency:
+    def test_nocstar_lookup_fully_hidden(self):
+        """NOCSTAR's 3 cycles sit under the 5-cycle fill-pipeline hide
+        window (Figure 11b: <5 cycles costs nothing)."""
+        f = make_fabric(PredictorScope.PER_CORE_GLOBAL, use_nocstar=True)
+        _, exposed = f.predict(slice_id=0, core_id=3)
+        assert exposed == 0
+        assert f.stats.lookup_latency_total == 3  # raw cost recorded
+
+    def test_slow_sideband_partially_exposed(self):
+        from repro.core.nocstar import NOCSTAR
+        f = make_fabric(PredictorScope.PER_CORE_GLOBAL, use_nocstar=True,
+                        nocstar=NOCSTAR(4, base_latency=20))
+        _, exposed = f.predict(slice_id=0, core_id=3)
+        assert exposed == 15  # 20 raw minus the 5-cycle hide window
+
+    def test_mesh_latency_grows_with_distance(self):
+        mesh = MeshNoC(16)
+        f = make_fabric(PredictorScope.PER_CORE_GLOBAL, slices=16,
+                        cores=16, mesh=mesh, use_nocstar=False)
+        _, near = f.predict(slice_id=5, core_id=5)
+        _, far = f.predict(slice_id=0, core_id=15)
+        assert far > near
+
+    def test_centralized_queueing_under_burst(self):
+        f = make_fabric(PredictorScope.CENTRALIZED, mesh=MeshNoC(4),
+                        service_cycles=4)
+        lat_first = f.predict(0, 0, cycle=100)[1]
+        lat_second = f.predict(1, 1, cycle=100)[1]
+        assert lat_second > lat_first  # port busy
+
+    def test_local_scope_has_zero_latency(self):
+        f = make_fabric(PredictorScope.LOCAL)
+        assert f.train_target(1, 0)[1] == 0
+
+
+class TestStats:
+    def test_lookup_and_train_counted(self):
+        f = make_fabric(PredictorScope.PER_CORE_GLOBAL, use_nocstar=True)
+        f.predict(0, 1)
+        f.train_target(2, 1)
+        f.train_target(3, 2)
+        assert f.stats.lookups == 1
+        assert f.stats.trains == 2
+        assert f.stats.per_instance_accesses[1] == 2
+        assert f.stats.per_instance_accesses[2] == 1
+
+    def test_apki(self):
+        f = make_fabric(PredictorScope.LOCAL)
+        for _ in range(5):
+            f.predict(0, 0)
+        assert f.stats.accesses_per_kilo_instr(1000) == pytest.approx(5.0)
+
+    def test_reset_clears_stats_and_predictors(self):
+        f = make_fabric(PredictorScope.LOCAL)
+        f.predict(0, 0)
+        f.reset()
+        assert f.stats.lookups == 0
+        assert f.instances[0].resets == 1
+
+
+class TestNOCSTAR:
+    def test_base_latency(self):
+        n = NOCSTAR(8)
+        assert n.request(0, 5) == 3
+        assert n.response(1, 5) == 3
+
+    def test_configurable_latency(self):
+        n = NOCSTAR(8, base_latency=7)
+        assert n.request(0, 1) == 7
+
+    def test_message_counting(self):
+        n = NOCSTAR(4)
+        n.request(0, 1)
+        n.request(0, 2)
+        n.response(1, 2)
+        assert n.stats.request_messages == 2
+        assert n.stats.response_messages == 1
+        assert n.stats.total_messages == 3
+
+    def test_energy_accounting(self):
+        n = NOCSTAR(4)
+        n.request(0, 1)
+        assert n.stats.dynamic_energy_pj == pytest.approx(
+            ENERGY_PER_MESSAGE_PJ)
+
+    def test_conflict_penalty_under_hotspot(self):
+        n = NOCSTAR(2, conflict_window=2, conflict_penalty=5)
+        latencies = [n.request(0, 1) for _ in range(4)]
+        assert max(latencies) > min(latencies)
+        assert n.stats.arbitration_conflicts > 0
+
+    def test_power_report(self):
+        n = NOCSTAR(32)
+        report = n.power_report()
+        assert report["static_power_mw"] == pytest.approx(2.4 * 32)
+        assert report["area_mm2"] == pytest.approx(0.005 * 32)
+
+    def test_bad_node_rejected(self):
+        n = NOCSTAR(4)
+        with pytest.raises(ValueError):
+            n.request(0, 4)
+
+    def test_reset(self):
+        n = NOCSTAR(4)
+        n.request(0, 1)
+        n.reset_stats()
+        assert n.stats.total_messages == 0

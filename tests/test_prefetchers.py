@@ -1,0 +1,169 @@
+"""Tests for the prefetcher suite."""
+
+import pytest
+
+from repro.prefetch.base import BLOCKS_PER_PAGE, NullPrefetcher
+from repro.prefetch.berti import BertiPrefetcher
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.ip_stride import IPStridePrefetcher
+from repro.prefetch.ipcp import IPCPPrefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.registry import PREFETCHER_REGISTRY, make_prefetcher
+from repro.prefetch.spp import SPPPrefetcher
+
+PAGE = BLOCKS_PER_PAGE
+
+
+class TestNull:
+    def test_never_prefetches(self):
+        pf = NullPrefetcher()
+        assert pf.observe(0x400, 5, hit=False) == []
+
+
+class TestNextLine:
+    def test_next_block(self):
+        pf = NextLinePrefetcher()
+        assert pf.observe(0x400, 10, hit=False) == [11]
+
+    def test_stops_at_page_boundary(self):
+        pf = NextLinePrefetcher()
+        assert pf.observe(0x400, PAGE - 1, hit=False) == []
+
+    def test_degree(self):
+        pf = NextLinePrefetcher(degree=3)
+        assert pf.observe(0x400, 10, hit=False) == [11, 12, 13]
+
+
+class TestIPStride:
+    def test_needs_confidence(self):
+        pf = IPStridePrefetcher(degree=1)
+        assert pf.observe(0x400, 0, hit=False) == []
+        assert pf.observe(0x400, 4, hit=False) == []  # stride learned
+        assert pf.observe(0x400, 8, hit=False) == []  # confidence 1
+        assert pf.observe(0x400, 12, hit=False) == [16]  # armed
+
+    def test_stride_change_resets(self):
+        pf = IPStridePrefetcher(degree=1)
+        for b in (0, 4, 8, 12):
+            pf.observe(0x400, b, hit=False)
+        assert pf.observe(0x400, 13, hit=False) == []  # stride broke
+
+    def test_per_pc_tables(self):
+        pf = IPStridePrefetcher(degree=1)
+        for b in (0, 4, 8, 12):
+            pf.observe(0x400, b, hit=False)
+        # Other PC has no confidence yet.
+        assert pf.observe(0x500, 100, hit=False) == []
+
+    def test_zero_stride_ignored(self):
+        pf = IPStridePrefetcher()
+        pf.observe(0x400, 5, hit=False)
+        assert pf.observe(0x400, 5, hit=False) == []
+
+    def test_reset(self):
+        pf = IPStridePrefetcher()
+        for b in (0, 4, 8, 12):
+            pf.observe(0x400, b, hit=False)
+        pf.reset()
+        assert pf.observe(0x400, 16, hit=False) == []
+
+
+class TestSPP:
+    def test_learns_constant_delta_path(self):
+        pf = SPPPrefetcher(degree=2)
+        issued = []
+        for i in range(30):
+            issued.extend(pf.observe(0x400, i, hit=False))
+        assert issued  # the signature path converged
+        # Proposals are ahead of the stream.
+        assert all(b > 0 for b in issued)
+
+    def test_stays_in_page(self):
+        pf = SPPPrefetcher(degree=4)
+        out = []
+        for i in range(PAGE):
+            out.extend(pf.observe(0x400, i, hit=False))
+        assert all(b // PAGE == 0 for b in out)
+
+    def test_low_confidence_blocks_issue(self):
+        pf = SPPPrefetcher(degree=2)
+        # Random-ish deltas never build confidence.
+        issued = []
+        for i, d in enumerate([0, 7, 3, 9, 1, 8, 2, 11]):
+            issued.extend(pf.observe(0x400, d, hit=False))
+        assert issued == []
+
+
+class TestBingo:
+    def test_replays_footprint_on_trigger(self):
+        pf = BingoPrefetcher(degree=8)
+        # Visit page 0 with footprint {0, 3, 7}; trigger at offset 0.
+        for off in (0, 3, 7):
+            pf.observe(0x400, off, hit=False)
+        # Enter many other pages to retire page 0's region.
+        for page in range(1, 70):
+            pf.observe(0x900, page * PAGE, hit=False)
+        # Re-trigger with the same (pc, offset) on a fresh page.
+        out = pf.observe(0x400, 100 * PAGE + 0, hit=False)
+        offsets = sorted(b % PAGE for b in out)
+        assert offsets == [3, 7]
+
+    def test_no_history_no_prefetch(self):
+        pf = BingoPrefetcher()
+        assert pf.observe(0x400, 5, hit=False) == []
+
+
+class TestIPCP:
+    def test_constant_stride_class(self):
+        pf = IPCPPrefetcher(degree=2)
+        out = []
+        for b in (0, 2, 4, 6, 8):
+            out = pf.observe(0x400, b, hit=False)
+        assert out == [10, 12]
+
+    def test_global_stream_class(self):
+        pf = IPCPPrefetcher(degree=2)
+        out = []
+        for b in range(6):
+            out = pf.observe(0x400, b, hit=False)
+        assert out  # streams prefetch aggressively
+
+    def test_new_ip_no_prefetch(self):
+        pf = IPCPPrefetcher()
+        assert pf.observe(0x777, 0, hit=False) == []
+
+
+class TestBerti:
+    def test_learns_timely_delta(self):
+        pf = BertiPrefetcher(degree=1)
+        out = []
+        for b in range(20):
+            out = pf.observe(0x400, b, hit=False)
+        assert out  # delta +1 scored high
+
+    def test_noisy_pattern_stays_quiet(self):
+        pf = BertiPrefetcher(degree=1)
+        import itertools
+        offs = itertools.cycle([0, 9, 3, 14, 6, 11, 2])
+        out = []
+        for _ in range(20):
+            out = pf.observe(0x400, next(offs), hit=False)
+        # With no dominant delta, Berti holds fire (high accuracy).
+        assert out == []
+
+
+class TestRegistry:
+    def test_all_configs_buildable(self):
+        for name in PREFETCHER_REGISTRY:
+            l1, l2 = make_prefetcher(name)
+            assert hasattr(l1, "observe")
+            assert hasattr(l2, "observe")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_prefetcher("bogus")
+
+    def test_baseline_pair(self):
+        l1, l2 = make_prefetcher("baseline")
+        assert isinstance(l1, NextLinePrefetcher)
+        assert isinstance(l2, IPStridePrefetcher)

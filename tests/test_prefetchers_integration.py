@@ -1,0 +1,73 @@
+"""End-to-end prefetcher integration: every registry pair runs inside
+the hierarchy and helps (or at least does not break) a streaming core."""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.prefetch.registry import PREFETCHER_REGISTRY
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.traces.trace import MemoryAccess, Trace
+
+
+def cfg(prefetcher):
+    return SystemConfig(num_cores=1, llc_sets_per_slice=32,
+                        l1=CacheConfig(sets=8, ways=2, latency=5),
+                        l2=CacheConfig(sets=16, ways=2, latency=15),
+                        prefetcher=prefetcher)
+
+
+def stream_trace(n=400):
+    return Trace("stream", [MemoryAccess(pc=0x400, address=i * 64,
+                                         instr_gap=10)
+                            for i in range(n)])
+
+
+def strided_trace(n=400, stride=3):
+    return Trace("strided", [MemoryAccess(pc=0x404,
+                                          address=i * stride * 64,
+                                          instr_gap=10)
+                             for i in range(n)])
+
+
+@pytest.mark.parametrize("name", sorted(PREFETCHER_REGISTRY))
+def test_prefetcher_runs_in_hierarchy(name):
+    result = Simulator(cfg(name), [stream_trace()],
+                       warmup_accesses=50).run()
+    assert result.ipc[0] > 0
+
+
+@pytest.mark.parametrize("name", ["baseline", "spp_ppf", "berti",
+                                  "ipcp"])
+def test_prefetcher_beats_none_on_stream(name):
+    off = Simulator(cfg("none"), [stream_trace()],
+                    warmup_accesses=50).run()
+    on = Simulator(cfg(name), [stream_trace()],
+                   warmup_accesses=50).run()
+    assert on.ipc[0] > off.ipc[0]
+
+
+def test_ip_stride_covers_strided_pattern():
+    off = Simulator(cfg("none"), [strided_trace()],
+                    warmup_accesses=50).run()
+    on = Simulator(cfg("baseline"), [strided_trace()],
+                   warmup_accesses=50).run()
+    assert on.ipc[0] > off.ipc[0]
+
+
+def test_prefetch_issue_counts_tracked():
+    h = MemoryHierarchy(cfg("baseline"))
+    for i in range(60):
+        h.demand_access(0, MemoryAccess(pc=0x400, address=i * 64),
+                        cycle=i * 100)
+    l1_pf, l2_pf = h.prefetchers[0]
+    assert l1_pf.stats.issued > 0
+
+
+def test_prefetches_count_as_prefetch_accesses_at_llc():
+    h = MemoryHierarchy(cfg("baseline"))
+    for i in range(120):
+        h.demand_access(0, MemoryAccess(pc=0x400,
+                                        address=(1 << 22) + i * 64),
+                        cycle=i * 100)
+    assert h.llc.aggregate_stats().prefetch_accesses > 0

@@ -1,0 +1,76 @@
+"""Repository consistency checks: the experiment registry, benchmark
+files and docs cannot silently drift apart."""
+
+import importlib
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestExperimentRegistry:
+    def get_registry(self):
+        from repro.experiments.__main__ import EXPERIMENTS
+        return EXPERIMENTS
+
+    def test_every_registry_module_importable_with_run(self):
+        for exp_id, module_name in self.get_registry().items():
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}")
+            assert callable(getattr(module, "run", None)), exp_id
+
+    def test_every_paper_artefact_has_a_benchmark(self):
+        bench_dir = REPO / "benchmarks"
+        bench_text = "\n".join(p.read_text()
+                               for p in bench_dir.glob("test_*.py"))
+        for exp_id, module_name in self.get_registry().items():
+            assert module_name in bench_text, \
+                f"experiment {exp_id} ({module_name}) has no benchmark"
+
+    def test_paper_artefacts_cover_all_tables_and_figures(self):
+        """The evaluation section's artefact list, by id."""
+        expected = {"fig02", "fig03", "fig04", "fig05", "tab01", "tab02",
+                    "tab03", "fig10", "fig11", "fig13", "fig14", "tab05",
+                    "fig15", "tab06", "fig16", "fig17", "fig18", "fig19",
+                    "fig20", "fig21", "fig22", "fig23", "tab07", "tab08"}
+        assert expected <= set(self.get_registry())
+
+    def test_design_md_mentions_every_artefact(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for exp_id in self.get_registry():
+            if exp_id.startswith(("fig", "tab")):
+                # DESIGN.md's experiment index uses long ids.
+                assert exp_id[:5] in design.replace("_", ""), exp_id
+
+    def test_experiments_md_covers_every_artefact(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for exp_id in self.get_registry():
+            assert exp_id.split("_")[0] in text, exp_id
+
+
+class TestDocsPresence:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md",
+        "docs/architecture.md", "docs/calibration.md", "docs/api.md",
+        "examples/README.md",
+    ])
+    def test_doc_exists_and_nonempty(self, name):
+        path = REPO / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 200, name
+
+    def test_examples_readme_lists_every_script(self):
+        listed = (REPO / "examples" / "README.md").read_text()
+        for script in (REPO / "examples").glob("*.py"):
+            assert script.name in listed, script.name
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize("script", sorted(
+        p.name for p in (REPO / "examples").glob("*.py")))
+    def test_example_compiles(self, script):
+        source = (REPO / "examples" / script).read_text()
+        compile(source, script, "exec")
+        assert 'def main()' in source
+        assert '__main__' in source

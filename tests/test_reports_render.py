@@ -1,0 +1,105 @@
+"""Render/structure coverage for report objects built by hand (no
+simulation), so the table/chart plumbing is exercised exhaustively."""
+
+import numpy as np
+
+from repro.analysis.etr_views import ETRViewReport
+from repro.analysis.setmpka import mpka_summary
+from repro.core.budget import budget_for
+from repro.core.traffic import design_choice_matrix, estimate_traffic
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.fig02_scatter import Fig02Report
+from repro.experiments.fig05_set_mpka import Fig05Report
+from repro.experiments.fig10_pred_traffic import Fig10Report
+from repro.experiments.fig11_interconnect import Fig11Report
+from repro.experiments.fig16_per_mix import Fig16Report
+from repro.experiments.sensitivity import SweepReport
+from repro.experiments.tab02_design_choices import Tab02Report
+from repro.experiments.tab03_budget import Tab03Report
+from repro.experiments.tab07_applicability import Tab07Report, APPLICABILITY
+
+
+def bench_profile():
+    return ExperimentProfile.bench()
+
+
+class TestHandBuiltReports:
+    def test_fig02_report(self):
+        report = Fig02Report(profile=bench_profile(), cores=4,
+                             per_mix=[("homo_mcf", "homogeneous", 0.5),
+                                      ("hetero_00", "heterogeneous", 0.7)])
+        assert report.average() == 0.6
+        assert report.fraction_for("mcf") == 0.5
+        assert report.fraction_for("nope") is None
+        assert "Figure 2" in report.render()
+
+    def test_fig05_report(self):
+        mat = np.ones((2, 4))
+        report = Fig05Report(profile=bench_profile(), cores=4,
+                             summaries={w: mpka_summary(mat)
+                                        for w in ("mcf", "gcc", "lbm")},
+                             matrices={w: mat
+                                       for w in ("mcf", "gcc", "lbm")})
+        text = report.render()
+        assert "Figure 5" in text
+        assert "distribution" in text  # histogram section
+
+    def test_fig10_report(self):
+        profile = ExperimentProfile(
+            scale=bench_profile().scale, core_counts=(4,),
+            num_homogeneous=1, num_heterogeneous=0)
+        report = Fig10Report(profile=profile,
+                             apki={(4, "centralized"): (40.0, 50.0),
+                                   (4, "per_core_global"): (2.0, 4.0)})
+        assert report.value(4, "centralized") == (40.0, 50.0)
+        assert "Figure 10" in report.render()
+
+    def test_fig11_report(self):
+        report = Fig11Report(profile=bench_profile(),
+                             mesh_slowdown={4: -1.0, 16: -4.0},
+                             latency_sensitivity={1: 4.0, 20: -1.0},
+                             cores_for_sweep=16)
+        rows = report.rows()
+        assert ("a", "4 cores", -1.0) in rows
+        assert ("b", "20 cycles", -1.0) in rows
+
+    def test_fig16_report_chart(self):
+        report = Fig16Report(profile=bench_profile(), cores=4,
+                             per_mix=[("a", 1.0, 2.0), ("b", 2.0, 3.0)],
+                             matrix=None)
+        assert report.domination_fraction() == 1.0
+        assert "o=mockingjay" in report.render()
+
+    def test_tab02_report(self):
+        estimates = {c.label: estimate_traffic(c, 4, 100, 900)
+                     for c in design_choice_matrix()}
+        report = Tab02Report(profile=bench_profile(), cores=4,
+                             instructions=100_000, estimates=estimates)
+        assert len(report.rows()) == 4
+        assert "Table 2" in report.render()
+
+    def test_tab03_report(self):
+        budgets = {(p, d): budget_for(p, d)
+                   for p in ("hawkeye", "mockingjay")
+                   for d in (False, True)}
+        report = Tab03Report(budgets=budgets)
+        assert report.total("hawkeye", False) == 28.0
+        assert "saves" in report.render()
+
+    def test_tab07_report(self):
+        report = Tab07Report(entries=APPLICABILITY)
+        assert len(report.rows()) == len(APPLICABILITY)
+        assert report.validate_against_registry() == []
+
+    def test_sweep_report(self):
+        report = SweepReport(title="T", points=["p"], labels=["x"],
+                             improvements={("p", "x"): 1.5})
+        assert report.value("p", "x") == 1.5
+        assert "T" in report.render()
+
+    def test_etr_view_report_empty(self):
+        view = ETRViewReport(pc=0x1)
+        assert view.oracle_mean() is None
+        assert view.myopic_error() is None
+        assert view.myopic_spread() == 0.0
+        assert view.global_coverage() == 0.0

@@ -1,0 +1,150 @@
+"""Tests for sampled-set selectors, including the dynamic sampled cache."""
+
+import pytest
+
+from repro.core.dynamic_sampler import DynamicSampledSets
+from repro.core.sampled_sets import (
+    ExplicitSampledSets,
+    StaticSampledSets,
+)
+
+
+class TestStatic:
+    def test_count(self):
+        s = StaticSampledSets(64, 8, seed=0)
+        assert len(s.sampled_sets) == 8
+
+    def test_deterministic(self):
+        a = StaticSampledSets(64, 8, seed=3)
+        b = StaticSampledSets(64, 8, seed=3)
+        assert a.sampled_sets == b.sampled_sets
+
+    def test_different_seeds_differ(self):
+        a = StaticSampledSets(256, 16, seed=1)
+        b = StaticSampledSets(256, 16, seed=2)
+        assert a.sampled_sets != b.sampled_sets
+
+    def test_membership(self):
+        s = StaticSampledSets(64, 8, seed=0)
+        hits = sum(s.is_sampled(i) for i in range(64))
+        assert hits == 8
+
+    def test_observe_is_noop(self):
+        s = StaticSampledSets(64, 8, seed=0)
+        assert s.observe(0, hit=True) is None
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            StaticSampledSets(64, 0)
+        with pytest.raises(ValueError):
+            StaticSampledSets(64, 65)
+
+
+class TestExplicit:
+    def test_exact_sets(self):
+        s = ExplicitSampledSets(64, [1, 5, 9])
+        assert s.sampled_sets == frozenset({1, 5, 9})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitSampledSets(8, [9])
+
+
+class TestDynamic:
+    def make(self, num_sets=16, num_sampled=2, lines=64, threshold=100,
+             seed=0):
+        return DynamicSampledSets(num_sets, num_sampled,
+                                  lines_per_slice=lines,
+                                  uniform_threshold=threshold, seed=seed)
+
+    def test_starts_monitoring_with_random_selection(self):
+        d = self.make()
+        assert d.is_monitoring
+        assert len(d.sampled_sets) == 2
+
+    def test_counters_initialised_midpoint(self):
+        d = self.make()
+        assert (d.counters == 128).all()
+
+    def test_miss_increments_hit_decrements(self):
+        d = self.make()
+        d.observe(3, hit=False)
+        d.observe(4, hit=True)
+        assert d.counters[3] == 129
+        assert d.counters[4] == 127
+
+    def test_counters_saturate(self):
+        d = self.make(lines=10_000)
+        for _ in range(300):
+            d.observe(0, hit=False)
+        assert d.counters[0] == 255
+        for _ in range(600):
+            d.observe(1, hit=True)
+        assert d.counters[1] == 0
+
+    def test_selects_top_mpka_sets_after_window(self):
+        d = self.make(num_sets=8, num_sampled=2, lines=64, threshold=10)
+        # Sets 6 and 7 get all the misses, others all hits.
+        reselect = None
+        for i in range(64):
+            if i % 2 == 0:
+                reselect = d.observe(6 if i % 4 == 0 else 7, hit=False)
+            else:
+                reselect = d.observe(i % 6, hit=True)
+        assert reselect is not None
+        assert set(reselect) == {6, 7}
+        assert not d.is_monitoring
+        assert d.dynamic_phases == 1
+
+    def test_uniform_demand_falls_back_to_random(self):
+        d = self.make(num_sets=8, num_sampled=2, lines=64, threshold=100)
+        # Every set alternates hit/miss: all counters end at the
+        # midpoint, spread ~0 -> uniform classification.
+        for i in range(64):
+            d.observe(i % 8, hit=((i // 8) % 2 == 0))
+        assert d.uniform_phases == 1
+        assert d.dynamic_phases == 0
+
+    def test_effective_threshold_scales_with_window(self):
+        tiny = self.make(lines=1024, threshold=100)
+        paper = DynamicSampledSets(2048, 32, lines_per_slice=32 * 1024,
+                                   uniform_threshold=100)
+        assert tiny.effective_threshold < 100
+        assert paper.effective_threshold == 100
+
+    def test_active_phase_is_4x_window(self):
+        d = self.make(num_sets=8, num_sampled=2, lines=16, threshold=1)
+        for i in range(16):
+            d.observe(i % 8, hit=False)
+        assert not d.is_monitoring
+        # Active phase: 4 * 16 = 64 accesses, then monitoring restarts.
+        for i in range(63):
+            d.observe(i % 8, hit=False)
+        assert not d.is_monitoring
+        d.observe(0, hit=False)
+        assert d.is_monitoring
+        assert (d.counters == 128).all()  # reset at phase change
+
+    def test_selection_stable_during_active_phase(self):
+        d = self.make(num_sets=8, num_sampled=2, lines=16, threshold=1)
+        for i in range(16):
+            d.observe(7, hit=False)
+        selected = d.sampled_sets
+        for i in range(30):
+            assert d.observe(0, hit=False) is None
+        assert d.sampled_sets == selected
+
+    def test_reset(self):
+        d = self.make()
+        for i in range(100):
+            d.observe(i % 16, hit=False)
+        d.reset()
+        assert d.is_monitoring
+        assert d.reselections == 0
+        assert (d.counters == 128).all()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DynamicSampledSets(16, 2, lines_per_slice=0)
+        with pytest.raises(ValueError):
+            DynamicSampledSets(16, 2, lines_per_slice=8, counter_bits=0)

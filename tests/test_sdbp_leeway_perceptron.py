@@ -1,0 +1,248 @@
+"""Tests for SDBP, Leeway and the perceptron reuse predictor."""
+
+import pytest
+
+from repro.cache.block import DEMAND, WRITEBACK, AccessContext
+from repro.cache.cache import Cache
+from repro.core.sampled_sets import ExplicitSampledSets
+from repro.replacement.leeway import (
+    MAX_LIVE_DISTANCE,
+    LeewayPolicy,
+    LiveDistanceTable,
+)
+from repro.replacement.perceptron import (
+    BYPASS_THRESHOLD,
+    PerceptronPolicy,
+    PerceptronReusePredictor,
+)
+from repro.replacement.sdbp import SDBPPolicy, SkewedDeadPredictor
+
+
+def ctx(block, pc=0x400, core=0, kind=DEMAND):
+    return AccessContext(pc=pc, block=block, core_id=core, kind=kind)
+
+
+class TestSkewedDeadPredictor:
+    def test_initially_live(self):
+        p = SkewedDeadPredictor(table_bits=6)
+        assert not p.predict_dead(0x400, 0)
+
+    def test_training_dead_flips(self):
+        p = SkewedDeadPredictor(table_bits=6)
+        for _ in range(4):
+            p.train(0x400, 0, dead=True)
+        assert p.predict_dead(0x400, 0)
+
+    def test_live_training_recovers(self):
+        p = SkewedDeadPredictor(table_bits=6)
+        for _ in range(4):
+            p.train(0x400, 0, dead=True)
+        for _ in range(4):
+            p.train(0x400, 0, dead=False)
+        assert not p.predict_dead(0x400, 0)
+
+    def test_skewed_tables_disagree_rarely_collide(self):
+        p = SkewedDeadPredictor(table_bits=8)
+        for _ in range(4):
+            p.train(0x400, 0, dead=True)
+        # A different PC should not be predicted dead via aliasing in
+        # all three tables simultaneously.
+        assert not p.predict_dead(0x999, 0)
+
+    def test_reset(self):
+        p = SkewedDeadPredictor(table_bits=6)
+        p.train(0x400, 0, dead=True)
+        p.reset()
+        assert p.vote(0x400, 0) == 0
+
+
+class TestSDBPPolicy:
+    def make(self, sets=4, ways=2, sampled=(0,)):
+        selector = ExplicitSampledSets(sets, list(sampled))
+        policy = SDBPPolicy(sets, ways, selector=selector, seed=0)
+        return Cache("t", sets, ways, policy), policy
+
+    def test_dead_predicted_line_is_victim(self):
+        cache, policy = self.make(sets=1, ways=2, sampled=(0,))
+        predictor = policy.fabric.instances[0]
+        for _ in range(6):
+            predictor.train(0x999, 0, dead=True)
+        cache.fill(ctx(0, pc=0x400))
+        cache.fill(ctx(1, pc=0x999))  # predicted dead at fill
+        evicted, _ = cache.fill(ctx(2, pc=0x400))
+        assert evicted.block == 1
+
+    def test_sampler_eviction_trains_dead(self):
+        selector = ExplicitSampledSets(2, [0])
+        policy = SDBPPolicy(2, 2, selector=selector,
+                            sampled_entries_per_set=1, seed=0)
+        cache = Cache("t", 2, 2, policy)
+        predictor = policy.fabric.instances[0]
+        before = predictor.vote(0x400, 0)
+        cache.access(ctx(0, pc=0x400))
+        cache.access(ctx(2, pc=0x500))  # evicts block 0's sampler entry
+        assert predictor.vote(0x400, 0) > before
+
+    def test_sampled_reuse_trains_live(self):
+        cache, policy = self.make(sets=2, ways=2, sampled=(0,))
+        predictor = policy.fabric.instances[0]
+        for _ in range(3):
+            predictor.train(0x400, 0, dead=True)
+        before = predictor.vote(0x400, 0)
+        cache.access(ctx(0, pc=0x400))
+        cache.access(ctx(0, pc=0x400))  # reuse
+        assert predictor.vote(0x400, 0) < before
+
+    def test_writeback_fill_marked_dead(self):
+        cache, policy = self.make()
+        cache.fill(ctx(0, kind=WRITEBACK))
+        way = cache.find_way(0, 0)
+        assert policy._dead[0][way]
+
+    def test_lru_fallback_when_nothing_dead(self):
+        cache, policy = self.make(sets=1, ways=2)
+        cache.fill(ctx(0))
+        cache.fill(ctx(1))
+        cache.access(ctx(0))
+        evicted, _ = cache.fill(ctx(2))
+        assert evicted.block == 1
+
+
+class TestLiveDistanceTable:
+    def test_grows_fast(self):
+        t = LiveDistanceTable(table_bits=4)
+        start = t.predict(0)
+        t.train(0, MAX_LIVE_DISTANCE)
+        assert t.predict(0) == start + t.GROW_STEP
+
+    def test_shrinks_slowly(self):
+        t = LiveDistanceTable(table_bits=4)
+        start = t.predict(0)
+        t.train(0, 0)
+        assert t.predict(0) == start - t.SHRINK_STEP
+
+    def test_converges_to_observation(self):
+        t = LiveDistanceTable(table_bits=4)
+        for _ in range(40):
+            t.train(0, 5)
+        assert t.predict(0) == 5
+
+    def test_reset(self):
+        t = LiveDistanceTable(table_bits=4)
+        t.train(0, 0)
+        t.reset()
+        assert t.predict(0) == MAX_LIVE_DISTANCE // 2
+
+
+class TestLeewayPolicy:
+    def make(self, sets=4, ways=2, sampled=(0,)):
+        selector = ExplicitSampledSets(sets, list(sampled))
+        policy = LeewayPolicy(sets, ways, selector=selector, seed=0)
+        return Cache("t", sets, ways, policy), policy
+
+    def test_no_predictor_lookup_on_hits(self):
+        """Leeway's design point: predictor consulted on fills only."""
+        cache, policy = self.make()
+        cache.fill(ctx(0))
+        lookups = policy.fabric.stats.lookups
+        cache.access(ctx(0))
+        assert policy.fabric.stats.lookups == lookups
+
+    def test_expired_line_is_victim(self):
+        cache, policy = self.make(sets=1, ways=2)
+        table = policy.fabric.instances[0]
+        sig = policy._signature(0x999, 0, False)
+        for _ in range(60):
+            table.train(sig, 0)  # 0x999 has no leeway
+        cache.fill(ctx(0, pc=0x400))
+        cache.fill(ctx(1, pc=0x999))
+        cache.access(ctx(0, pc=0x400))  # ages set; 1 expires (ld=0)
+        evicted, _ = cache.fill(ctx(2, pc=0x400))
+        assert evicted.block == 1
+
+    def test_live_line_protected(self):
+        cache, policy = self.make(sets=1, ways=2)
+        cache.fill(ctx(0))
+        cache.fill(ctx(1))
+        cache.access(ctx(1))
+        # Both have default (generous) live distance; LRU fallback
+        # evicts block 0 (older stamp).
+        evicted, _ = cache.fill(ctx(2))
+        assert evicted.block == 0
+
+    def test_sampled_reuse_trains_live_distance(self):
+        cache, policy = self.make(sets=2, ways=2, sampled=(0,))
+        table = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        before = table.predict(sig)
+        cache.access(ctx(0, pc=0x400))
+        cache.access(ctx(0, pc=0x400))  # observed distance 1
+        assert table.predict(sig) < before  # shrank toward 1
+
+    def test_writeback_dead_on_arrival(self):
+        cache, policy = self.make()
+        cache.fill(ctx(0, kind=WRITEBACK))
+        way = cache.find_way(0, 0)
+        assert policy._live_distance[0][way] == 0
+
+
+class TestPerceptronPredictor:
+    def test_score_starts_zero(self):
+        p = PerceptronReusePredictor(table_bits=6)
+        assert p.score(0x400, 0, 0) == 0
+
+    def test_dead_training_raises_score(self):
+        p = PerceptronReusePredictor(table_bits=6)
+        for _ in range(10):
+            p.train(0x400, 5, 0, dead=True)
+        assert p.score(0x400, 5, 0) > 0
+
+    def test_margin_freezes_training(self):
+        p = PerceptronReusePredictor(table_bits=6)
+        for _ in range(200):
+            p.train(0x400, 5, 0, dead=True)
+        score = p.score(0x400, 5, 0)
+        p.train(0x400, 5, 0, dead=True)
+        assert p.score(0x400, 5, 0) == score
+
+    def test_features_generalise_same_pc_other_block(self):
+        p = PerceptronReusePredictor(table_bits=8)
+        for _ in range(10):
+            p.train(0x400, 5, 0, dead=True)
+        # Three of four features are PC-derived: another block from the
+        # same PC inherits most of the deadness signal.
+        assert p.score(0x400, 77, 0) > 0
+
+
+class TestPerceptronPolicy:
+    def make(self, sets=4, ways=2, sampled=(0,)):
+        selector = ExplicitSampledSets(sets, list(sampled))
+        policy = PerceptronPolicy(sets, ways, selector=selector, seed=0)
+        return Cache("t", sets, ways, policy), policy
+
+    def test_fill_and_hit(self):
+        cache, policy = self.make()
+        cache.access(ctx(0))
+        cache.fill(ctx(0))
+        assert cache.access(ctx(0)).hit
+
+    def test_strongly_dead_pc_bypasses(self):
+        cache, policy = self.make()
+        predictor = policy.fabric.instances[0]
+        while predictor.score(0x999, 7, 0) < BYPASS_THRESHOLD:
+            predictor.train(0x999, 7, 0, dead=True)
+        cache.fill(ctx(7, pc=0x999))
+        assert not cache.contains(7)
+        assert cache.stats.bypasses == 1
+
+    def test_sampler_trains_both_ways(self):
+        selector = ExplicitSampledSets(2, [0])
+        policy = PerceptronPolicy(2, 2, selector=selector,
+                                  sampled_entries_per_set=1, seed=0)
+        cache = Cache("t", 2, 2, policy)
+        predictor = policy.fabric.instances[0]
+        cache.access(ctx(0, pc=0x400))
+        cache.access(ctx(2, pc=0x500))  # evicts sampler entry for 0
+        assert predictor.score(0x400, 0, 0) > 0  # trained dead
+        cache.access(ctx(2, pc=0x500))  # reuse trains live
+        assert predictor.score(0x500, 2, 0) <= 0

@@ -1,0 +1,95 @@
+"""Micro-scale tests for the sensitivity harness and extension
+experiments (plumbing, not paper shapes — those live in benchmarks/)."""
+
+import pytest
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.sensitivity import run_sweep
+from repro.sim.config import ScaleProfile
+from repro.traces.mixes import homogeneous_mix
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return ExperimentProfile(scale=ScaleProfile.smoke(),
+                             core_counts=(2,), num_homogeneous=1,
+                             num_heterogeneous=0, seed=5)
+
+
+TINY_POLICIES = (
+    ("srrip", "srrip", DrishtiConfig.baseline()),
+    ("mockingjay", "mockingjay", DrishtiConfig.baseline()),
+)
+
+
+class TestRunSweep:
+    def test_sweep_structure(self, micro):
+        report = run_sweep(
+            "t", micro, cores=2,
+            points=[("a", lambda cfg: None), ("b", lambda cfg: None)],
+            mixes=[homogeneous_mix("gcc", 2)],
+            policies=TINY_POLICIES)
+        assert report.points == ["a", "b"]
+        assert report.labels == ["srrip", "mockingjay"]
+        assert len(report.rows()) == 2
+        assert "t" in report.render()
+
+    def test_identical_points_identical_values(self, micro):
+        report = run_sweep(
+            "t", micro, cores=2,
+            points=[("a", lambda cfg: None), ("b", lambda cfg: None)],
+            mixes=[homogeneous_mix("gcc", 2)],
+            policies=TINY_POLICIES)
+        # Same mutator (no-op) -> identical results per policy.
+        assert report.value("a", "srrip") == \
+            pytest.approx(report.value("b", "srrip"))
+
+    def test_mutator_changes_results(self, micro):
+        def shrink_llc(cfg):
+            cfg.llc_sets_per_slice = 16
+
+        report = run_sweep(
+            "t", micro, cores=2,
+            points=[("base", lambda cfg: None),
+                    ("small", shrink_llc)],
+            mixes=[homogeneous_mix("mcf", 2)],
+            policies=TINY_POLICIES[:1])
+        assert report.value("base", "srrip") != \
+            report.value("small", "srrip")
+
+
+class TestExtensionExperiments:
+    def test_scalability_structure(self, micro):
+        from repro.experiments import scalability
+        report = scalability.run(micro, core_counts=(2, 4),
+                                 workload="gcc")
+        assert set(report.improvements) == {2, 4}
+        assert "Scalability" in report.render()
+        assert isinstance(report.delta(4), float)
+
+    def test_abl_hash_structure(self, micro):
+        from repro.experiments import abl_hash
+        report = abl_hash.run(micro, cores=2, workload="gcc")
+        assert set(report.by_scheme) == {"fold_xor", "modulo"}
+        for frac, _mj, _dmj in report.by_scheme.values():
+            assert 0.0 <= frac <= 1.0
+
+    def test_abl_sampled_sets_structure(self, micro):
+        from repro.experiments import abl_sampled_sets
+        report = abl_sampled_sets.run(micro, cores=2, workload="gcc",
+                                      counts=(2, 4))
+        assert set(report.by_count) == {2, 4}
+        assert isinstance(report.flatness(), float)
+
+    def test_fig19_runs(self, micro):
+        from repro.experiments import fig19_other_workloads
+        report = fig19_other_workloads.run(micro, cores=2, num_mixes=1)
+        assert report.points == ["datacenter"]
+
+    def test_fig11_structure(self, micro):
+        from repro.experiments import fig11_interconnect
+        report = fig11_interconnect.run(micro, latencies=(1, 20),
+                                        num_mixes=1)
+        assert set(report.latency_sensitivity) == {1, 20}
+        assert set(report.mesh_slowdown) == {2}

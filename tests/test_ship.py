@@ -1,0 +1,101 @@
+"""Tests for SHiP++."""
+
+from repro.cache.block import DEMAND, PREFETCH, WRITEBACK, AccessContext
+from repro.cache.cache import Cache
+from repro.core.sampled_sets import ExplicitSampledSets
+from repro.replacement.ship import RRPV_MAX, SHCT, SHiPPolicy
+
+
+def ctx(block, pc=0x400, core=0, kind=DEMAND):
+    return AccessContext(pc=pc, block=block, core_id=core, kind=kind)
+
+
+class TestSHCT:
+    def test_initial_value_weak(self):
+        t = SHCT(table_bits=4)
+        assert t.value(0) == 1
+
+    def test_saturation(self):
+        t = SHCT(table_bits=4, counter_bits=3)
+        for _ in range(20):
+            t.increment(2)
+        assert t.value(2) == 7
+        for _ in range(20):
+            t.decrement(2)
+        assert t.value(2) == 0
+
+    def test_reset(self):
+        t = SHCT(table_bits=4)
+        t.increment(0)
+        t.reset()
+        assert t.value(0) == 1
+
+
+class TestSHiPPolicy:
+    def make(self, sets=4, ways=2, sampled=(0,)):
+        selector = ExplicitSampledSets(sets, list(sampled))
+        policy = SHiPPolicy(sets, ways, selector=selector, seed=0)
+        return Cache("t", sets, ways, policy), policy
+
+    def test_zero_counter_inserts_distant(self):
+        cache, policy = self.make()
+        shct = policy.fabric.instances[0]
+        sig = policy._signature(0x999, 0, False)
+        shct.decrement(sig)
+        assert shct.value(sig) == 0
+        cache.fill(ctx(0, pc=0x999))
+        way = cache.find_way(0, 0)
+        assert policy._rrpv[0][way] == RRPV_MAX
+
+    def test_confident_counter_inserts_near(self):
+        cache, policy = self.make()
+        shct = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        for _ in range(8):
+            shct.increment(sig)
+        cache.fill(ctx(0, pc=0x400))
+        way = cache.find_way(0, 0)
+        assert policy._rrpv[0][way] == 0
+
+    def test_sampled_hit_increments_shct(self):
+        cache, policy = self.make(sampled=(0,))
+        shct = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        before = shct.value(sig)
+        cache.fill(ctx(0, pc=0x400))
+        cache.access(ctx(0, pc=0x400))
+        assert shct.value(sig) == before + 1
+
+    def test_unreused_sampled_eviction_decrements(self):
+        cache, policy = self.make(sets=1, ways=1, sampled=(0,))
+        shct = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, False)
+        before = shct.value(sig)
+        cache.fill(ctx(0, pc=0x400))
+        cache.fill(ctx(1, pc=0x500))  # evicts 0 untouched
+        assert shct.value(sig) == before - 1
+
+    def test_unsampled_lines_do_not_train(self):
+        cache, policy = self.make(sets=2, ways=1, sampled=(0,))
+        shct = policy.fabric.instances[0]
+        sig = policy._signature(0x444, 0, False)
+        before = shct.value(sig)
+        cache.fill(ctx(1, pc=0x444))  # set 1: not sampled
+        cache.fill(ctx(3, pc=0x555))  # evicts it
+        assert shct.value(sig) == before
+
+    def test_prefetch_inserted_conservatively(self):
+        cache, policy = self.make()
+        shct = policy.fabric.instances[0]
+        sig = policy._signature(0x400, 0, True)
+        for _ in range(8):
+            shct.increment(sig)
+        cache.fill(ctx(0, pc=0x400, kind=PREFETCH))
+        way = cache.find_way(0, 0)
+        assert policy._rrpv[0][way] >= RRPV_MAX - 1
+
+    def test_writeback_distant(self):
+        cache, policy = self.make()
+        cache.fill(ctx(0, kind=WRITEBACK))
+        way = cache.find_way(0, 0)
+        assert policy._rrpv[0][way] == RRPV_MAX

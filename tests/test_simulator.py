@@ -1,0 +1,142 @@
+"""Tests for the multi-core simulator loop."""
+
+import pytest
+
+from repro.sim.config import CacheConfig, ScaleProfile, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.traces.trace import MemoryAccess, Trace
+
+
+def tiny_config(num_cores=2, policy="lru", **overrides):
+    return SystemConfig(
+        num_cores=num_cores,
+        llc_policy=policy,
+        llc_sets_per_slice=32,
+        l1=CacheConfig(sets=4, ways=2, latency=5),
+        l2=CacheConfig(sets=8, ways=2, latency=15),
+        prefetcher="none",
+        **overrides)
+
+
+def stride_trace(name="t", n=200, base=0, stride=64):
+    return Trace(name, [MemoryAccess(pc=0x400, address=base + i * stride,
+                                     instr_gap=5) for i in range(n)])
+
+
+def loop_trace(name="t", n=200, blocks=8, base=0):
+    return Trace(name, [MemoryAccess(pc=0x500,
+                                     address=base + (i % blocks) * 64,
+                                     instr_gap=5) for i in range(n)])
+
+
+class TestRun:
+    def test_single_core(self):
+        sim = Simulator(tiny_config(1), [loop_trace()], warmup_accesses=20)
+        result = sim.run()
+        assert result.instructions[0] > 0
+        assert result.ipc[0] > 0
+
+    def test_two_cores_both_measured(self):
+        sim = Simulator(tiny_config(2),
+                        [loop_trace("a"), stride_trace("b")],
+                        warmup_accesses=20)
+        result = sim.run()
+        assert len(result.ipc) == 2
+        assert all(ipc > 0 for ipc in result.ipc)
+
+    def test_fewer_traces_than_cores(self):
+        sim = Simulator(tiny_config(4), [loop_trace()], warmup_accesses=0)
+        result = sim.run()
+        assert len(result.ipc) == 1
+
+    def test_too_many_traces_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(tiny_config(1), [loop_trace(), loop_trace()])
+
+    def test_deterministic(self):
+        def run_once():
+            sim = Simulator(tiny_config(2, policy="mockingjay"),
+                            [loop_trace("a"), stride_trace("b")],
+                            warmup_accesses=20)
+            r = sim.run()
+            return (tuple(r.ipc), r.mpki(), r.llc_stats.accesses)
+
+        assert run_once() == run_once()
+
+    def test_loop_faster_than_stride(self):
+        """A cache-resident loop must out-IPC a DRAM-bound stride."""
+        cfg = tiny_config(2)
+        sim = Simulator(cfg, [loop_trace("loop"),
+                              stride_trace("stride", stride=64 * 97)],
+                        warmup_accesses=20)
+        result = sim.run()
+        assert result.ipc[0] > result.ipc[1]
+
+    def test_warmup_excluded_from_stats(self):
+        cfg = tiny_config(1)
+        warm = Simulator(cfg, [loop_trace(n=400)],
+                         warmup_accesses=100).run()
+        # After warmup the loop is resident: very few demand misses.
+        assert warm.llc_stats.demand_misses <= 2
+
+    def test_zero_warmup(self):
+        sim = Simulator(tiny_config(1), [loop_trace(n=50)],
+                        warmup_accesses=0)
+        result = sim.run()
+        assert result.llc_stats.accesses > 0
+
+    def test_mpki_definition(self):
+        sim = Simulator(tiny_config(1),
+                        [stride_trace(n=300, stride=64 * 97)],
+                        warmup_accesses=0)
+        result = sim.run()
+        expected = 1000.0 * sum(result.llc_demand_misses) / \
+            result.total_instructions
+        assert result.mpki() == pytest.approx(expected)
+
+    def test_per_set_stats_exposed_when_tracked(self):
+        cfg = tiny_config(1, track_set_stats=True)
+        result = Simulator(cfg, [stride_trace(n=100)],
+                           warmup_accesses=0).run()
+        assert result.per_set_mpka is not None
+        assert result.per_set_mpka.shape == (1, 32)
+
+    def test_fabric_stats_flow_through(self):
+        cfg = tiny_config(1, policy="mockingjay")
+        result = Simulator(cfg, [stride_trace(n=300, stride=64 * 7)],
+                           warmup_accesses=0).run()
+        assert result.fabric_lookups > 0
+
+    def test_trace_names_recorded(self):
+        sim = Simulator(tiny_config(2), [loop_trace("x"), loop_trace("y")],
+                        warmup_accesses=0)
+        assert sim.run().trace_names == ["x", "y"]
+
+
+class TestScaleProfiles:
+    def test_profiles_ordered_by_size(self):
+        smoke, small = ScaleProfile.smoke(), ScaleProfile.small()
+        medium, paper = ScaleProfile.medium(), ScaleProfile.paper()
+        assert (smoke.llc_sets_per_slice < small.llc_sets_per_slice <
+                medium.llc_sets_per_slice < paper.llc_sets_per_slice)
+        assert paper.llc_sets_per_slice == 2048
+
+    def test_l2_to_llc_ratio_constant(self):
+        for prof in (ScaleProfile.smoke(), ScaleProfile.small(),
+                     ScaleProfile.medium()):
+            ratio = (prof.l2_sets * 8) / (prof.llc_sets_per_slice * 16)
+            assert ratio == pytest.approx(0.25)
+
+    def test_from_profile(self):
+        cfg = SystemConfig.from_profile(4, ScaleProfile.smoke(),
+                                        llc_policy="hawkeye")
+        assert cfg.num_cores == 4
+        assert cfg.llc_policy == "hawkeye"
+        assert cfg.llc_sets_per_slice == 64
+
+    def test_with_policy_copies(self):
+        cfg = SystemConfig.from_profile(4, ScaleProfile.smoke())
+        other = cfg.with_policy("mockingjay")
+        assert cfg.llc_policy == "lru"
+        assert other.llc_policy == "mockingjay"
+        assert other.num_cores == cfg.num_cores

@@ -1,0 +1,79 @@
+"""Tests for the address-to-slice hash."""
+
+import numpy as np
+import pytest
+
+from repro.cache.slice_hash import SliceHash, fold_xor_slice, modulo_slice
+
+
+class TestFoldXor:
+    def test_range(self):
+        for block in range(1000):
+            s = fold_xor_slice(block, 16)
+            assert 0 <= s < 16
+
+    def test_deterministic(self):
+        assert fold_xor_slice(12345, 8) == fold_xor_slice(12345, 8)
+
+    def test_scalar_matches_array(self):
+        blocks = np.arange(100, dtype=np.uint64)
+        arr = fold_xor_slice(blocks, 16)
+        for i in range(100):
+            assert int(arr[i]) == fold_xor_slice(i, 16)
+
+    def test_roughly_uniform(self):
+        blocks = np.arange(100_000, dtype=np.uint64)
+        slices = fold_xor_slice(blocks, 16)
+        counts = np.bincount(slices, minlength=16)
+        # Each slice should get ~6250; allow 10% deviation.
+        assert counts.min() > 5600
+        assert counts.max() < 6900
+
+    def test_avalanche_on_strided_input(self):
+        # Strided access patterns must still spread (unlike modulo).
+        blocks = np.arange(0, 16 * 10_000, 16, dtype=np.uint64)
+        slices = fold_xor_slice(blocks, 16)
+        assert len(np.unique(slices)) == 16
+
+    def test_non_power_of_two(self):
+        blocks = np.arange(10_000, dtype=np.uint64)
+        slices = fold_xor_slice(blocks, 12)
+        assert slices.max() == 11
+        assert slices.min() == 0
+
+
+class TestModulo:
+    def test_simple(self):
+        assert modulo_slice(17, 16) == 1
+
+    def test_strided_camps_on_one_slice(self):
+        blocks = np.arange(0, 16 * 100, 16, dtype=np.uint64)
+        slices = modulo_slice(blocks, 16)
+        assert len(np.unique(slices)) == 1
+
+
+class TestSliceHash:
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            SliceHash(4, scheme="nope")
+
+    def test_invalid_slices(self):
+        with pytest.raises(ValueError):
+            SliceHash(0)
+
+    def test_slice_of_in_range(self):
+        sh = SliceHash(7)
+        assert all(0 <= sh.slice_of(b) < 7 for b in range(500))
+
+    def test_slices_of_matches_slice_of(self):
+        sh = SliceHash(8)
+        blocks = np.arange(64, dtype=np.uint64)
+        arr = sh.slices_of(blocks)
+        assert [int(x) for x in arr] == [sh.slice_of(b) for b in range(64)]
+
+    def test_single_slice(self):
+        sh = SliceHash(1)
+        assert sh.slice_of(999) == 0
+
+    def test_repr(self):
+        assert "fold_xor" in repr(SliceHash(4))

@@ -1,0 +1,154 @@
+"""Tests for the synthetic workload engine."""
+
+import numpy as np
+import pytest
+
+from repro.cache.slice_hash import SliceHash
+from repro.traces.synthetic import (
+    PCClassSpec,
+    SyntheticWorkload,
+    WorkloadSpec,
+    build_trace,
+)
+
+
+def spec_of(classes, apki=30.0, affinity=0.5, skew=0.5, name="w"):
+    return WorkloadSpec(name=name, apki=apki, slice_affinity=affinity,
+                        set_skew_band=skew, classes=tuple(classes))
+
+
+def single_class_spec(pattern, affinity=0.0, skew=1.0, in_band=False,
+                      pool_frac=0.5, phase_len=0, count=2):
+    cls = PCClassSpec(pattern, count=count, pool_frac=pool_frac,
+                      weight=1.0, in_skew_band=in_band,
+                      phase_len=phase_len)
+    return spec_of([cls], affinity=affinity, skew=skew)
+
+
+class TestSpecValidation:
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError):
+            PCClassSpec("bogus", count=1, pool_frac=1.0, weight=1.0)
+
+    def test_phased_needs_phase_len(self):
+        with pytest.raises(ValueError):
+            PCClassSpec("phased", count=1, pool_frac=1.0, weight=1.0)
+
+    def test_bad_apki(self):
+        with pytest.raises(ValueError):
+            spec_of([PCClassSpec("cyclic", 1, 1.0, 1.0)], apki=0)
+
+    def test_bad_affinity(self):
+        with pytest.raises(ValueError):
+            spec_of([PCClassSpec("cyclic", 1, 1.0, 1.0)], affinity=1.5)
+
+    def test_empty_classes(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("w", 30.0, 0.5, 0.5, ())
+
+
+class TestGeneration:
+    def test_trace_length(self):
+        spec = single_class_spec("cyclic")
+        tr = build_trace(spec, 1024, 4, 64, 500, seed=0)
+        assert len(tr) == 500
+
+    def test_deterministic(self):
+        spec = single_class_spec("cyclic")
+        a = build_trace(spec, 1024, 4, 64, 300, seed=5)
+        b = build_trace(spec, 1024, 4, 64, 300, seed=5)
+        assert [x.address for x in a] == [x.address for x in b]
+
+    def test_seed_changes_trace(self):
+        spec = single_class_spec("cyclic")
+        a = build_trace(spec, 1024, 4, 64, 300, seed=1)
+        b = build_trace(spec, 1024, 4, 64, 300, seed=2)
+        assert [x.address for x in a] != [x.address for x in b]
+
+    def test_apki_roughly_honoured(self):
+        spec = single_class_spec("cyclic")
+        spec = WorkloadSpec(spec.name, 20.0, spec.slice_affinity,
+                            spec.set_skew_band, spec.classes)
+        tr = build_trace(spec, 1024, 4, 64, 5000, seed=0)
+        assert tr.stats.accesses_per_kilo_instr == pytest.approx(20.0,
+                                                                 rel=0.2)
+
+    def test_chase_accesses_dependent(self):
+        spec = single_class_spec("chase")
+        tr = build_trace(spec, 1024, 4, 64, 100, seed=0)
+        assert all(acc.dependent for acc in tr)
+
+    def test_stream_is_sequential(self):
+        cls = PCClassSpec("stream", count=1, pool_frac=8.0, weight=1.0)
+        spec = spec_of([cls], affinity=0.0, skew=1.0)
+        tr = build_trace(spec, 1024, 4, 64, 100, seed=0)
+        blocks = [acc.block for acc in tr]
+        assert all(b2 == b1 + 1 for b1, b2 in zip(blocks, blocks[1:]))
+
+    def test_cyclic_repeats_working_set(self):
+        cls = PCClassSpec("cyclic", count=1, pool_frac=0.05, weight=1.0)
+        spec = spec_of([cls])
+        tr = build_trace(spec, 1024, 4, 64, 500, seed=0)
+        unique = {acc.block for acc in tr}
+        assert len(unique) <= 52  # 0.05 * 1024 + rounding
+
+    def test_write_fraction(self):
+        cls = PCClassSpec("cyclic", count=1, pool_frac=0.1, weight=1.0,
+                          write_frac=0.5)
+        spec = spec_of([cls])
+        tr = build_trace(spec, 1024, 4, 64, 2000, seed=0)
+        assert tr.stats.write_fraction == pytest.approx(0.5, abs=0.08)
+
+
+class TestSliceAffinity:
+    def test_affine_pcs_stay_on_one_slice(self):
+        spec = single_class_spec("cyclic", affinity=1.0)
+        workload = SyntheticWorkload(spec, 1024, num_slices=8,
+                                     num_sets=64, seed=0)
+        sh = SliceHash(8)
+        for beh in workload.behaviors:
+            slices = {sh.slice_of(int(b)) for b in beh.pool}
+            assert len(slices) == 1
+
+    def test_zero_affinity_scatters(self):
+        spec = single_class_spec("cyclic", affinity=0.0, pool_frac=1.0)
+        workload = SyntheticWorkload(spec, 1024, num_slices=8,
+                                     num_sets=64, seed=0)
+        sh = SliceHash(8)
+        for beh in workload.behaviors:
+            slices = {sh.slice_of(int(b)) for b in beh.pool}
+            assert len(slices) > 1
+
+
+class TestSkewBand:
+    def test_band_pools_confined_to_band(self):
+        spec = single_class_spec("scan", skew=0.25, in_band=True)
+        workload = SyntheticWorkload(spec, 1024, num_slices=4,
+                                     num_sets=64, seed=0)
+        for beh in workload.behaviors:
+            sets = {int(b) & 63 for b in beh.pool}
+            assert len(sets) <= 16  # 25% of 64
+
+
+class TestPhased:
+    def test_phases_alternate_pools(self):
+        cls = PCClassSpec("phased", count=1, pool_frac=0.05, weight=1.0,
+                          phase_len=10, averse_mult=4.0)
+        spec = spec_of([cls])
+        workload = SyntheticWorkload(spec, 1024, num_slices=2,
+                                     num_sets=64, seed=0)
+        beh = workload.behaviors[0]
+        friendly = {int(b) for b in beh.pool}
+        first_phase = {beh.next_block() for _ in range(10)}
+        second_phase = {beh.next_block() for _ in range(10)}
+        assert first_phase <= friendly
+        assert not (second_phase & friendly)
+
+    def test_averse_pool_larger(self):
+        cls = PCClassSpec("phased", count=1, pool_frac=0.05, weight=1.0,
+                          phase_len=10, averse_mult=6.0)
+        spec = spec_of([cls])
+        workload = SyntheticWorkload(spec, 1024, num_slices=2,
+                                     num_sets=64, seed=0)
+        beh = workload.behaviors[0]
+        assert len(beh.averse_pool) >= 4 * len(beh.pool)

@@ -1,0 +1,114 @@
+"""Tests for the TLB hierarchy and translation charging."""
+
+import pytest
+
+from repro.cpu.tlb import PAGE_SHIFT, TLB, TranslationUnit
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.traces.trace import MemoryAccess, Trace
+
+PAGE = 1 << PAGE_SHIFT
+
+
+class TestTLB:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TLB(entries=10, ways=4, latency=1)
+        with pytest.raises(ValueError):
+            TLB(entries=0, ways=1, latency=1)
+
+    def test_miss_then_fill_then_hit(self):
+        tlb = TLB(entries=8, ways=2, latency=1)
+        assert not tlb.lookup(5)
+        tlb.fill(5)
+        assert tlb.lookup(5)
+
+    def test_lru_within_set(self):
+        tlb = TLB(entries=4, ways=2, latency=1)
+        # Pages 0, 2, 4 land in set 0 (num_sets=2).
+        tlb.fill(0)
+        tlb.fill(2)
+        tlb.lookup(0)  # 0 is MRU
+        tlb.fill(4)  # evicts 2
+        assert tlb.lookup(0)
+        assert not tlb.lookup(2)
+
+    def test_hit_rate(self):
+        tlb = TLB(entries=8, ways=2, latency=1)
+        tlb.fill(1)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        tlb = TLB(entries=8, ways=2, latency=1)
+        tlb.fill(1)
+        tlb.lookup(1)
+        tlb.reset_stats()
+        assert tlb.hits == 0
+        assert tlb.lookup(1)
+
+
+class TestTranslationUnit:
+    def test_dtlb_hit_is_free(self):
+        unit = TranslationUnit()
+        unit.translate(0x1000)  # cold
+        assert unit.translate(0x1008) == 0  # same page, dTLB hit
+
+    def test_stlb_hit_costs_stlb_latency(self):
+        unit = TranslationUnit(dtlb_entries=4, dtlb_ways=4)
+        unit.translate(0x1000)
+        # Evict page 1 from the tiny dTLB with other pages.
+        for i in range(2, 7):
+            unit.translate(i * PAGE)
+        latency = unit.translate(0x1000)
+        assert latency == unit.stlb.latency
+
+    def test_cold_miss_pays_walk(self):
+        unit = TranslationUnit()
+        latency = unit.translate(0x100000)
+        assert latency == unit.stlb.latency + unit.walk_latency
+        assert unit.walks == 1
+
+    def test_walk_installs_both_levels(self):
+        unit = TranslationUnit()
+        unit.translate(0x2000)
+        assert unit.translate(0x2000) == 0
+
+    def test_reset(self):
+        unit = TranslationUnit()
+        unit.translate(0x1000)
+        unit.reset_stats()
+        assert unit.walks == 0
+
+
+class TestHierarchyIntegration:
+    def cfg(self, model_tlb):
+        return SystemConfig(num_cores=1, llc_sets_per_slice=32,
+                            l1=CacheConfig(sets=4, ways=2, latency=5),
+                            l2=CacheConfig(sets=8, ways=2, latency=15),
+                            prefetcher="none", model_tlb=model_tlb)
+
+    def test_tlb_charging_slows_page_walks(self):
+        # Touch many distinct pages: with the TLB modelled, cold walks
+        # add latency.
+        trace = Trace("t", [MemoryAccess(pc=0x400, address=i * PAGE * 7)
+                            for i in range(300)])
+        fast = Simulator(self.cfg(False), [trace],
+                         warmup_accesses=0).run()
+        slow = Simulator(self.cfg(True), [trace],
+                         warmup_accesses=0).run()
+        assert slow.cycles[0] > fast.cycles[0]
+
+    def test_tlb_neutral_for_page_resident_loop(self):
+        trace = Trace("t", [MemoryAccess(pc=0x400,
+                                         address=(i % 8) * 64)
+                            for i in range(300)])
+        fast = Simulator(self.cfg(False), [trace],
+                         warmup_accesses=0).run()
+        slow = Simulator(self.cfg(True), [trace],
+                         warmup_accesses=0).run()
+        # One cold walk (plus its DRAM-queue ripple), then every access
+        # hits the dTLB — far below the ~300 walks of the page-stride
+        # case above.
+        assert slow.cycles[0] - fast.cycles[0] < 500

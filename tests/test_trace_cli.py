@@ -1,0 +1,45 @@
+"""Tests for the trace-tooling CLI."""
+
+from repro.traces.__main__ import main
+from repro.traces.io import load_trace
+
+
+class TestTraceCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "pagerank" in out
+
+    def test_generate_and_info(self, tmp_path, capsys):
+        out_path = str(tmp_path / "t.npz")
+        assert main(["generate", "xalancbmk", "--out", out_path,
+                     "--accesses", "500", "--slices", "4",
+                     "--sets", "64"]) == 0
+        trace = load_trace(out_path)
+        assert len(trace) == 500
+        assert main(["info", out_path, "--slices", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "xalancbmk" in out
+        assert "checksum" in out
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        for path in (a, b):
+            main(["generate", "gcc", "--out", path,
+                  "--accesses", "300", "--seed", "9"])
+        ta, tb = load_trace(a), load_trace(b)
+        assert [x.address for x in ta] == [x.address for x in tb]
+
+    def test_graph_command(self, tmp_path):
+        out_path = str(tmp_path / "g.npz")
+        assert main(["graph", "pagerank", "--out", out_path,
+                     "--vertices", "500", "--accesses", "400"]) == 0
+        trace = load_trace(out_path)
+        assert 0 < len(trace) <= 400
+
+    def test_graph_uniform_flag(self, tmp_path):
+        out_path = str(tmp_path / "g.npz")
+        assert main(["graph", "bfs", "--out", out_path,
+                     "--vertices", "500", "--accesses", "300",
+                     "--uniform"]) == 0

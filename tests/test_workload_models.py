@@ -1,0 +1,144 @@
+"""Tests for the SPEC/GAP/datacenter workload models and mixes."""
+
+import pytest
+
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.traces.datacenter import (
+    DATACENTER_WORKLOADS,
+    datacenter_workload_names,
+    make_datacenter_trace,
+)
+from repro.traces.gap import (
+    GAP_WORKLOADS,
+    gap_workload_names,
+    make_gap_trace,
+)
+from repro.traces.mixes import (
+    MixSpec,
+    datacenter_mixes,
+    homogeneous_mix,
+    make_mix,
+    resolve_workload,
+    standard_mixes,
+)
+from repro.traces.spec import (
+    SPEC_WORKLOADS,
+    make_spec_trace,
+    spec_workload_names,
+)
+
+
+def tiny_config(num_cores=4):
+    return SystemConfig(num_cores=num_cores, llc_sets_per_slice=32,
+                        l1=CacheConfig(sets=4, ways=2, latency=5),
+                        l2=CacheConfig(sets=8, ways=2, latency=15))
+
+
+class TestPresets:
+    def test_spec_count(self):
+        assert len(SPEC_WORKLOADS) >= 12
+
+    def test_gap_count(self):
+        assert len(GAP_WORKLOADS) == 12
+
+    def test_datacenter_count(self):
+        assert len(DATACENTER_WORKLOADS) >= 6
+
+    def test_all_spec_generate(self):
+        for name in spec_workload_names():
+            tr = make_spec_trace(name, 512, 2, 32, 200, seed=0)
+            assert len(tr) == 200
+
+    def test_all_gap_generate(self):
+        for name in gap_workload_names():
+            tr = make_gap_trace(name, 512, 2, 32, 200, seed=0)
+            assert len(tr) == 200
+
+    def test_all_datacenter_generate(self):
+        for name in datacenter_workload_names():
+            tr = make_datacenter_trace(name, 512, 2, 32, 200, seed=0)
+            assert len(tr) == 200
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec_trace("bogus", 512, 2, 32, 100)
+        with pytest.raises(ValueError):
+            make_gap_trace("bogus", 512, 2, 32, 100)
+        with pytest.raises(ValueError):
+            make_datacenter_trace("bogus", 512, 2, 32, 100)
+
+    def test_paper_knobs(self):
+        """The per-workload properties the paper calls out."""
+        assert SPEC_WORKLOADS["xalancbmk"].slice_affinity <= \
+            SPEC_WORKLOADS["mcf"].slice_affinity
+        assert GAP_WORKLOADS["pr_kron"].slice_affinity > \
+            SPEC_WORKLOADS["xalancbmk"].slice_affinity
+        assert SPEC_WORKLOADS["lbm"].set_skew_band == 1.0  # uniform
+        assert SPEC_WORKLOADS["mcf"].set_skew_band < 0.5  # skewed
+
+    def test_lbm_write_heavy(self):
+        tr = make_spec_trace("lbm", 512, 2, 32, 2000, seed=0)
+        assert tr.stats.write_fraction > 0.15
+
+    def test_datacenter_low_apki(self):
+        for name in datacenter_workload_names():
+            assert DATACENTER_WORKLOADS[name].apki <= 20.0
+
+
+class TestResolve:
+    def test_resolves_across_suites(self):
+        assert resolve_workload("mcf").suite == "spec"
+        assert resolve_workload("pr_kron").suite == "gap"
+        assert resolve_workload("xsbench").suite == "datacenter"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_workload("bogus")
+
+
+class TestMixes:
+    def test_standard_counts(self):
+        mixes = standard_mixes(4, num_homogeneous=35,
+                               num_heterogeneous=35)
+        assert len(mixes) == 70
+        assert sum(m.kind == "homogeneous" for m in mixes) == 35
+
+    def test_homogeneous_same_workload(self):
+        mix = homogeneous_mix("mcf", 8)
+        assert len(set(mix.workloads)) == 1
+        assert mix.num_cores == 8
+
+    def test_heterogeneous_mixes_seeded(self):
+        a = standard_mixes(4, 0, 5, seed=9)
+        b = standard_mixes(4, 0, 5, seed=9)
+        assert [m.workloads for m in a] == [m.workloads for m in b]
+
+    def test_make_mix_wrong_core_count(self):
+        with pytest.raises(ValueError):
+            make_mix(homogeneous_mix("mcf", 2), tiny_config(4), 100)
+
+    def test_make_mix_distinct_seeds_per_core(self):
+        cfg = tiny_config(4)
+        traces = make_mix(homogeneous_mix("mcf", 4), cfg, 300, seed=1)
+        addrs = [tuple(a.address for a in t) for t in traces]
+        assert len(set(addrs)) == 4  # different simpoints
+
+    def test_make_mix_names_unique(self):
+        cfg = tiny_config(4)
+        traces = make_mix(homogeneous_mix("mcf", 4), cfg, 100, seed=1)
+        assert len({t.name for t in traces}) == 4
+
+    def test_datacenter_mixes(self):
+        mixes = datacenter_mixes(4, count=5)
+        assert len(mixes) == 5
+        for m in mixes:
+            for wl in m.workloads:
+                assert resolve_workload(wl).suite == "datacenter"
+
+    def test_invalid_mix_kind(self):
+        with pytest.raises(ValueError):
+            MixSpec("m", ("mcf",), "bogus")
+
+    def test_mix_validates_workloads(self):
+        with pytest.raises(ValueError):
+            MixSpec("m", ("nonexistent",), "homogeneous")

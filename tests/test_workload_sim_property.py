@@ -1,0 +1,59 @@
+"""Property test: any preset workload × any policy simulates cleanly
+on a tiny system, with conserved statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drishti import DrishtiConfig
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.sim.simulator import Simulator
+from repro.traces.mixes import homogeneous_mix, make_mix, resolve_workload
+from repro.traces.datacenter import DATACENTER_WORKLOADS
+from repro.traces.gap import GAP_WORKLOADS
+from repro.traces.spec import SPEC_WORKLOADS
+
+ALL_WORKLOADS = (sorted(SPEC_WORKLOADS) + sorted(GAP_WORKLOADS) +
+                 sorted(DATACENTER_WORKLOADS))
+
+
+def tiny_cfg(policy, drishti):
+    return SystemConfig(num_cores=2, llc_policy=policy, drishti=drishti,
+                        llc_sets_per_slice=32,
+                        l1=CacheConfig(sets=4, ways=2, latency=5),
+                        l2=CacheConfig(sets=8, ways=2, latency=15),
+                        prefetcher="baseline", seed=1)
+
+
+@given(workload=st.sampled_from(ALL_WORKLOADS),
+       policy=st.sampled_from(["lru", "hawkeye", "mockingjay", "ship"]),
+       full_drishti=st.booleans(),
+       seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_any_workload_policy_combination_runs(workload, policy,
+                                              full_drishti, seed):
+    drishti = DrishtiConfig.full() if full_drishti and policy != "lru" \
+        else DrishtiConfig.baseline()
+    cfg = tiny_cfg(policy, drishti)
+    traces = make_mix(homogeneous_mix(workload, 2), cfg, 400, seed=seed)
+    result = Simulator(cfg, traces, warmup_accesses=50).run()
+    # Conservation and sanity invariants.
+    s = result.llc_stats
+    assert s.hits + s.misses == s.accesses
+    assert all(ipc > 0 for ipc in result.ipc)
+    assert result.mpki() >= 0
+    assert result.wpki >= 0
+    assert sum(result.llc_demand_misses) <= s.demand_misses + s.fills
+
+
+@given(workload=st.sampled_from(ALL_WORKLOADS))
+@settings(max_examples=20, deadline=None)
+def test_workload_apki_near_spec(workload):
+    spec = resolve_workload(workload)
+    cfg = tiny_cfg("lru", DrishtiConfig.baseline())
+    traces = make_mix(homogeneous_mix(workload, 2), cfg, 3000, seed=3)
+    measured = traces[0].stats.accesses_per_kilo_instr
+    assert measured == pytest.approx(spec.apki, rel=0.25)
+
+
+
