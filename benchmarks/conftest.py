@@ -8,6 +8,11 @@ Benchmarks run exactly once (``benchmark.pedantic(rounds=1)``) — each is
 a multi-second simulation sweep, not a microbenchmark.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Tests marked ``sweep`` (full serial-vs-parallel sweep timing; multiple
+minutes) are skipped unless ``--run-sweeps`` is passed, so the default
+benchmark invocation — and a stray ``pytest -x -q`` pointed at this
+directory — never triggers them.
 """
 
 from __future__ import annotations
@@ -19,6 +24,23 @@ import pytest
 from repro.experiments.common import ExperimentProfile
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-sweeps", action="store_true", default=False,
+        help="run multi-minute sweep-throughput benchmarks "
+             "(marker 'sweep')")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-sweeps", default=False):
+        return
+    skip_sweep = pytest.mark.skip(
+        reason="multi-minute sweep benchmark; pass --run-sweeps")
+    for item in items:
+        if "sweep" in item.keywords:
+            item.add_marker(skip_sweep)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,92 @@
+"""Sweep-engine throughput: serial vs parallel cells/second.
+
+Times the same ``ExperimentProfile.bench()``-scale sweep through the
+serial fallback and a 4-worker pool, writes the comparison to
+``results/sweep_throughput.txt``, and asserts the pool delivers >= 2x
+when the machine actually has >= 4 usable CPUs (on smaller machines the
+timing comparison is reported but not asserted — a 1-CPU container
+cannot speed anything up by adding processes).
+
+Marked ``sweep``: run with ``pytest benchmarks/test_sweep_throughput.py
+--run-sweeps``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.engine import SweepEngine, available_workers
+from repro.experiments.resultcache import ResultCache
+
+pytestmark = pytest.mark.sweep
+
+PARALLEL_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def sweep_profile():
+    """bench()-scale geometry/trace length on one core count, so the
+    serial leg stays near a minute instead of several."""
+    bench = ExperimentProfile.bench()
+    return ExperimentProfile(scale=bench.scale, core_counts=(4,),
+                             num_homogeneous=bench.num_homogeneous,
+                             num_heterogeneous=bench.num_heterogeneous,
+                             seed=bench.seed)
+
+
+def _timed_run(engine: SweepEngine, profile):
+    started = time.perf_counter()
+    matrix = engine.run(profile)
+    return matrix, engine.last_stats, time.perf_counter() - started
+
+
+def test_sweep_throughput_serial_vs_parallel(sweep_profile, tmp_path):
+    serial = SweepEngine(parallel=False)
+    serial_matrix, serial_stats, serial_secs = _timed_run(serial,
+                                                          sweep_profile)
+
+    parallel = SweepEngine(parallel=True, max_workers=PARALLEL_WORKERS)
+    par_matrix, par_stats, par_secs = _timed_run(parallel, sweep_profile)
+
+    # The pool must reproduce the serial fallback exactly.
+    assert set(par_matrix.results) == set(serial_matrix.results)
+    for key, serial_result in serial_matrix.results.items():
+        assert par_matrix.results[key].ws == serial_result.ws, key
+
+    # A warm persistent cache skips every simulation.
+    cache = ResultCache(tmp_path)
+    SweepEngine(parallel=False, cache=cache).run(sweep_profile)
+    warm = SweepEngine(parallel=True, max_workers=PARALLEL_WORKERS,
+                       cache=cache)
+    _m, warm_stats, warm_secs = _timed_run(warm, sweep_profile)
+    assert warm_stats.simulations_run == 0
+    assert warm_stats.cache_hits == warm_stats.total_units
+
+    cells = serial_stats.cell_units
+    speedup = serial_secs / par_secs if par_secs > 0 else float("inf")
+    cpus = available_workers()
+    lines = [
+        "Sweep throughput (bench-scale, "
+        f"{cells} cells + {serial_stats.alone_units} alone units)",
+        f"cpus available     : {cpus}",
+        f"serial             : {serial_secs:8.2f}s "
+        f"({cells / serial_secs:.2f} cells/s)",
+        f"parallel x{PARALLEL_WORKERS}        : {par_secs:8.2f}s "
+        f"({cells / par_secs:.2f} cells/s)",
+        f"speedup            : {speedup:8.2f}x",
+        f"warm disk cache    : {warm_secs:8.2f}s "
+        "(0 simulations run)",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sweep_throughput.txt").write_text(
+        "\n".join(lines) + "\n")
+
+    if cpus >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {PARALLEL_WORKERS} workers "
+            f"on {cpus} CPUs, measured {speedup:.2f}x")

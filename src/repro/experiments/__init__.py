@@ -17,6 +17,13 @@ from repro.experiments.common import (
     policy_matrix,
     render_table,
 )
+from repro.experiments.engine import (
+    SweepEngine,
+    SweepStats,
+    available_workers,
+    run_sweep,
+)
+from repro.experiments.resultcache import ResultCache
 
 __all__ = [
     "ExperimentProfile",
@@ -24,4 +31,9 @@ __all__ = [
     "policy_matrix",
     "clear_matrix_cache",
     "render_table",
+    "SweepEngine",
+    "SweepStats",
+    "ResultCache",
+    "available_workers",
+    "run_sweep",
 ]

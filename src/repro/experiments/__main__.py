@@ -4,20 +4,23 @@ Usage::
 
     python -m repro.experiments --list
     python -m repro.experiments fig13 [--profile bench|full]
-    python -m repro.experiments all --profile bench
+    python -m repro.experiments all --profile bench --workers 8 --cache
 
 Each experiment prints its rendered table (the same artefact the
-benchmark suite writes to ``results/``).
+benchmark suite writes to ``results/``).  ``--workers``/``--cache``
+configure the sweep engine (docs/performance.md) for every experiment
+in the invocation by setting the corresponding environment knobs.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 
-from repro.experiments.common import ExperimentProfile
+from repro.experiments.common import ExperimentProfile, clear_matrix_cache
 
 EXPERIMENTS = {
     "fig02": "fig02_scatter",
@@ -73,7 +76,35 @@ def main(argv=None) -> int:
                         help="list experiment ids")
     parser.add_argument("--profile", choices=("bench", "full"),
                         default="bench", help="sweep scale")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run sweeps on an N-process pool "
+                             "(default: serial; 0 = all available CPUs)")
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument("--cache", action="store_true",
+                             help="reuse/populate the persistent result "
+                                  "cache under results/cache")
+    cache_group.add_argument("--no-cache", action="store_true",
+                             help="ignore the persistent result cache "
+                                  "(the default)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete the persistent result cache "
+                             "and exit (combinable with an experiment)")
     args = parser.parse_args(argv)
+
+    if args.workers is not None:
+        from repro.experiments.engine import available_workers
+        workers = args.workers if args.workers > 0 else available_workers()
+        os.environ["REPRO_SWEEP_WORKERS"] = str(workers)
+    if args.cache:
+        os.environ["REPRO_SWEEP_CACHE"] = "1"
+    elif args.no_cache:
+        os.environ["REPRO_SWEEP_CACHE"] = "0"
+
+    if args.clear_cache:
+        removed = clear_matrix_cache(disk=True)
+        print(f"cleared {removed} cached sweep results")
+        if args.experiment is None:
+            return 0
 
     if args.list or args.experiment is None:
         print("Available experiments:")

@@ -2,13 +2,18 @@
 
 The performance experiments (Figures 13/14/15/16/17, Tables 5/6) all
 consume the same sweep: {policy × Drishti config} × {mix} × {core count}.
-:func:`policy_matrix` runs that sweep once per profile and caches it
-in-process so each table/figure module only slices the result.
+:func:`policy_matrix` runs that sweep once per profile — delegating the
+actual execution to :class:`repro.experiments.engine.SweepEngine`, which
+can fan the independent cells out over a process pool and skip
+already-computed cells via a persistent on-disk cache (see
+docs/performance.md) — and caches the merged matrix in-process so each
+table/figure module only slices the result.
 
 Methodology notes (recorded in EXPERIMENTS.md):
 
-* ``IPC_alone`` is measured once per (core count, trace) on the baseline
-  LRU system and shared across policy configurations.
+* ``IPC_alone`` is measured once per (core count, trace), explicitly on
+  the **baseline LRU** system, and shared across policy configurations
+  — regardless of the order of the ``policies`` argument.
 * Normalised WS is averaged arithmetically across mixes, like the
   paper's average-of-normalised-speedups.
 """
@@ -20,8 +25,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.drishti import DrishtiConfig
 from repro.sim.config import ScaleProfile, SystemConfig
-from repro.sim.runner import MixResult, run_mix
-from repro.traces.mixes import MixSpec, make_mix, standard_mixes
+from repro.sim.runner import MixResult
+from repro.traces.mixes import MixSpec, standard_mixes
 
 # The five headline configurations of Figure 13.
 HEADLINE_POLICIES: Tuple[Tuple[str, str, DrishtiConfig], ...] = (
@@ -127,8 +132,21 @@ class PolicyMatrix:
 _MATRIX_CACHE: Dict[Tuple, PolicyMatrix] = {}
 
 
-def clear_matrix_cache() -> None:
+def clear_matrix_cache(disk: bool = False) -> int:
+    """Drop the in-process matrix cache.
+
+    Args:
+        disk: also clear the persistent on-disk sweep result cache at
+            its default location (``results/cache``).
+
+    Returns:
+        Number of on-disk entries removed (0 when ``disk`` is false).
+    """
     _MATRIX_CACHE.clear()
+    if not disk:
+        return 0
+    from repro.experiments.resultcache import ResultCache
+    return ResultCache().clear()
 
 
 def _mix_suite(mix: MixSpec) -> str:
@@ -141,8 +159,19 @@ def _mix_suite(mix: MixSpec) -> str:
 def policy_matrix(profile: ExperimentProfile,
                   policies: Optional[Sequence[Tuple[str, str,
                                                     DrishtiConfig]]] = None,
-                  ) -> PolicyMatrix:
-    """Run (or fetch from cache) the shared policy sweep."""
+                  engine=None) -> PolicyMatrix:
+    """Run (or fetch from cache) the shared policy sweep.
+
+    Args:
+        profile: sweep scale.
+        policies: (label, policy, drishti) triples; defaults to the
+            Figure 13 headline configurations.
+        engine: a :class:`repro.experiments.engine.SweepEngine`; when
+            omitted one is built from the ``REPRO_SWEEP_WORKERS`` /
+            ``REPRO_SWEEP_CACHE`` environment knobs (serial, no disk
+            cache by default).
+    """
+    from repro.experiments.engine import default_engine
     if policies is None:
         policies = HEADLINE_POLICIES
     key = (profile, tuple(label for label, _p, _d in policies))
@@ -150,26 +179,9 @@ def policy_matrix(profile: ExperimentProfile,
     if cached is not None:
         return cached
 
-    matrix = PolicyMatrix(profile=profile,
-                          labels=[label for label, _p, _d in policies])
-    for cores in profile.core_counts:
-        mixes = profile.mixes(cores)
-        matrix.mix_names[cores] = [m.name for m in mixes]
-        for mix in mixes:
-            matrix.mix_kinds[mix.name] = mix.kind
-            matrix.mix_suites[mix.name] = _mix_suite(mix)
-            # Alone IPCs are measured under LRU and shared (methodology
-            # note at module top).
-            alone_cache: Dict[str, float] = {}
-            base_cfg = profile.config(cores, "lru",
-                                      DrishtiConfig.baseline())
-            traces = make_mix(mix, base_cfg,
-                              profile.scale.accesses_per_core,
-                              seed=profile.seed)
-            for label, policy, drishti in policies:
-                cfg = profile.config(cores, policy, drishti)
-                result = run_mix(cfg, traces, alone_ipc_cache=alone_cache)
-                matrix.results[(cores, mix.name, label)] = result
+    if engine is None:
+        engine = default_engine()
+    matrix = engine.run(profile, policies)
     _MATRIX_CACHE[key] = matrix
     return matrix
 

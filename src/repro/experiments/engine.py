@@ -1,0 +1,413 @@
+"""Parallel sweep execution engine for the policy matrix.
+
+The shared ``{policy × mix × core-count}`` sweep behind every figure
+and table decomposes into independent work units:
+
+* an **alone unit** measures one trace's ``IPC_alone`` on the baseline
+  LRU system (one unit per distinct trace per core count — computed
+  once, not lazily inside the first ``run_mix`` of each mix), and
+* a **cell unit** runs one mix *together* under one policy
+  configuration, consuming the alone IPCs measured in phase one.
+
+Units carry only small, picklable descriptions (``ExperimentProfile``,
+``MixSpec``, policy name, ``DrishtiConfig``); workers regenerate their
+traces deterministically with :func:`repro.traces.mixes.make_mix_trace`
+instead of having multi-megabyte traces pickled across processes.
+Every unit's outcome is fully determined by seeds derived from the
+profile, so scheduling order — serial, or any interleaving across a
+process pool — cannot change a single result.
+
+``SweepEngine(parallel=False)`` (the default) runs everything in
+process and is numerically identical to the historical serial sweep;
+``parallel=True`` fans units out over a ``ProcessPoolExecutor``.
+Attach a :class:`repro.experiments.resultcache.ResultCache` to skip
+already-computed units across runs: the parent probes the cache before
+dispatching, so a fully warm sweep performs **zero** simulations
+(observable via :class:`SweepStats`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.resultcache import ResultCache, cache_key
+from repro.sim.config import SystemConfig
+from repro.sim.runner import MixResult, run_alone, run_mix
+from repro.traces.mixes import MixSpec, make_mix, make_mix_trace, \
+    mix_trace_name
+
+__all__ = [
+    "SweepEngine",
+    "SweepStats",
+    "available_workers",
+    "default_engine",
+    "run_sweep",
+]
+
+
+def available_workers() -> int:
+    """CPUs this process may use (respects affinity masks/cgroups)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class SweepStats:
+    """What one :meth:`SweepEngine.run` actually did.
+
+    ``simulations_run`` counts units that executed a simulator (cache
+    misses); a warm-cache sweep reports 0 with
+    ``cache_hits == total_units``.
+    """
+
+    alone_units: int = 0
+    cell_units: int = 0
+    cache_hits: int = 0
+    simulations_run: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def total_units(self) -> int:
+        return self.alone_units + self.cell_units
+
+    @property
+    def cells_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cell_units / self.wall_seconds
+
+
+# ---------------------------------------------------------------------------
+# Worker functions (module-level so they pickle under multiprocessing).
+# ---------------------------------------------------------------------------
+
+def _base_config(profile, cores: int) -> SystemConfig:
+    """The baseline LRU system: trace geometry + IPC_alone reference."""
+    return profile.config(cores, "lru", DrishtiConfig.baseline())
+
+
+def _alone_worker(profile, cores: int, mix: MixSpec,
+                  core_index: int) -> float:
+    """Measure IPC_alone for one trace on the baseline LRU system."""
+    base_cfg = _base_config(profile, cores)
+    trace = make_mix_trace(mix, core_index, base_cfg,
+                           profile.scale.accesses_per_core,
+                           seed=profile.seed)
+    return run_alone(base_cfg, trace).ipc[0]
+
+
+def _cell_worker(profile, cores: int, mix: MixSpec, policy: str,
+                 drishti: DrishtiConfig,
+                 alone_ipcs: Dict[str, float]) -> MixResult:
+    """Run one mix together under one policy configuration."""
+    base_cfg = _base_config(profile, cores)
+    traces = make_mix(mix, base_cfg, profile.scale.accesses_per_core,
+                      seed=profile.seed)
+    cfg = profile.config(cores, policy, drishti)
+    return run_mix(cfg, traces, alone_ipc_cache=dict(alone_ipcs))
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _AloneTask:
+    key: str
+    cores: int
+    trace_name: str
+    mix: MixSpec
+    core_index: int
+
+
+@dataclass
+class _CellTask:
+    key: str
+    cores: int
+    mix: MixSpec
+    policy: str
+    drishti: DrishtiConfig
+    targets: List[Tuple[int, str, str]] = field(default_factory=list)
+
+
+class SweepEngine:
+    """Schedules the policy sweep's work units.
+
+    Args:
+        parallel: fan units out over a process pool (``False`` runs
+            them inline — the byte-for-byte serial fallback).
+        max_workers: pool size; defaults to :func:`available_workers`.
+        cache: optional :class:`ResultCache` consulted before and
+            updated after every unit.
+    """
+
+    def __init__(self, parallel: bool = False,
+                 max_workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.cache = cache
+        self.last_stats: Optional[SweepStats] = None
+
+    # ------------------------------------------------------------------
+    def _keys(self, profile, cores: int):
+        base_cfg = _base_config(profile, cores)
+        return base_cfg.canonical_dict()
+
+    def _alone_key(self, profile, cores: int, mix: MixSpec,
+                   core_index: int) -> str:
+        # (workload, core_index, seed) fully determine the trace;
+        # the baseline config carries the geometry it is built against.
+        return cache_key("alone", self._keys(profile, cores),
+                         mix.workloads[core_index], core_index,
+                         profile.seed, profile.scale.accesses_per_core)
+
+    def _cell_key(self, profile, cores: int, mix: MixSpec, policy: str,
+                  drishti: DrishtiConfig) -> str:
+        cfg = profile.config(cores, policy, drishti)
+        return cache_key("cell", self._keys(profile, cores),
+                         cfg.canonical_dict(), list(mix.workloads),
+                         profile.seed, profile.scale.accesses_per_core)
+
+    def _cache_get(self, key: str):
+        if self.cache is None:
+            return False, None
+        return self.cache.get(key)
+
+    def _cache_put(self, key: str, value) -> None:
+        if self.cache is not None:
+            self.cache.put(key, value)
+
+    # ------------------------------------------------------------------
+    def run(self, profile, policies: Optional[Sequence[
+            Tuple[str, str, DrishtiConfig]]] = None):
+        """Execute the sweep; returns the merged ``PolicyMatrix``.
+
+        Per-run statistics are left in :attr:`last_stats`.
+        """
+        from repro.experiments.common import (HEADLINE_POLICIES,
+                                              PolicyMatrix, _mix_suite)
+        if policies is None:
+            policies = HEADLINE_POLICIES
+        policies = tuple(policies)
+        started = time.time()
+        stats = SweepStats()
+        matrix = PolicyMatrix(profile=profile,
+                              labels=[label for label, _p, _d in policies])
+
+        # ---- plan: decompose into deduplicated work units -------------
+        alone_plan: Dict[Tuple[int, str], _AloneTask] = {}
+        cell_plan: List[Tuple[int, MixSpec, str, str, DrishtiConfig]] = []
+        for cores in profile.core_counts:
+            mixes = profile.mixes(cores)
+            matrix.mix_names[cores] = [m.name for m in mixes]
+            for mix in mixes:
+                matrix.mix_kinds[mix.name] = mix.kind
+                matrix.mix_suites[mix.name] = _mix_suite(mix)
+                for core_index, workload in enumerate(mix.workloads):
+                    tname = mix_trace_name(workload, profile.seed,
+                                           core_index)
+                    if (cores, tname) not in alone_plan:
+                        alone_plan[(cores, tname)] = _AloneTask(
+                            key=self._alone_key(profile, cores, mix,
+                                                core_index),
+                            cores=cores, trace_name=tname, mix=mix,
+                            core_index=core_index)
+                for label, policy, drishti in policies:
+                    cell_plan.append((cores, mix, label, policy, drishti))
+        stats.alone_units = len(alone_plan)
+        stats.cell_units = len(cell_plan)
+
+        # ---- cache probe (in the parent, before any dispatch) ---------
+        alone_ipcs: Dict[Tuple[int, str], float] = {}
+        alone_pending: List[_AloneTask] = []
+        for (cores, tname), task in alone_plan.items():
+            found, value = self._cache_get(task.key)
+            if found:
+                alone_ipcs[(cores, tname)] = value
+                stats.cache_hits += 1
+            else:
+                alone_pending.append(task)
+
+        cell_results: Dict[Tuple[int, str, str], MixResult] = {}
+        cell_pending: Dict[str, _CellTask] = {}
+        for cores, mix, label, policy, drishti in cell_plan:
+            target = (cores, mix.name, label)
+            key = self._cell_key(profile, cores, mix, policy, drishti)
+            if key in cell_pending:  # identical workload tuple + config
+                cell_pending[key].targets.append(target)
+                continue
+            found, value = self._cache_get(key)
+            if found:
+                cell_results[target] = value
+                stats.cache_hits += 1
+            else:
+                cell_pending[key] = _CellTask(
+                    key=key, cores=cores, mix=mix, policy=policy,
+                    drishti=drishti, targets=[target])
+
+        stats.simulations_run = len(alone_pending) + len(cell_pending)
+
+        # ---- execute --------------------------------------------------
+        if self.parallel and (alone_pending or cell_pending):
+            workers = self.max_workers or available_workers()
+            stats.workers = workers
+            self._run_pool(profile, workers, alone_pending,
+                           list(cell_pending.values()), alone_ipcs,
+                           cell_results)
+        else:
+            self._run_inline(profile, alone_pending,
+                             list(cell_pending.values()), alone_ipcs,
+                             cell_results)
+
+        # ---- merge ----------------------------------------------------
+        for cores, mix, label, policy, drishti in cell_plan:
+            matrix.results[(cores, mix.name, label)] = \
+                cell_results[(cores, mix.name, label)]
+
+        stats.wall_seconds = time.time() - started
+        self.last_stats = stats
+        return matrix
+
+    # ------------------------------------------------------------------
+    def _mix_alone_ipcs(self, profile, cores: int, mix: MixSpec,
+                        alone_ipcs: Dict[Tuple[int, str], float],
+                        ) -> Dict[str, float]:
+        """The alone-IPC dict one cell's ``run_mix`` call needs."""
+        out = {}
+        for core_index, workload in enumerate(mix.workloads):
+            tname = mix_trace_name(workload, profile.seed, core_index)
+            out[tname] = alone_ipcs[(cores, tname)]
+        return out
+
+    def _run_inline(self, profile, alone_pending: List[_AloneTask],
+                    cell_pending: List[_CellTask],
+                    alone_ipcs: Dict[Tuple[int, str], float],
+                    cell_results: Dict[Tuple[int, str, str], MixResult],
+                    ) -> None:
+        """Serial fallback: same units, same seeds, one process.
+
+        Traces are generated once per (core count, mix) and shared
+        across that mix's units, mirroring the historical sweep loop.
+        """
+        base_cfgs: Dict[int, SystemConfig] = {}
+        trace_memo: Dict[Tuple[int, str], list] = {}
+
+        def traces_for(cores: int, mix: MixSpec):
+            memo_key = (cores, mix.name)
+            if memo_key not in trace_memo:
+                trace_memo[memo_key] = make_mix(
+                    mix, base_cfgs[cores],
+                    profile.scale.accesses_per_core, seed=profile.seed)
+            return trace_memo[memo_key]
+
+        for cores in {t.cores for t in alone_pending} | \
+                {t.cores for t in cell_pending}:
+            base_cfgs[cores] = _base_config(profile, cores)
+
+        for task in alone_pending:
+            trace = traces_for(task.cores, task.mix)[task.core_index]
+            value = run_alone(base_cfgs[task.cores], trace).ipc[0]
+            alone_ipcs[(task.cores, task.trace_name)] = value
+            self._cache_put(task.key, value)
+
+        for task in cell_pending:
+            traces = traces_for(task.cores, task.mix)
+            cfg = profile.config(task.cores, task.policy, task.drishti)
+            mix_alone = self._mix_alone_ipcs(profile, task.cores,
+                                             task.mix, alone_ipcs)
+            result = run_mix(cfg, traces, alone_ipc_cache=mix_alone)
+            for target in task.targets:
+                cell_results[target] = result
+            self._cache_put(task.key, result)
+
+    def _run_pool(self, profile, workers: int,
+                  alone_pending: List[_AloneTask],
+                  cell_pending: List[_CellTask],
+                  alone_ipcs: Dict[Tuple[int, str], float],
+                  cell_results: Dict[Tuple[int, str, str], MixResult],
+                  ) -> None:
+        """Fan units out over a process pool, alone phase first."""
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_alone_worker, profile, task.cores, task.mix,
+                            task.core_index): task
+                for task in alone_pending
+            }
+            for future in as_completed(futures):
+                task = futures[future]
+                value = future.result()
+                alone_ipcs[(task.cores, task.trace_name)] = value
+                self._cache_put(task.key, value)
+
+            cell_futures = {
+                pool.submit(_cell_worker, profile, task.cores, task.mix,
+                            task.policy, task.drishti,
+                            self._mix_alone_ipcs(profile, task.cores,
+                                                 task.mix, alone_ipcs)):
+                task
+                for task in cell_pending
+            }
+            for future in as_completed(cell_futures):
+                task = cell_futures[future]
+                result = future.result()
+                for target in task.targets:
+                    cell_results[target] = result
+                self._cache_put(task.key, result)
+
+
+# ---------------------------------------------------------------------------
+# Defaults / environment knobs
+# ---------------------------------------------------------------------------
+
+def _env_workers() -> Optional[int]:
+    """``REPRO_SWEEP_WORKERS``: unset/0/1 → serial; N>1 or ``auto``."""
+    raw = os.environ.get("REPRO_SWEEP_WORKERS", "").strip().lower()
+    if not raw:
+        return None
+    if raw == "auto":
+        return available_workers()
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SWEEP_WORKERS must be an integer or 'auto', "
+            f"got {raw!r}")
+
+
+def _env_cache() -> Optional[ResultCache]:
+    """``REPRO_SWEEP_CACHE``: unset/0 → off; 1 → results/cache; path."""
+    raw = os.environ.get("REPRO_SWEEP_CACHE", "").strip()
+    if not raw or raw == "0":
+        return None
+    if raw == "1":
+        return ResultCache()
+    return ResultCache(raw)
+
+
+def default_engine() -> SweepEngine:
+    """Engine configured from the environment (serial, no cache when
+    ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` are unset)."""
+    workers = _env_workers()
+    parallel = workers is not None and workers > 1
+    return SweepEngine(parallel=parallel,
+                       max_workers=workers if parallel else None,
+                       cache=_env_cache())
+
+
+def run_sweep(profile, policies=None, *, parallel: bool = False,
+              max_workers: Optional[int] = None,
+              cache: Optional[ResultCache] = None):
+    """One-shot sweep; returns ``(PolicyMatrix, SweepStats)``."""
+    engine = SweepEngine(parallel=parallel, max_workers=max_workers,
+                         cache=cache)
+    matrix = engine.run(profile, policies)
+    return matrix, engine.last_stats

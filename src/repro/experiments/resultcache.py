@@ -1,0 +1,137 @@
+"""Persistent, content-addressed cache for sweep results.
+
+Every work unit of the sweep engine — one ``(config, mix, policy)``
+*cell* simulation or one per-trace *alone-IPC* measurement — is keyed
+by a SHA-256 digest of everything that determines its outcome:
+
+* the full :meth:`repro.sim.config.SystemConfig.canonical_dict` of the
+  system under test (and, for cells, of the baseline config whose
+  geometry seeds trace generation),
+* the mix's workload assignment and the trace seed/length,
+* ``CACHE_SCHEMA_VERSION``, a salt bumped whenever simulator or policy
+  semantics change in a result-affecting way.
+
+Values are pickled under ``results/cache/<k[:2]>/<key>.pkl`` (sharded
+by the first key byte so directories stay small).  Writes are atomic
+(tmp file + ``os.replace``) so concurrent sweeps never observe a torn
+entry; a corrupt or unreadable entry is treated as a miss and removed.
+
+The cache stores *simulation outputs*, which are deterministic given
+the key inputs — so sharing one cache directory between serial and
+parallel sweeps, or across repeated benchmark runs, is safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Optional, Tuple
+
+# Bump when simulator/policy/trace-generation semantics change such
+# that previously cached results are no longer valid.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache location, relative to the repository root.
+DEFAULT_CACHE_DIRNAME = os.path.join("results", "cache")
+
+
+def default_cache_dir() -> Path:
+    """``results/cache`` under the repository root (next to ``src``)."""
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / DEFAULT_CACHE_DIRNAME
+
+
+def cache_key(kind: str, *parts: Any) -> str:
+    """Stable hex digest for a work unit.
+
+    Args:
+        kind: unit namespace (``"cell"`` / ``"alone"``).
+        parts: JSON-serialisable components (non-native values are
+            rendered via ``repr``, matching ``SystemConfig.fingerprint``).
+    """
+    payload = json.dumps([kind, CACHE_SCHEMA_VERSION, list(parts)],
+                         sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed pickle store addressed by :func:`cache_key`.
+
+    Attributes:
+        root: cache directory (created lazily on first write).
+        hits / misses: lookup counters since construction.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Look up *key*; returns ``(found, value)``.
+
+        The two-tuple (rather than a ``None`` sentinel) lets callers
+        cache falsy values like ``0.0`` IPCs unambiguously.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Torn write or stale class layout: drop and treat as miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically store *value* under *key*."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def _entries(self) -> Iterable[Path]:
+        if not self.root.is_dir():
+            return ()
+        return self.root.glob("*/*.pkl")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -17,7 +17,12 @@ from repro.sim.config import (
     SystemConfig,
 )
 from repro.sim.simulator import SimulationResult, Simulator
-from repro.sim.runner import MixResult, run_mix
+from repro.sim.runner import (
+    MixResult,
+    measure_alone_ipcs,
+    run_alone,
+    run_mix,
+)
 from repro.sim.energy import EnergyModel, UncoreEnergy
 
 __all__ = [
@@ -32,6 +37,8 @@ __all__ = [
     "SimulationResult",
     "MixResult",
     "run_mix",
+    "run_alone",
+    "measure_alone_ipcs",
     "EnergyModel",
     "UncoreEnergy",
 ]

@@ -10,7 +10,9 @@ structure the replacement policies see.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Optional
 
 from repro.core.drishti import DrishtiConfig
@@ -227,3 +229,24 @@ class SystemConfig:
     @property
     def llc_capacity_bytes(self) -> int:
         return self.num_cores * self.llc_lines_per_core * 64
+
+    # -- stable serialisation (sweep result cache) ----------------------
+    def canonical_dict(self) -> Dict:
+        """Fully-nested plain-dict form with deterministic ordering.
+
+        Every field that can influence a simulation is included, so two
+        configs with equal canonical dicts produce identical runs.
+        Values that are not JSON-native (e.g. policy-param objects) are
+        rendered via ``repr`` at serialisation time.
+        """
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Content hash of this configuration (hex SHA-256).
+
+        Used as the config component of on-disk sweep cache keys; see
+        :mod:`repro.experiments.resultcache` for the full key scheme.
+        """
+        text = json.dumps(self.canonical_dict(), sort_keys=True,
+                          default=repr)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()

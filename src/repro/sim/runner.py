@@ -76,6 +76,22 @@ def run_alone(config: SystemConfig, trace: Trace,
     return sim.run()
 
 
+def measure_alone_ipcs(config: SystemConfig, traces: Sequence[Trace],
+                       warmup_accesses: Optional[int] = None,
+                       ) -> Dict[str, float]:
+    """Measure ``IPC_alone`` for every trace on *config*.
+
+    Experiments call this with the **baseline LRU** system and pass the
+    result to :func:`run_mix` as ``alone_ipc_cache``, so alone IPCs are
+    always measured under the baseline regardless of which policy
+    configuration happens to run first (the methodology recorded in
+    EXPERIMENTS.md).
+    """
+    return {trace.name: run_alone(config, trace,
+                                  warmup_accesses=warmup_accesses).ipc[0]
+            for trace in traces}
+
+
 def run_mix(config: SystemConfig, traces: Sequence[Trace],
             alone_ipc_cache: Optional[Dict[str, float]] = None,
             warmup_accesses: Optional[int] = None) -> MixResult:
@@ -85,8 +101,11 @@ def run_mix(config: SystemConfig, traces: Sequence[Trace],
         config: system under test.
         traces: one trace per core.
         alone_ipc_cache: trace-name -> IPC_alone.  Missing entries are
-            measured (on *this* config) and written back, so callers can
-            share one cache across policy configurations.
+            measured (on *this* config) and written back.  Callers
+            comparing several policy configurations should prefill the
+            cache with :func:`measure_alone_ipcs` on the baseline
+            system — relying on the lazy path means alone IPCs come
+            from whichever config runs first.
         warmup_accesses: per-core warmup override.
     """
     sim = Simulator(config, traces, warmup_accesses=warmup_accesses)

@@ -118,58 +118,42 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute all traces to completion; returns measured statistics."""
+        """Execute all traces to completion; returns measured statistics.
+
+        The per-access loop dominates every sweep, so repeated
+        attribute lookups (`hierarchy.demand_access`, the L1 latency
+        threshold, trace/core bindings) are hoisted into locals, and
+        the single-core case walks its trace directly instead of
+        churning a one-element heap.  Both paths apply the exact same
+        access/warmup semantics.
+        """
         num_active = len(self.traces)
         positions = [0] * num_active
         processed = [0] * num_active
         warm = [self.warmup_accesses == 0] * num_active
         snapshots: Dict[int, tuple] = {}
         stats_reset_done = self.warmup_accesses == 0
-        warm_snapshot_core: Dict[int, tuple] = {}
 
         if stats_reset_done:
             for i in range(num_active):
                 snapshots[i] = (0, 0.0)
 
-        heap = [(0.0, i) for i in range(num_active)]
-        heapq.heapify(heap)
+        # Hot-loop locals (shared by both paths).
+        warmup_accesses = self.warmup_accesses
+        demand_access = self.hierarchy.demand_access
+        # L1 hits retire through the ROB like ordinary instructions;
+        # only accesses that left the L1 hold an MSHR.
+        l1_hit_threshold = self.config.l1.latency + 1
 
-        while heap:
-            _cycle, core_id = heapq.heappop(heap)
-            trace = self.traces[core_id]
-            pos = positions[core_id]
-            if pos >= len(trace):
-                self.cores[core_id].finish()
-                continue
-            access = trace[pos]
-            positions[core_id] = pos + 1
-            core = self.cores[core_id]
-
-            core.advance(access.instr_gap)
-            latency = self.hierarchy.demand_access(core_id, access,
-                                                   int(core.cycle))
-            # L1 hits retire through the ROB like ordinary instructions;
-            # only accesses that left the L1 hold an MSHR.
-            is_miss = latency > self.config.l1.latency + 1
-            core.issue_memory(latency, dependent=access.dependent,
-                              is_miss=is_miss)
-
-            processed[core_id] += 1
-            if not warm[core_id] and \
-                    processed[core_id] >= self.warmup_accesses:
-                warm[core_id] = True
-                warm_snapshot_core[core_id] = core.snapshot()
-                if all(warm) and not stats_reset_done:
-                    self.hierarchy.reset_stats()
-                    stats_reset_done = True
-                    # Open every measurement window at the reset point.
-                    for i in range(num_active):
-                        snapshots[i] = self.cores[i].snapshot()
-
-            if positions[core_id] < len(trace):
-                heapq.heappush(heap, (core.cycle, core_id))
-            else:
-                core.finish()
+        if num_active == 1:
+            stats_reset_done = self._run_single_core(
+                warmup_accesses, demand_access, l1_hit_threshold,
+                snapshots, stats_reset_done)
+        else:
+            stats_reset_done = self._run_interleaved(
+                num_active, positions, processed, warm,
+                warmup_accesses, demand_access, l1_hit_threshold,
+                snapshots, stats_reset_done)
 
         if not stats_reset_done:
             # Traces shorter than warmup: measure everything.
@@ -177,6 +161,75 @@ class Simulator:
                 snapshots.setdefault(i, (0, 0.0))
 
         return self._collect(snapshots, num_active)
+
+    def _run_single_core(self, warmup_accesses: int, demand_access,
+                         l1_hit_threshold: int,
+                         snapshots: Dict[int, tuple],
+                         stats_reset_done: bool) -> bool:
+        """Heap-free fast path: one core walks its trace in order."""
+        trace = self.traces[0]
+        core = self.cores[0]
+        advance = core.advance
+        issue_memory = core.issue_memory
+        for pos in range(len(trace)):
+            access = trace[pos]
+            advance(access.instr_gap)
+            latency = demand_access(0, access, int(core.cycle))
+            issue_memory(latency, dependent=access.dependent,
+                         is_miss=latency > l1_hit_threshold)
+            if not stats_reset_done and pos + 1 >= warmup_accesses:
+                self.hierarchy.reset_stats()
+                stats_reset_done = True
+                snapshots[0] = core.snapshot()
+        core.finish()
+        return stats_reset_done
+
+    def _run_interleaved(self, num_active: int, positions, processed,
+                         warm, warmup_accesses: int, demand_access,
+                         l1_hit_threshold: int,
+                         snapshots: Dict[int, tuple],
+                         stats_reset_done: bool) -> bool:
+        """Cycle-ordered interleaving of two or more cores."""
+        traces = self.traces
+        cores = self.cores
+        trace_lengths = [len(t) for t in traces]
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        heap = [(0.0, i) for i in range(num_active)]
+        heapq.heapify(heap)
+
+        while heap:
+            _cycle, core_id = heappop(heap)
+            pos = positions[core_id]
+            if pos >= trace_lengths[core_id]:
+                cores[core_id].finish()
+                continue
+            access = traces[core_id][pos]
+            positions[core_id] = pos + 1
+            core = cores[core_id]
+
+            core.advance(access.instr_gap)
+            latency = demand_access(core_id, access, int(core.cycle))
+            core.issue_memory(latency, dependent=access.dependent,
+                              is_miss=latency > l1_hit_threshold)
+
+            processed[core_id] += 1
+            if not warm[core_id] and \
+                    processed[core_id] >= warmup_accesses:
+                warm[core_id] = True
+                if all(warm) and not stats_reset_done:
+                    self.hierarchy.reset_stats()
+                    stats_reset_done = True
+                    # Open every measurement window at the reset point.
+                    for i in range(num_active):
+                        snapshots[i] = cores[i].snapshot()
+
+            if positions[core_id] < trace_lengths[core_id]:
+                heappush(heap, (core.cycle, core_id))
+            else:
+                core.finish()
+        return stats_reset_done
 
     # ------------------------------------------------------------------
     def _collect(self, snapshots: Dict[int, tuple],

@@ -60,6 +60,38 @@ class MixSpec:
         return len(self.workloads)
 
 
+def mix_trace_name(workload: str, seed: int, core: int) -> str:
+    """Canonical trace name for *workload* on *core* under *seed*.
+
+    Encodes seed and core so alone-IPC caches never collide across
+    mixes or placements, and so schedulers can name a core's trace
+    without generating it.
+    """
+    return f"{workload}#s{seed}#c{core}"
+
+
+def make_mix_trace(mix: MixSpec, core: int, config: SystemConfig,
+                   accesses_per_core: int, seed: int = 0) -> Trace:
+    """Generate the single trace *core* would receive from :func:`make_mix`.
+
+    Trace generation is deterministic given (workload, core, seed,
+    geometry), so parallel sweep workers regenerate exactly the trace
+    they need instead of having whole mixes pickled across processes.
+    """
+    name = mix.workloads[core]
+    spec = resolve_workload(name)
+    trace = build_trace(
+        spec,
+        capacity_blocks=config.llc_lines_per_core,
+        num_slices=config.num_cores,
+        num_sets=config.llc_sets_per_slice,
+        num_accesses=accesses_per_core,
+        seed=seed * 10_007 + core * 131 + (stable_hash(name) & 0xFFFF),
+        hash_scheme=config.hash_scheme)
+    trace.name = mix_trace_name(name, seed, core)
+    return trace
+
+
 def make_mix(mix: MixSpec, config: SystemConfig, accesses_per_core: int,
              seed: int = 0) -> List[Trace]:
     """Generate one trace per core for *mix* on *config*'s geometry.
@@ -70,22 +102,8 @@ def make_mix(mix: MixSpec, config: SystemConfig, accesses_per_core: int,
     if mix.num_cores != config.num_cores:
         raise ValueError(f"mix has {mix.num_cores} workloads but config "
                          f"has {config.num_cores} cores")
-    traces = []
-    for core, name in enumerate(mix.workloads):
-        spec = resolve_workload(name)
-        trace = build_trace(
-            spec,
-            capacity_blocks=config.llc_lines_per_core,
-            num_slices=config.num_cores,
-            num_sets=config.llc_sets_per_slice,
-            num_accesses=accesses_per_core,
-            seed=seed * 10_007 + core * 131 + (stable_hash(name) & 0xFFFF),
-            hash_scheme=config.hash_scheme)
-        # Name encodes seed and core so alone-IPC caches never collide
-        # across mixes or placements.
-        trace.name = f"{name}#s{seed}#c{core}"
-        traces.append(trace)
-    return traces
+    return [make_mix_trace(mix, core, config, accesses_per_core, seed=seed)
+            for core in range(mix.num_cores)]
 
 
 def _default_pool() -> List[str]:

@@ -1,0 +1,267 @@
+"""Sweep engine: serial/parallel equivalence, persistent cache, and
+the alone-IPC methodology fix.
+
+The tiny profile keeps every sweep here to a few seconds; the golden
+values below were captured from the pre-engine serial sweep loop, so
+``test_serial_engine_matches_legacy_golden`` pins the serial fallback
+byte-for-byte to the historical behaviour.
+"""
+
+import pytest
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import (
+    ExperimentProfile,
+    clear_matrix_cache,
+    policy_matrix,
+)
+from repro.experiments.engine import (
+    SweepEngine,
+    available_workers,
+    default_engine,
+    run_sweep,
+)
+from repro.experiments.resultcache import ResultCache, cache_key
+from repro.sim.config import ScaleProfile, SystemConfig
+
+TINY_SCALE = ScaleProfile("tiny", llc_sets_per_slice=32, l2_sets=16,
+                          l1_sets=8, accesses_per_core=1500)
+
+# (cores, mix, label) -> (ws, mpki, wpki) from the pre-engine sweep.
+LEGACY_GOLDEN = {
+    (2, "homo_00_mcf", "lru"):
+        (1.885862511774477, 38.63203365212306, 0.5470356327693208),
+    (2, "homo_00_mcf", "hawkeye"):
+        (2.037745818184672, 31.93556297511931, 0.9997547771301379),
+    (2, "homo_00_mcf", "d-hawkeye"):
+        (2.0824898152762734, 31.275347556259785, 0.8677116933582328),
+    (2, "homo_00_mcf", "mockingjay"):
+        (2.0394367224337366, 32.59577839397883, 0.8488483956765321),
+    (2, "homo_00_mcf", "d-mockingjay"):
+        (2.0745102433558333, 30.87921830494407, 0.5093090374059193),
+    (2, "hetero_00", "lru"):
+        (1.9370597724043543, 24.058502227971825, 2.1920367974701738),
+    (2, "hetero_00", "hawkeye"):
+        (1.8561556808483812, 21.336674726011683, 3.68847396007977),
+    (2, "hetero_00", "d-hawkeye"):
+        (1.9671642613836986, 21.036655312990842, 3.5649365547182463),
+    (2, "hetero_00", "mockingjay"):
+        (1.8857510268313353, 21.313692001138627, 2.579703956732138),
+    (2, "hetero_00", "d-mockingjay"):
+        (1.8812929109473076, 21.633931113008824, 2.9177341303729007),
+}
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                             num_homogeneous=1, num_heterogeneous=1,
+                             seed=3)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix(tiny):
+    matrix, stats = run_sweep(tiny)
+    assert stats.simulations_run == stats.total_units
+    return matrix
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("sweep-cache")
+
+
+@pytest.fixture(scope="module")
+def parallel_run(tiny, cache_dir):
+    """(matrix, stats) of a cold parallel run populating the cache."""
+    return run_sweep(tiny, parallel=True, max_workers=2,
+                     cache=ResultCache(cache_dir))
+
+
+def assert_matrices_equal(a, b):
+    assert set(a.results) == set(b.results)
+    for key, res_a in a.results.items():
+        res_b = b.results[key]
+        assert res_a.ws == res_b.ws, key
+        assert res_a.mpki == res_b.mpki, key
+        assert res_a.wpki == res_b.wpki, key
+        assert res_a.ipc_together == res_b.ipc_together, key
+        assert res_a.ipc_alone == res_b.ipc_alone, key
+    assert a.mix_names == b.mix_names
+    assert a.mix_kinds == b.mix_kinds
+
+
+class TestSerialFallback:
+    def test_serial_engine_matches_legacy_golden(self, serial_matrix):
+        assert set(serial_matrix.results) == set(LEGACY_GOLDEN)
+        for key, (ws, mpki, wpki) in LEGACY_GOLDEN.items():
+            result = serial_matrix.results[key]
+            assert result.ws == ws, key
+            assert result.mpki == mpki, key
+            assert result.wpki == wpki, key
+
+    def test_policy_matrix_delegates_to_engine(self, tiny, serial_matrix):
+        clear_matrix_cache()
+        engine = SweepEngine()
+        matrix = policy_matrix(tiny, engine=engine)
+        assert engine.last_stats is not None
+        assert_matrices_equal(matrix, serial_matrix)
+        # In-process memoisation still applies on the second call.
+        assert policy_matrix(tiny) is matrix
+        clear_matrix_cache()
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial(self, serial_matrix, parallel_run):
+        matrix, stats = parallel_run
+        assert stats.workers == 2
+        assert stats.simulations_run == stats.total_units
+        assert_matrices_equal(matrix, serial_matrix)
+
+    def test_warm_cache_runs_zero_simulations(self, tiny, serial_matrix,
+                                              parallel_run, cache_dir):
+        _first, first_stats = parallel_run
+        matrix, stats = run_sweep(tiny, parallel=True, max_workers=2,
+                                  cache=ResultCache(cache_dir))
+        assert stats.simulations_run == 0
+        assert stats.cache_hits == stats.total_units
+        assert stats.total_units == first_stats.total_units
+        assert_matrices_equal(matrix, serial_matrix)
+
+    def test_cache_shared_between_serial_and_parallel(self, tiny,
+                                                      serial_matrix,
+                                                      parallel_run,
+                                                      cache_dir):
+        matrix, stats = run_sweep(tiny, cache=ResultCache(cache_dir))
+        assert stats.simulations_run == 0
+        assert_matrices_equal(matrix, serial_matrix)
+
+
+class TestAloneIpcMethodology:
+    """IPC_alone must come from the baseline LRU system regardless of
+    the order of the ``policies`` argument (regression for the lazy
+    measure-on-first-config drift)."""
+
+    POLICIES_LRU_FIRST = (
+        ("lru", "lru", DrishtiConfig.baseline()),
+        ("d-hawkeye", "hawkeye", DrishtiConfig.full()),
+    )
+    POLICIES_LRU_LAST = tuple(reversed(POLICIES_LRU_FIRST))
+
+    @pytest.fixture(scope="class")
+    def one_mix(self):
+        return ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                                 num_homogeneous=1, num_heterogeneous=0,
+                                 seed=3)
+
+    def test_alone_ipcs_independent_of_policy_order(self, one_mix):
+        first, _ = run_sweep(one_mix, self.POLICIES_LRU_FIRST)
+        last, _ = run_sweep(one_mix, self.POLICIES_LRU_LAST)
+        for key, res in first.results.items():
+            assert last.results[key].ipc_alone == res.ipc_alone, key
+            assert last.results[key].ws == res.ws, key
+
+    def test_alone_ipcs_match_baseline_config(self, one_mix):
+        from repro.sim.runner import measure_alone_ipcs
+        from repro.traces.mixes import make_mix
+        matrix, _ = run_sweep(one_mix, self.POLICIES_LRU_LAST)
+        base_cfg = one_mix.config(2, "lru", DrishtiConfig.baseline())
+        mix = one_mix.mixes(2)[0]
+        traces = make_mix(mix, base_cfg,
+                          one_mix.scale.accesses_per_core,
+                          seed=one_mix.seed)
+        expected = measure_alone_ipcs(base_cfg, traces)
+        for label in ("lru", "d-hawkeye"):
+            result = matrix.get(2, mix.name, label)
+            assert result.ipc_alone == \
+                [expected[name] for name in result.trace_names], label
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell", {"a": 1})
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"ws": 1.25})
+        assert cache.get(key) == (True, {"ws": 1.25})
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_falsy_values_are_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("alone", "w", 0)
+        cache.put(key, 0.0)
+        assert cache.get(key) == (True, 0.0)
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell", "x")
+        cache.put(key, 1.0)
+        cache._path(key).write_bytes(b"not a pickle")
+        assert cache.get(key) == (False, None)
+        assert len(cache) == 0
+
+    def test_key_is_stable_and_discriminating(self):
+        cfg_a = SystemConfig.from_profile(2, TINY_SCALE,
+                                          llc_policy="lru")
+        cfg_b = SystemConfig.from_profile(2, TINY_SCALE,
+                                          llc_policy="hawkeye")
+        assert cfg_a.fingerprint() == SystemConfig.from_profile(
+            2, TINY_SCALE, llc_policy="lru").fingerprint()
+        assert cfg_a.fingerprint() != cfg_b.fingerprint()
+        key = cache_key("cell", cfg_a.canonical_dict(), ["mcf"], 7, 1500)
+        assert key == cache_key("cell", cfg_a.canonical_dict(),
+                                ["mcf"], 7, 1500)
+        assert key != cache_key("alone", cfg_a.canonical_dict(),
+                                ["mcf"], 7, 1500)
+        assert key != cache_key("cell", cfg_a.canonical_dict(),
+                                ["mcf"], 8, 1500)
+
+
+class TestDefaults:
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+    def test_default_engine_is_serial_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        engine = default_engine()
+        assert engine.parallel is False
+        assert engine.cache is None
+
+    def test_env_knobs_configure_engine(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "4")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        engine = default_engine()
+        assert engine.parallel is True
+        assert engine.max_workers == 4
+        assert engine.cache is not None
+        assert engine.cache.root == tmp_path
+
+    def test_single_worker_env_stays_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "0")
+        engine = default_engine()
+        assert engine.parallel is False
+        assert engine.cache is None
+
+    def test_bad_workers_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+        with pytest.raises(ValueError):
+            default_engine()
+
+
+class TestMixTraceRegeneration:
+    def test_make_mix_trace_matches_make_mix(self, tiny):
+        from repro.traces.mixes import make_mix, make_mix_trace
+        cfg = tiny.config(2, "lru", DrishtiConfig.baseline())
+        mix = tiny.mixes(2)[1]  # heterogeneous
+        full = make_mix(mix, cfg, 600, seed=tiny.seed)
+        for core in range(mix.num_cores):
+            single = make_mix_trace(mix, core, cfg, 600, seed=tiny.seed)
+            assert single.name == full[core].name
+            assert len(single) == len(full[core])
+            for a, b in zip(single, full[core]):
+                assert a.address == b.address and a.pc == b.pc
