@@ -50,9 +50,18 @@ class CoreStats:
 
 
 class MemoryHierarchy:
-    """Builds and drives the memory system described by a SystemConfig."""
+    """Builds and drives the memory system described by a SystemConfig.
 
-    def __init__(self, config: SystemConfig):
+    Args:
+        config: system description.
+        registry: optional :class:`repro.obs.StatsRegistry`; when given,
+            every component (sliced LLC + fabric/NOCSTAR/DSC, DRAM
+            controller, mesh, per-core counters) publishes its existing
+            stats objects into it at construction.  Purely additive —
+            counting and reset semantics are unchanged.
+    """
+
+    def __init__(self, config: SystemConfig, registry=None):
         self.config = config
         n = config.num_cores
         self.mesh = MeshNoC(
@@ -71,7 +80,8 @@ class MemoryHierarchy:
             mesh=self.mesh,
             hash_scheme=config.hash_scheme,
             track_set_stats=config.track_set_stats,
-            seed=config.seed)
+            seed=config.seed,
+            registry=registry)
         timing = DRAMTiming.for_frequency(config.core.frequency_ghz,
                                           config.dram.t_ns)
         self.dram = DRAMController(
@@ -100,6 +110,23 @@ class MemoryHierarchy:
         # merged in-flight misses without a cycle wheel.
         self._pending_fill: Dict[int, float] = {}
         self._pending_cap = 4096
+        if registry is not None:
+            self.publish_stats(registry)
+
+    def publish_stats(self, registry) -> None:
+        """Register DRAM/mesh/per-core counters with *registry*.
+
+        The LLC publishes itself from its own constructor; this covers
+        the rest.  Per-core sources index through ``self.core_stats``
+        because ``reset_stats`` replaces the ``CoreStats`` objects.
+        """
+        self.dram.publish_stats(registry, prefix="dram")
+        self.mesh.publish_stats(registry, prefix="noc")
+        for i in range(self.config.num_cores):
+            for attr in CoreStats.__slots__:
+                registry.register(
+                    f"core.{i}.{attr}",
+                    lambda i=i, a=attr: getattr(self.core_stats[i], a))
 
     # ------------------------------------------------------------------
     # Writeback paths

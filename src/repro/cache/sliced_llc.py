@@ -38,6 +38,10 @@ class SlicedLLC:
         hash_scheme: address-to-slice hash family.
         track_set_stats: keep per-set counters (Figure 5 / Table 1).
         seed: randomness seed for selectors.
+        registry: optional :class:`repro.obs.StatsRegistry`; when given
+            the LLC publishes its aggregate/per-slice counters plus its
+            fabric, NOCSTAR, and DSC selectors under ``llc.*`` (existing
+            stats objects remain the source of truth).
     """
 
     def __init__(self, num_slices: int, sets_per_slice: int, ways: int,
@@ -46,7 +50,8 @@ class SlicedLLC:
                  mesh: Optional[MeshNoC] = None,
                  hash_scheme: str = "fold_xor",
                  track_set_stats: bool = False,
-                 seed: int = 0):
+                 seed: int = 0,
+                 registry=None):
         self.num_slices = num_slices
         self.sets_per_slice = sets_per_slice
         self.ways = ways
@@ -63,6 +68,39 @@ class SlicedLLC:
                   self.bundle.policies[i], track_set_stats=track_set_stats)
             for i in range(num_slices)
         ]
+        if registry is not None:
+            self.publish_stats(registry)
+
+    # ------------------------------------------------------------------
+    #: CacheStats attributes published per aggregate and per slice.
+    _PUBLISHED_STATS = ("accesses", "hits", "misses", "demand_accesses",
+                        "demand_hits", "demand_misses", "fills", "bypasses",
+                        "evictions", "writebacks_out", "writeback_fills")
+
+    def publish_stats(self, registry, prefix: str = "llc") -> None:
+        """Register LLC counters (and sub-components) with *registry*.
+
+        Aggregate counters re-sum the per-slice ``CacheStats`` at
+        collection time; per-slice counters read through each
+        :class:`Cache` so ``reset_stats`` replacement is transparent.
+        """
+        for attr in self._PUBLISHED_STATS:
+            registry.register(
+                f"{prefix}.{attr}",
+                lambda a=attr: getattr(self.aggregate_stats(), a))
+        for i, sl in enumerate(self.slices):
+            registry.register(f"{prefix}.slice.{i}.demand_accesses",
+                              lambda s=sl: s.stats.demand_accesses)
+            registry.register(f"{prefix}.slice.{i}.demand_misses",
+                              lambda s=sl: s.stats.demand_misses)
+        if self.fabric is not None:
+            self.fabric.publish_stats(registry, prefix=f"{prefix}.fabric")
+        if self.nocstar is not None:
+            self.nocstar.publish_stats(registry, prefix="nocstar")
+        for i, selector in enumerate(self.selectors or []):
+            publish = getattr(selector, "publish_stats", None)
+            if callable(publish):
+                publish(registry, prefix=f"{prefix}.dsc.{i}")
 
     # ------------------------------------------------------------------
     @property

@@ -155,6 +155,26 @@ class DynamicSampledSets(SampledSetSelector):
         self._monitoring = True
         self._accesses_in_phase = 0
 
+    def publish_stats(self, registry, prefix: str = "dsc") -> None:
+        """Register DSC phase diagnostics with a ``StatsRegistry``.
+
+        ``reselections`` / ``uniform_phases`` / ``dynamic_phases`` are
+        the counters the Table 1 sampling-case analysis reads;
+        ``monitoring`` and ``counter_spread`` expose the FSM state so an
+        interval sampler can see phase boundaries as they happen.
+        """
+        registry.register(f"{prefix}.reselections",
+                          lambda: self.reselections)
+        registry.register(f"{prefix}.uniform_phases",
+                          lambda: self.uniform_phases)
+        registry.register(f"{prefix}.dynamic_phases",
+                          lambda: self.dynamic_phases)
+        registry.register(f"{prefix}.monitoring",
+                          lambda: int(self._monitoring))
+        registry.register(
+            f"{prefix}.counter_spread",
+            lambda: int(self._counters.max() - self._counters.min()))
+
     def reset(self) -> None:
         self._rng = np.random.default_rng(self.seed)
         self._counters.fill(self.counter_init)

@@ -123,6 +123,16 @@ class NOCSTAR:
             "messages": self.stats.total_messages,
         }
 
+    def publish_stats(self, registry, prefix: str = "nocstar") -> None:
+        """Register side-band traffic counters with a ``StatsRegistry``."""
+        registry.register_many(prefix, self,
+                               ["request_messages", "response_messages",
+                                "arbitration_conflicts"])
+        registry.register(f"{prefix}.messages",
+                          lambda: self.stats.total_messages)
+        registry.register(f"{prefix}.dynamic_energy_pj",
+                          lambda: self.stats.dynamic_energy_pj)
+
     def reset_stats(self) -> None:
         self.stats = NOCSTARStats()
         self._window_load = [0] * self.num_nodes

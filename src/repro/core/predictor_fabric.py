@@ -215,6 +215,22 @@ class PredictorFabric:
         self.stats.per_instance_accesses[target] += 1
         return self.instances[target], latency
 
+    def publish_stats(self, registry, prefix: str = "fabric") -> None:
+        """Register fabric traffic/latency counters with a
+        ``StatsRegistry`` (per-instance counts included — the Figure 10
+        traffic view)."""
+        registry.register_many(prefix, self,
+                               ["lookups", "trains", "lookup_latency_total",
+                                "train_latency_total"])
+        registry.register(f"{prefix}.accesses",
+                          lambda: self.stats.total_accesses)
+        registry.register(f"{prefix}.avg_lookup_latency",
+                          lambda: self.stats.average_lookup_latency)
+        for i in range(len(self.instances)):
+            registry.register(
+                f"{prefix}.instance.{i}.accesses",
+                lambda i=i: self.stats.per_instance_accesses[i])
+
     def reset(self) -> None:
         """Reset traffic stats and predictor learned state."""
         self.stats = FabricStats(

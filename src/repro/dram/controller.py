@@ -157,6 +157,16 @@ class DRAMController:
         """Post an LLC writeback; consumes bandwidth, returns immediately."""
         self._service(block, now, is_write=True)
 
+    def publish_stats(self, registry, prefix: str = "dram") -> None:
+        """Register controller counters with a ``StatsRegistry``."""
+        registry.register_many(prefix, self,
+                               ["reads", "writes", "row_hits", "row_misses",
+                                "queue_wait_cycles"])
+        registry.register(f"{prefix}.row_hit_rate",
+                          lambda: self.stats.row_hit_rate)
+        registry.register(f"{prefix}.avg_read_latency",
+                          lambda: self.stats.average_read_latency)
+
     def reset_stats(self) -> None:
         self.stats = DRAMStats()
 

@@ -8,8 +8,10 @@ Usage::
 
 Each experiment prints its rendered table (the same artefact the
 benchmark suite writes to ``results/``).  ``--workers``/``--cache``
-configure the sweep engine (docs/performance.md) for every experiment
-in the invocation by setting the corresponding environment knobs.
+configure the sweep engine (docs/performance.md) and
+``--telemetry``/``--manifest`` its observability layer
+(docs/observability.md) for every experiment in the invocation by
+setting the corresponding environment knobs.
 """
 
 from __future__ import annotations
@@ -89,6 +91,12 @@ def main(argv=None) -> int:
     parser.add_argument("--clear-cache", action="store_true",
                         help="delete the persistent result cache "
                              "and exit (combinable with an experiment)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the observability layer: live sweep "
+                             "progress on stderr (sets REPRO_TELEMETRY=1)")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="append a JSONL run manifest — one event per "
+                             "sweep work unit (sets REPRO_MANIFEST)")
     args = parser.parse_args(argv)
 
     if args.workers is not None:
@@ -99,6 +107,10 @@ def main(argv=None) -> int:
         os.environ["REPRO_SWEEP_CACHE"] = "1"
     elif args.no_cache:
         os.environ["REPRO_SWEEP_CACHE"] = "0"
+    if args.telemetry:
+        os.environ["REPRO_TELEMETRY"] = "1"
+    if args.manifest:
+        os.environ["REPRO_MANIFEST"] = args.manifest
 
     if args.clear_cache:
         removed = clear_matrix_cache(disk=True)

@@ -24,6 +24,13 @@ Attach a :class:`repro.experiments.resultcache.ResultCache` to skip
 already-computed units across runs: the parent probes the cache before
 dispatching, so a fully warm sweep performs **zero** simulations
 (observable via :class:`SweepStats`).
+
+Observability (docs/observability.md): give the engine a
+:class:`repro.obs.RunManifest` and every run appends ``sweep_start`` /
+per-unit / ``sweep_end`` JSONL events — cache hits included, so the
+manifest is the complete record of where each number came from; set
+``progress=True`` for a live ``done/total, cache hits, ETA`` stderr
+line.  Both default off and neither touches simulation arithmetic.
 """
 
 from __future__ import annotations
@@ -36,6 +43,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.drishti import DrishtiConfig
 from repro.experiments.resultcache import ResultCache, cache_key
+from repro.obs import MANIFEST_SCHEMA_VERSION, ProgressLine, RunManifest, \
+    telemetry_enabled
+from repro.obs import events as obs_events
 from repro.sim.config import SystemConfig
 from repro.sim.runner import MixResult, run_alone, run_mix
 from repro.traces.mixes import MixSpec, make_mix, make_mix_trace, \
@@ -138,6 +148,36 @@ class _CellTask:
     targets: List[Tuple[int, str, str]] = field(default_factory=list)
 
 
+def _cell_metrics(result: MixResult) -> Dict[str, float]:
+    """The headline numbers a manifest reader wants per cell."""
+    return {"ws": result.ws, "hs": result.hs,
+            "mpki": result.mpki, "wpki": result.wpki}
+
+
+class _UnitReporter:
+    """Fans unit completions out to the manifest and progress line.
+
+    One ``unit`` event / progress tick per *work unit* — the
+    deduplicated alone + distinct-cell units, so cache hits and
+    duplicate-config cells never double-count against ``total``.
+    """
+
+    def __init__(self, manifest: Optional[RunManifest],
+                 progress: ProgressLine):
+        self.manifest = manifest
+        self.progress = progress
+        self.done = 0
+        self.cache_hits = 0
+
+    def unit(self, cache_hit: bool, **fields) -> None:
+        self.done += 1
+        if cache_hit:
+            self.cache_hits += 1
+        if self.manifest is not None:
+            self.manifest.emit("unit", cache_hit=cache_hit, **fields)
+        self.progress.update(self.done, self.cache_hits)
+
+
 class SweepEngine:
     """Schedules the policy sweep's work units.
 
@@ -147,14 +187,22 @@ class SweepEngine:
         max_workers: pool size; defaults to :func:`available_workers`.
         cache: optional :class:`ResultCache` consulted before and
             updated after every unit.
+        manifest: optional :class:`repro.obs.RunManifest`; every run
+            appends ``sweep_start`` / ``unit`` / ``sweep_end`` events
+            (plus any :mod:`repro.obs.events` emitted while it runs).
+        progress: write a live ``done/total`` line to stderr.
     """
 
     def __init__(self, parallel: bool = False,
                  max_workers: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 manifest: Optional[RunManifest] = None,
+                 progress: bool = False):
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = cache
+        self.manifest = manifest
+        self.progress = progress
         self.last_stats: Optional[SweepStats] = None
 
     # ------------------------------------------------------------------
@@ -229,16 +277,20 @@ class SweepEngine:
         # ---- cache probe (in the parent, before any dispatch) ---------
         alone_ipcs: Dict[Tuple[int, str], float] = {}
         alone_pending: List[_AloneTask] = []
+        alone_hits: List[Tuple[_AloneTask, float]] = []
         for (cores, tname), task in alone_plan.items():
             found, value = self._cache_get(task.key)
             if found:
                 alone_ipcs[(cores, tname)] = value
                 stats.cache_hits += 1
+                alone_hits.append((task, value))
             else:
                 alone_pending.append(task)
 
         cell_results: Dict[Tuple[int, str, str], MixResult] = {}
         cell_pending: Dict[str, _CellTask] = {}
+        cell_hits: List[Tuple[str, int, MixSpec, str, MixResult]] = []
+        hit_keys: set = set()
         for cores, mix, label, policy, drishti in cell_plan:
             target = (cores, mix.name, label)
             key = self._cell_key(profile, cores, mix, policy, drishti)
@@ -249,6 +301,9 @@ class SweepEngine:
             if found:
                 cell_results[target] = value
                 stats.cache_hits += 1
+                if key not in hit_keys:  # one manifest unit per key
+                    hit_keys.add(key)
+                    cell_hits.append((key, cores, mix, policy, value))
             else:
                 cell_pending[key] = _CellTask(
                     key=key, cores=cores, mix=mix, policy=policy,
@@ -256,17 +311,55 @@ class SweepEngine:
 
         stats.simulations_run = len(alone_pending) + len(cell_pending)
 
+        # ---- observability -------------------------------------------
+        # Work units = dedup'd alone tasks + *distinct* cell configs, so
+        # the progress denominator matches the events actually emitted.
+        total_units = stats.alone_units + len(hit_keys) + len(cell_pending)
+        workers = (self.max_workers or available_workers()) \
+            if self.parallel else 1
+        progress = ProgressLine(total_units, enabled=self.progress)
+        reporter = _UnitReporter(self.manifest, progress)
+        listener = None
+        if self.manifest is not None:
+            self.manifest.emit(
+                "sweep_start",
+                schema_version=MANIFEST_SCHEMA_VERSION,
+                seed=profile.seed,
+                accesses_per_core=profile.scale.accesses_per_core,
+                core_counts=list(profile.core_counts),
+                policies=[label for label, _p, _d in policies],
+                alone_units=stats.alone_units,
+                cell_units=stats.cell_units,
+                total_units=total_units,
+                workers=workers,
+                cache_attached=self.cache is not None)
+            listener = obs_events.subscribe(
+                lambda kind, payload: self.manifest.emit(kind, **payload))
+        for task, value in alone_hits:
+            reporter.unit(True, unit="alone", key=task.key,
+                          cores=task.cores, trace=task.trace_name,
+                          seed=profile.seed, wall_seconds=0.0,
+                          metrics={"ipc_alone": value})
+        for key, cores, mix, policy, value in cell_hits:
+            reporter.unit(True, unit="cell", key=key, cores=cores,
+                          mix=mix.name, policy=policy,
+                          seed=profile.seed, wall_seconds=0.0,
+                          metrics=_cell_metrics(value))
+
         # ---- execute --------------------------------------------------
-        if self.parallel and (alone_pending or cell_pending):
-            workers = self.max_workers or available_workers()
-            stats.workers = workers
-            self._run_pool(profile, workers, alone_pending,
-                           list(cell_pending.values()), alone_ipcs,
-                           cell_results)
-        else:
-            self._run_inline(profile, alone_pending,
-                             list(cell_pending.values()), alone_ipcs,
-                             cell_results)
+        try:
+            if self.parallel and (alone_pending or cell_pending):
+                stats.workers = workers
+                self._run_pool(profile, workers, alone_pending,
+                               list(cell_pending.values()), alone_ipcs,
+                               cell_results, reporter)
+            else:
+                self._run_inline(profile, alone_pending,
+                                 list(cell_pending.values()), alone_ipcs,
+                                 cell_results, reporter)
+        finally:
+            if listener is not None:
+                obs_events.unsubscribe(listener)
 
         # ---- merge ----------------------------------------------------
         for cores, mix, label, policy, drishti in cell_plan:
@@ -275,6 +368,17 @@ class SweepEngine:
 
         stats.wall_seconds = time.time() - started
         self.last_stats = stats
+        if self.manifest is not None:
+            self.manifest.emit(
+                "sweep_end",
+                alone_units=stats.alone_units,
+                cell_units=stats.cell_units,
+                total_units=total_units,
+                cache_hits=stats.cache_hits,
+                simulations_run=stats.simulations_run,
+                workers=stats.workers,
+                wall_seconds=round(stats.wall_seconds, 6))
+        progress.finish(reporter.done, reporter.cache_hits)
         return matrix
 
     # ------------------------------------------------------------------
@@ -292,7 +396,7 @@ class SweepEngine:
                     cell_pending: List[_CellTask],
                     alone_ipcs: Dict[Tuple[int, str], float],
                     cell_results: Dict[Tuple[int, str, str], MixResult],
-                    ) -> None:
+                    reporter: _UnitReporter) -> None:
         """Serial fallback: same units, same seeds, one process.
 
         Traces are generated once per (core count, mix) and shared
@@ -314,12 +418,19 @@ class SweepEngine:
             base_cfgs[cores] = _base_config(profile, cores)
 
         for task in alone_pending:
+            unit_started = time.time()
             trace = traces_for(task.cores, task.mix)[task.core_index]
             value = run_alone(base_cfgs[task.cores], trace).ipc[0]
             alone_ipcs[(task.cores, task.trace_name)] = value
             self._cache_put(task.key, value)
+            reporter.unit(False, unit="alone", key=task.key,
+                          cores=task.cores, trace=task.trace_name,
+                          seed=profile.seed,
+                          wall_seconds=round(time.time() - unit_started, 6),
+                          metrics={"ipc_alone": value})
 
         for task in cell_pending:
+            unit_started = time.time()
             traces = traces_for(task.cores, task.mix)
             cfg = profile.config(task.cores, task.policy, task.drishti)
             mix_alone = self._mix_alone_ipcs(profile, task.cores,
@@ -328,15 +439,26 @@ class SweepEngine:
             for target in task.targets:
                 cell_results[target] = result
             self._cache_put(task.key, result)
+            reporter.unit(False, unit="cell", key=task.key,
+                          cores=task.cores, mix=task.mix.name,
+                          policy=task.policy, seed=profile.seed,
+                          wall_seconds=round(time.time() - unit_started, 6),
+                          metrics=_cell_metrics(result))
 
     def _run_pool(self, profile, workers: int,
                   alone_pending: List[_AloneTask],
                   cell_pending: List[_CellTask],
                   alone_ipcs: Dict[Tuple[int, str], float],
                   cell_results: Dict[Tuple[int, str, str], MixResult],
-                  ) -> None:
-        """Fan units out over a process pool, alone phase first."""
+                  reporter: _UnitReporter) -> None:
+        """Fan units out over a process pool, alone phase first.
+
+        Per-unit ``wall_seconds`` is submit-to-completion as seen by
+        the parent, so it includes pool queueing — the number a reader
+        wants when judging where a sweep's time went.
+        """
         with ProcessPoolExecutor(max_workers=workers) as pool:
+            submitted = time.time()
             futures = {
                 pool.submit(_alone_worker, profile, task.cores, task.mix,
                             task.core_index): task
@@ -347,7 +469,13 @@ class SweepEngine:
                 value = future.result()
                 alone_ipcs[(task.cores, task.trace_name)] = value
                 self._cache_put(task.key, value)
+                reporter.unit(False, unit="alone", key=task.key,
+                              cores=task.cores, trace=task.trace_name,
+                              seed=profile.seed,
+                              wall_seconds=round(time.time() - submitted, 6),
+                              metrics={"ipc_alone": value})
 
+            submitted = time.time()
             cell_futures = {
                 pool.submit(_cell_worker, profile, task.cores, task.mix,
                             task.policy, task.drishti,
@@ -362,6 +490,11 @@ class SweepEngine:
                 for target in task.targets:
                     cell_results[target] = result
                 self._cache_put(task.key, result)
+                reporter.unit(False, unit="cell", key=task.key,
+                              cores=task.cores, mix=task.mix.name,
+                              policy=task.policy, seed=profile.seed,
+                              wall_seconds=round(time.time() - submitted, 6),
+                              metrics=_cell_metrics(result))
 
 
 # ---------------------------------------------------------------------------
@@ -393,21 +526,35 @@ def _env_cache() -> Optional[ResultCache]:
     return ResultCache(raw)
 
 
+def _env_manifest() -> Optional[RunManifest]:
+    """``REPRO_MANIFEST``: unset → no manifest; a path → append there."""
+    raw = os.environ.get("REPRO_MANIFEST", "").strip()
+    if not raw:
+        return None
+    return RunManifest(raw)
+
+
 def default_engine() -> SweepEngine:
-    """Engine configured from the environment (serial, no cache when
-    ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` are unset)."""
+    """Engine configured from the environment (serial, no cache, no
+    telemetry when ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` /
+    ``REPRO_TELEMETRY`` / ``REPRO_MANIFEST`` are unset)."""
     workers = _env_workers()
     parallel = workers is not None and workers > 1
     return SweepEngine(parallel=parallel,
                        max_workers=workers if parallel else None,
-                       cache=_env_cache())
+                       cache=_env_cache(),
+                       manifest=_env_manifest(),
+                       progress=telemetry_enabled())
 
 
 def run_sweep(profile, policies=None, *, parallel: bool = False,
               max_workers: Optional[int] = None,
-              cache: Optional[ResultCache] = None):
+              cache: Optional[ResultCache] = None,
+              manifest: Optional[RunManifest] = None,
+              progress: bool = False):
     """One-shot sweep; returns ``(PolicyMatrix, SweepStats)``."""
     engine = SweepEngine(parallel=parallel, max_workers=max_workers,
-                         cache=cache)
+                         cache=cache, manifest=manifest,
+                         progress=progress)
     matrix = engine.run(profile, policies)
     return matrix, engine.last_stats

@@ -33,7 +33,10 @@ from typing import Any, Iterable, Optional, Tuple
 
 # Bump when simulator/policy/trace-generation semantics change such
 # that previously cached results are no longer valid.
-CACHE_SCHEMA_VERSION = 1
+# 2: per-core warmup targets are clamped to each trace's length, so
+#    mixes containing a trace shorter than the warmup window now reset
+#    stats where v1 silently measured everything.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default cache location, relative to the repository root.
 DEFAULT_CACHE_DIRNAME = os.path.join("results", "cache")

@@ -86,6 +86,19 @@ class MeshNoC:
                    self.congestion_per_node * self.topology.num_nodes)
         return self.injection_cycles + avg_hops * per_hop
 
+    def publish_stats(self, registry, prefix: str = "noc") -> None:
+        """Register this mesh's counters with a ``StatsRegistry``.
+
+        Sources read through ``self`` so the stats object swapped in by
+        :meth:`reset_stats` is always the one observed.
+        """
+        registry.register_many(prefix, self,
+                               ["messages", "total_hops", "total_latency"])
+        registry.register(f"{prefix}.avg_latency",
+                          lambda: self.stats.average_latency)
+        registry.register(f"{prefix}.avg_hops",
+                          lambda: self.stats.average_hops)
+
     def reset_stats(self) -> None:
         self.stats = NoCStats()
 

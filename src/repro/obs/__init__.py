@@ -1,0 +1,61 @@
+"""``repro.obs``: the observability spine of the reproduction.
+
+Three concerns, three modules, one import surface:
+
+* :mod:`repro.obs.registry` — a :class:`StatsRegistry` of named
+  counters/gauges/histograms plus *lazy sources* that read the
+  simulator's existing stats objects (``CacheStats``, ``DRAMStats``,
+  ``NoCStats``, ``FabricStats``, ``NOCSTARStats``, DSC diagnostics).
+  Components register at construction; nothing is replaced — the
+  registry is an additional, uniformly-named window onto counters that
+  previously lived as scattered attributes.
+* :mod:`repro.obs.sampling` — :class:`SimTelemetry`, the per-run bundle
+  a :class:`repro.sim.simulator.Simulator` accepts: a registry plus an
+  optional interval sampler that snapshots IPC / MPKI / fabric-APKI /
+  DSC-reselection time-series every N accesses.  Off by default;
+  disabled runs are bit-identical to pre-telemetry builds.
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, an append-only
+  JSONL writer emitting one event per sweep work unit (config hash,
+  seed, wall time, cache hit/miss, final metrics), and
+  :class:`ProgressLine`, the live ``done/total, cache hits, ETA``
+  status line the sweep engine prints for serial and pooled runs.
+
+:mod:`repro.obs.events` is the low-tech glue: a process-global
+listener list that lets deep library code (e.g. ``run_mix``'s
+lazy-alone-IPC warning) surface structured events to whatever manifest
+is active without holding a reference to it.
+
+See docs/observability.md for the naming scheme, the manifest schema,
+and measured sampling overhead.
+"""
+
+from repro.obs.events import (
+    emit,
+    subscribe,
+    telemetry_enabled,
+    unsubscribe,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    ProgressLine,
+    RunManifest,
+    read_manifest,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, StatsRegistry
+from repro.obs.sampling import SimTelemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "ProgressLine",
+    "RunManifest",
+    "SimTelemetry",
+    "StatsRegistry",
+    "emit",
+    "read_manifest",
+    "subscribe",
+    "telemetry_enabled",
+    "unsubscribe",
+]

@@ -1,0 +1,58 @@
+"""Process-global telemetry event hooks.
+
+Deep library code sometimes needs to surface a structured event — e.g.
+``run_mix`` warning that it measured ``IPC_alone`` lazily on a
+non-baseline config — without knowing whether a manifest writer, a
+test, or nothing at all is listening.  This module is that indirection:
+a flat listener list, ``emit`` as a no-op when nobody subscribed, and
+an environment switch (``REPRO_TELEMETRY``) that callers can consult
+before doing anything expensive.
+
+Listeners receive ``(kind, payload_dict)``.  A listener that raises
+does not break the emitting simulation: the exception propagates (so
+tests can assert), but emitters are expected to call ``emit`` outside
+their hot loops only.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List
+
+Listener = Callable[[str, Dict], None]
+
+_listeners: List[Listener] = []
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def telemetry_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` asks for telemetry (default: no)."""
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+
+
+def subscribe(listener: Listener) -> Listener:
+    """Add *listener*; returns it so callers can unsubscribe later."""
+    _listeners.append(listener)
+    return listener
+
+
+def unsubscribe(listener: Listener) -> None:
+    """Remove *listener* (no error if it was never subscribed)."""
+    try:
+        _listeners.remove(listener)
+    except ValueError:
+        pass
+
+
+def clear() -> None:
+    """Drop all listeners (test isolation)."""
+    _listeners.clear()
+
+
+def emit(kind: str, **payload) -> None:
+    """Deliver an event to every listener; free when none subscribed."""
+    if not _listeners:
+        return
+    for listener in list(_listeners):
+        listener(kind, dict(payload))

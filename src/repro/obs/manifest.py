@@ -1,0 +1,174 @@
+"""Run manifests (JSONL) and the live sweep progress line.
+
+A *manifest* is the durable record of what a sweep actually did: one
+JSON object per line, one line per event, appended as events happen so
+a crashed or interrupted sweep still leaves a parseable prefix.  The
+sweep engine emits:
+
+``sweep_start``
+    totals (alone/cell work units), worker count, policy labels, core
+    counts, and the manifest schema version;
+``unit``
+    one per work unit — ``unit`` (``alone``/``cell``), ``key`` (the
+    unit's content-addressed config hash, identical to its result-cache
+    key), ``cores``, ``mix``, ``policy``, ``seed``, ``cache_hit``,
+    ``wall_seconds`` and a small ``metrics`` dict (``ipc_alone`` for
+    alone units; ``ws``/``hs``/``mpki``/``wpki`` for cells);
+``sweep_end``
+    the final :class:`repro.experiments.engine.SweepStats` numbers.
+
+Events forwarded from :mod:`repro.obs.events` (e.g.
+``lazy_alone_ipc``) appear with their own ``event`` kind.  Every line
+carries ``ts`` (UNIX seconds).  The full schema is documented in
+docs/observability.md.
+
+:class:`ProgressLine` is the human half: ``units done/total, cache
+hits, ETA`` written to stderr, carriage-return rewritten on TTYs and
+line-per-update otherwise (so piped/CI logs stay readable).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, TextIO, Union
+
+#: Bump when the manifest event layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+class RunManifest:
+    """Append-only JSONL event writer.
+
+    The file is opened lazily on the first :meth:`emit` (so configuring
+    a manifest costs nothing if no sweep runs) and every line is
+    flushed immediately — a reader tailing the file sees units as they
+    complete, and a crash loses at most the in-flight line.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = pathlib.Path(path)
+        self.events_written = 0
+        self._fh: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------
+    def _handle(self) -> TextIO:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        return self._fh
+
+    def emit(self, kind: str, **fields) -> Dict:
+        """Append one event line; returns the dict that was written."""
+        event = {"event": kind, "ts": time.time()}
+        event.update(fields)
+        fh = self._handle()
+        fh.write(json.dumps(event, sort_keys=True, default=repr) + "\n")
+        fh.flush()
+        self.events_written += 1
+        return event
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunManifest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"RunManifest({str(self.path)!r}, "
+                f"{self.events_written} events)")
+
+
+def read_manifest(path: PathLike) -> List[Dict]:
+    """Parse a JSONL manifest back into a list of event dicts.
+
+    Blank lines are skipped; a torn final line (crash mid-write) is
+    ignored rather than raised, matching the writer's durability story.
+    """
+    events: List[Dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressLine:
+    """Live ``done/total`` status for a long sweep.
+
+    ETA extrapolates from *live* unit completions only — cache hits
+    finish in microseconds and would otherwise make the estimate
+    absurdly optimistic right after the probe phase.
+
+    Args:
+        total: work units expected (alone + distinct cells).
+        label: prefix shown in brackets.
+        stream: defaults to ``sys.stderr``.
+        enabled: a disabled instance is a no-op, so call sites need no
+            conditionals.
+    """
+
+    def __init__(self, total: int, label: str = "sweep",
+                 stream: Optional[TextIO] = None, enabled: bool = True):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._started = time.time()
+        self._wrote_any = False
+
+    def _emit(self, line: str, final: bool = False) -> None:
+        isatty = getattr(self.stream, "isatty", lambda: False)()
+        end = "\n" if (final or not isatty) else "\r"
+        print(line, end=end, file=self.stream, flush=True)
+        self._wrote_any = True
+
+    def update(self, done: int, cache_hits: int) -> None:
+        """Report *done* completed units, *cache_hits* of them warm."""
+        if not self.enabled:
+            return
+        live_done = done - cache_hits
+        remaining = max(0, self.total - done)
+        if remaining == 0:
+            eta = "0s"
+        elif live_done > 0:
+            elapsed = time.time() - self._started
+            eta = _format_eta(elapsed / live_done * remaining)
+        else:
+            eta = "--"
+        self._emit(f"[{self.label}] {done}/{self.total} units, "
+                   f"{cache_hits} cache hits, ETA {eta}")
+
+    def finish(self, done: int, cache_hits: int) -> None:
+        """Print the final summary line (always newline-terminated)."""
+        if not self.enabled:
+            return
+        elapsed = time.time() - self._started
+        self._emit(f"[{self.label}] {done}/{self.total} units done, "
+                   f"{cache_hits} cache hits, "
+                   f"{_format_eta(elapsed)} elapsed", final=True)

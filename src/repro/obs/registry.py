@@ -1,0 +1,230 @@
+"""A registry of named metrics over the simulator's existing stats.
+
+Two registration styles coexist:
+
+* **Owned metrics** — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` instances the registry creates and the caller
+  mutates (``registry.counter("engine.units_done").inc()``).  Use these
+  for new instrumentation that has no pre-existing stats object.
+* **Lazy sources** — ``registry.register("dram.reads", fn)`` binds a
+  name to a zero-argument callable evaluated at collection time.  This
+  is how the simulator components publish: their ``CacheStats`` /
+  ``DRAMStats`` / ... objects stay the single source of truth (and are
+  still reset wholesale at the warmup boundary), while the registry
+  reads *through* the component so stats-object replacement on
+  ``reset_stats()`` cannot leave a stale reference behind.
+
+Names are dotted paths (``llc.demand_misses``,
+``core.3.l2_misses``, ``llc.fabric.lookups``, ``llc.dsc.0.reselections``
+— full scheme in docs/observability.md).  Registering the same name
+twice raises, so wiring collisions surface at construction rather than
+as silently shadowed metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+MetricValue = Union[int, float, Dict[str, float]]
+
+
+class Counter:
+    """A monotonically increasing owned metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time owned metric (set to the latest observation)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max/mean) of observations.
+
+    Deliberately bin-free: the sweeps this instruments care about unit
+    wall-times and latency totals, not exact distributions, and a
+    five-number summary keeps manifest events small.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class StatsRegistry:
+    """Named metrics + lazy sources, collected into one flat dict.
+
+    The registry is cheap to carry and only does work in
+    :meth:`collect`, so components can publish hundreds of sources
+    without slowing the simulation hot loop at all.
+    """
+
+    def __init__(self) -> None:
+        self._owned: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._sources: Dict[str, Callable[[], float]] = {}
+
+    # -- registration ---------------------------------------------------
+    def _check_free(self, name: str) -> None:
+        if name in self._owned or name in self._sources:
+            raise ValueError(f"metric {name!r} already registered")
+
+    def counter(self, name: str) -> Counter:
+        """Create (or fetch the existing) owned counter *name*."""
+        existing = self._owned.get(name)
+        if existing is not None:
+            if not isinstance(existing, Counter):
+                raise ValueError(f"metric {name!r} exists with kind "
+                                 f"{type(existing).__name__}")
+            return existing
+        self._check_free(name)
+        metric = Counter(name)
+        self._owned[name] = metric
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Create (or fetch the existing) owned gauge *name*."""
+        existing = self._owned.get(name)
+        if existing is not None:
+            if not isinstance(existing, Gauge):
+                raise ValueError(f"metric {name!r} exists with kind "
+                                 f"{type(existing).__name__}")
+            return existing
+        self._check_free(name)
+        metric = Gauge(name)
+        self._owned[name] = metric
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """Create (or fetch the existing) owned histogram *name*."""
+        existing = self._owned.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(f"metric {name!r} exists with kind "
+                                 f"{type(existing).__name__}")
+            return existing
+        self._check_free(name)
+        metric = Histogram(name)
+        self._owned[name] = metric
+        return metric
+
+    def register(self, name: str, source: Callable[[], float]) -> None:
+        """Bind *name* to a zero-arg callable read at collection time."""
+        self._check_free(name)
+        self._sources[name] = source
+
+    def register_many(self, prefix: str, obj: object,
+                      attributes: List[str]) -> None:
+        """Publish ``{prefix}.{attr}`` for each attribute of *obj*'s
+        ``stats`` — reading through *obj* so a stats object swapped out
+        by ``reset_stats()`` is picked up automatically."""
+        for attr in attributes:
+            self.register(f"{prefix}.{attr}",
+                          lambda o=obj, a=attr: getattr(o.stats, a))
+
+    # -- access ---------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(set(self._owned) | set(self._sources))
+
+    def value(self, name: str) -> MetricValue:
+        """Current value of one metric (histograms → summary dict)."""
+        owned = self._owned.get(name)
+        if owned is not None:
+            if isinstance(owned, Histogram):
+                return owned.summary()
+            return owned.value
+        source = self._sources.get(name)
+        if source is None:
+            raise KeyError(name)
+        return source()
+
+    def collect(self, prefix: str = "") -> Dict[str, MetricValue]:
+        """Evaluate every metric; returns ``{name: value}`` sorted by
+        name.  *prefix* filters to names starting with it."""
+        out: Dict[str, MetricValue] = {}
+        for name in self.names():
+            if prefix and not name.startswith(prefix):
+                continue
+            out[name] = self.value(name)
+        return out
+
+    def reset_owned(self) -> None:
+        """Reset owned metrics only; lazy sources follow their
+        components' own ``reset_stats`` lifecycles."""
+        for metric in self._owned.values():
+            metric.reset()
+
+    def __len__(self) -> int:
+        return len(self._owned) + len(self._sources)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._owned or name in self._sources
+
+    def __repr__(self) -> str:
+        return (f"StatsRegistry({len(self._owned)} owned, "
+                f"{len(self._sources)} sources)")

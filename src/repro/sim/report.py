@@ -16,11 +16,22 @@ from repro.sim.simulator import SimulationResult
 
 PathLike = Union[str, pathlib.Path]
 
+#: Version 2: per-core L1/L2/LLC-demand vectors, fabric per-instance
+#: counts, the per-set MPKA matrix, and telemetry interval samples are
+#: exported (v1 silently dropped them).
+SIMULATION_SCHEMA_VERSION = 2
+
 
 def simulation_to_dict(result: SimulationResult) -> dict:
-    """Flatten a :class:`SimulationResult` into JSON-safe primitives."""
+    """Flatten a :class:`SimulationResult` into JSON-safe primitives.
+
+    Every ``SimulationResult`` field is represented — the archive is a
+    faithful record, not a summary (tests/test_reports_render.py checks
+    completeness against the dataclass).
+    """
     config = result.config
     return {
+        "schema_version": SIMULATION_SCHEMA_VERSION,
         "config": {
             "num_cores": config.num_cores,
             "llc_policy": config.llc_policy,
@@ -43,14 +54,24 @@ def simulation_to_dict(result: SimulationResult) -> dict:
         "mpki_per_core": [result.mpki(i)
                           for i in range(len(result.instructions))],
         "wpki": result.wpki,
+        "per_core": {
+            "l1_misses": list(result.l1_misses),
+            "l2_misses": list(result.l2_misses),
+            "llc_demand_accesses": list(result.llc_demand_accesses),
+            "llc_demand_misses": list(result.llc_demand_misses),
+        },
         "llc": {
             "accesses": result.llc_stats.accesses,
             "hits": result.llc_stats.hits,
             "misses": result.llc_stats.misses,
+            "demand_accesses": result.llc_stats.demand_accesses,
+            "demand_hits": result.llc_stats.demand_hits,
             "demand_misses": result.llc_stats.demand_misses,
             "fills": result.llc_stats.fills,
             "bypasses": result.llc_stats.bypasses,
+            "evictions": result.llc_stats.evictions,
             "writebacks_out": result.llc_stats.writebacks_out,
+            "writeback_fills": result.llc_stats.writeback_fills,
         },
         "dram": {
             "reads": result.dram_reads,
@@ -66,11 +87,18 @@ def simulation_to_dict(result: SimulationResult) -> dict:
             "trains": result.fabric_trains,
             "apki": result.fabric_apki,
             "avg_lookup_latency": result.fabric_lookup_latency_avg,
+            "per_instance": list(result.fabric_per_instance),
         },
         "nocstar": {
             "messages": result.nocstar_messages,
             "energy_pj": result.nocstar_energy_pj,
         },
+        # numpy matrix -> nested lists; None when set stats were off.
+        "per_set_mpka": (result.per_set_mpka.tolist()
+                         if result.per_set_mpka is not None else None),
+        "interval_samples": (list(result.interval_samples)
+                             if result.interval_samples is not None
+                             else None),
     }
 
 

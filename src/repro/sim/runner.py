@@ -14,8 +14,11 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
+
+from repro.obs import events as obs_events
 
 from repro.metrics.speedup import (
     harmonic_speedup,
@@ -114,6 +117,19 @@ def run_mix(config: SystemConfig, traces: Sequence[Trace],
 
     if alone_ipc_cache is None:
         alone_ipc_cache = {}
+    missing = [t.name for t in traces if t.name not in alone_ipc_cache]
+    if missing:
+        # The lazy path measures IPC_alone on *this* config, not the
+        # baseline — fine for one-off runs, a methodology hazard when
+        # comparing policies.  Make it loud and observable.
+        warnings.warn(
+            f"run_mix measuring IPC_alone lazily on "
+            f"llc_policy={config.llc_policy!r} for {missing}; prefill "
+            f"alone_ipc_cache with measure_alone_ipcs on the baseline "
+            f"system when comparing configurations",
+            RuntimeWarning, stacklevel=2)
+        obs_events.emit("lazy_alone_ipc", traces=missing,
+                        policy=config.llc_policy)
     alone_results: Dict[str, SimulationResult] = {}
     ipc_alone: List[float] = []
     for trace in traces:

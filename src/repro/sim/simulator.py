@@ -8,7 +8,18 @@ a cycle-accurate event wheel.
 Warmup: each core's leading ``warmup_accesses`` train caches and
 predictors without counting; when the last core crosses its warmup
 boundary all hierarchy statistics reset and per-core IPC measurement
-windows open.
+windows open.  A core whose trace is shorter than ``warmup_accesses``
+counts as warm once its trace is exhausted (its warmup target is
+clamped to its trace length), so one short trace cannot silently
+disable warmup for the whole mix; if warmup would consume *every*
+trace entirely, statistics are never reset and the full run is
+measured.
+
+Telemetry: pass a :class:`repro.obs.SimTelemetry` to publish every
+component's counters into a ``StatsRegistry`` and (optionally) record
+an IPC/MPKI/fabric-APKI/DSC time-series every ``sample_interval``
+accesses.  With no telemetry attached (the default) the hot loop
+performs one falsy integer test extra and results are bit-identical.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ import numpy as np
 from repro.cache.cache import CacheStats
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.core_model import CoreTiming
+from repro.obs.sampling import SimTelemetry
 from repro.sim.config import SystemConfig
 from repro.traces.trace import Trace
 
@@ -51,6 +63,7 @@ class SimulationResult:
     nocstar_messages: int = 0
     nocstar_energy_pj: float = 0.0
     per_set_mpka: Optional[np.ndarray] = None
+    interval_samples: Optional[List[dict]] = None
 
     @property
     def ipc(self) -> List[float]:
@@ -95,10 +108,16 @@ class Simulator:
             idle).
         warmup_accesses: per-core accesses excluded from statistics
             (defaults to 20% of the shortest trace).
+        telemetry: optional :class:`repro.obs.SimTelemetry`; components
+            publish their counters into its registry at construction,
+            and ``telemetry.sample_interval > 0`` enables the interval
+            time-series (off by default — disabled runs are
+            bit-identical).
     """
 
     def __init__(self, config: SystemConfig, traces: Sequence[Trace],
-                 warmup_accesses: Optional[int] = None):
+                 warmup_accesses: Optional[int] = None,
+                 telemetry: Optional[SimTelemetry] = None):
         if len(traces) > config.num_cores:
             raise ValueError(
                 f"{len(traces)} traces for {config.num_cores} cores")
@@ -108,13 +127,22 @@ class Simulator:
             shortest = min((len(t) for t in self.traces), default=0)
             warmup_accesses = shortest // 5
         self.warmup_accesses = warmup_accesses
-        self.hierarchy = MemoryHierarchy(config)
+        self.telemetry = telemetry
+        registry = telemetry.registry if telemetry is not None else None
+        self.hierarchy = MemoryHierarchy(config, registry=registry)
         self.cores = [
             CoreTiming(issue_width=config.core.issue_width,
                        rob_size=config.core.rob_size,
                        max_outstanding=config.core.max_outstanding)
             for _ in range(config.num_cores)
         ]
+        if registry is not None:
+            for i in range(len(self.traces)):
+                registry.register(
+                    f"core.{i}.instructions",
+                    lambda i=i: self.cores[i].instructions)
+                registry.register(f"core.{i}.cycles",
+                                  lambda i=i: self.cores[i].cycle)
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -144,16 +172,18 @@ class Simulator:
         # L1 hits retire through the ROB like ordinary instructions;
         # only accesses that left the L1 hold an MSHR.
         l1_hit_threshold = self.config.l1.latency + 1
+        sample_every = (self.telemetry.sample_interval
+                        if self.telemetry is not None else 0)
 
         if num_active == 1:
             stats_reset_done = self._run_single_core(
                 warmup_accesses, demand_access, l1_hit_threshold,
-                snapshots, stats_reset_done)
+                snapshots, stats_reset_done, sample_every)
         else:
             stats_reset_done = self._run_interleaved(
                 num_active, positions, processed, warm,
                 warmup_accesses, demand_access, l1_hit_threshold,
-                snapshots, stats_reset_done)
+                snapshots, stats_reset_done, sample_every)
 
         if not stats_reset_done:
             # Traces shorter than warmup: measure everything.
@@ -165,7 +195,8 @@ class Simulator:
     def _run_single_core(self, warmup_accesses: int, demand_access,
                          l1_hit_threshold: int,
                          snapshots: Dict[int, tuple],
-                         stats_reset_done: bool) -> bool:
+                         stats_reset_done: bool,
+                         sample_every: int = 0) -> bool:
         """Heap-free fast path: one core walks its trace in order."""
         trace = self.traces[0]
         core = self.cores[0]
@@ -181,6 +212,8 @@ class Simulator:
                 self.hierarchy.reset_stats()
                 stats_reset_done = True
                 snapshots[0] = core.snapshot()
+            if sample_every and (pos + 1) % sample_every == 0:
+                self._sample(pos + 1)
         core.finish()
         return stats_reset_done
 
@@ -188,7 +221,8 @@ class Simulator:
                          warm, warmup_accesses: int, demand_access,
                          l1_hit_threshold: int,
                          snapshots: Dict[int, tuple],
-                         stats_reset_done: bool) -> bool:
+                         stats_reset_done: bool,
+                         sample_every: int = 0) -> bool:
         """Cycle-ordered interleaving of two or more cores."""
         traces = self.traces
         cores = self.cores
@@ -196,8 +230,19 @@ class Simulator:
         heappush = heapq.heappush
         heappop = heapq.heappop
 
+        # Each core's warmup target is clamped to its trace length: a
+        # core whose whole trace fits inside warmup counts as warm once
+        # it finishes, so it cannot postpone the stats reset (and the
+        # measurement windows) of every other core indefinitely.
+        warmup_targets = [min(warmup_accesses, trace_lengths[i])
+                          for i in range(num_active)]
+        for i in range(num_active):
+            if warmup_targets[i] == 0:
+                warm[i] = True
+
         heap = [(0.0, i) for i in range(num_active)]
         heapq.heapify(heap)
+        total_done = 0
 
         while heap:
             _cycle, core_id = heappop(heap)
@@ -216,20 +261,64 @@ class Simulator:
 
             processed[core_id] += 1
             if not warm[core_id] and \
-                    processed[core_id] >= warmup_accesses:
+                    processed[core_id] >= warmup_targets[core_id]:
                 warm[core_id] = True
-                if all(warm) and not stats_reset_done:
+                if all(warm) and not stats_reset_done and \
+                        any(positions[i] < trace_lengths[i]
+                            for i in range(num_active)):
+                    # Reset only when something remains to measure;
+                    # warmup that would consume every trace entirely
+                    # falls through to the measure-everything path.
                     self.hierarchy.reset_stats()
                     stats_reset_done = True
                     # Open every measurement window at the reset point.
                     for i in range(num_active):
                         snapshots[i] = cores[i].snapshot()
 
+            if sample_every:
+                total_done += 1
+                if total_done % sample_every == 0:
+                    self._sample(total_done)
+
             if positions[core_id] < trace_lengths[core_id]:
                 heappush(heap, (core.cycle, core_id))
             else:
                 core.finish()
         return stats_reset_done
+
+    # ------------------------------------------------------------------
+    def _sample(self, accesses_done: int) -> None:
+        """Append one interval time-series row to the telemetry bundle.
+
+        Values are cumulative reads of the live stats objects, so rows
+        recorded before the warmup reset reflect warmup traffic and
+        rows after it restart from the reset (the discontinuity *is*
+        the warmup boundary — useful in itself when plotting).
+        """
+        num_active = len(self.traces)
+        cores = self.cores[:num_active]
+        instructions = sum(c.instructions for c in cores)
+        cycles = max((c.cycle for c in cores), default=0.0)
+        core_stats = self.hierarchy.core_stats[:num_active]
+        misses = sum(cs.llc_misses for cs in core_stats)
+        fabric = self.hierarchy.llc.fabric
+        fabric_total = fabric.stats.total_accesses if fabric is not None \
+            else 0
+        reselections = 0
+        for selector in self.hierarchy.llc.selectors or []:
+            reselections += getattr(selector, "reselections", 0) or 0
+        self.telemetry.record({
+            "accesses": accesses_done,
+            "instructions": instructions,
+            "ipc": instructions / cycles if cycles else 0.0,
+            "llc_demand_misses": misses,
+            "mpki": 1000.0 * misses / instructions if instructions
+            else 0.0,
+            "fabric_accesses": fabric_total,
+            "fabric_apki": 1000.0 * fabric_total / instructions
+            if instructions else 0.0,
+            "dsc_reselections": reselections,
+        })
 
     # ------------------------------------------------------------------
     def _collect(self, snapshots: Dict[int, tuple],
@@ -279,4 +368,6 @@ class Simulator:
         if nocstar is not None:
             result.nocstar_messages = nocstar.stats.total_messages
             result.nocstar_energy_pj = nocstar.stats.dynamic_energy_pj
+        if self.telemetry is not None and self.telemetry.samples:
+            result.interval_samples = list(self.telemetry.samples)
         return result

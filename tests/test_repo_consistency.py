@@ -53,6 +53,7 @@ class TestDocsPresence:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/calibration.md", "docs/api.md",
+        "docs/performance.md", "docs/observability.md",
         "examples/README.md",
     ])
     def test_doc_exists_and_nonempty(self, name):

@@ -1,6 +1,9 @@
 """Render/structure coverage for report objects built by hand (no
 simulation), so the table/chart plumbing is exercised exhaustively."""
 
+import dataclasses
+import json
+
 import numpy as np
 
 from repro.analysis.etr_views import ETRViewReport
@@ -103,3 +106,107 @@ class TestHandBuiltReports:
         assert view.myopic_error() is None
         assert view.myopic_spread() == 0.0
         assert view.global_coverage() == 0.0
+
+
+#: Where each ``SimulationResult`` field lands in the exported dict.
+#: ``test_export_covers_every_field`` fails when a new field is added
+#: to the dataclass without a home in ``simulation_to_dict`` — the bug
+#: this guards against is silent data loss in archived results.
+SIMULATION_FIELD_TO_PATH = {
+    "config": ("config",),
+    "trace_names": ("traces",),
+    "instructions": ("instructions",),
+    "cycles": ("cycles",),
+    "llc_stats": ("llc",),
+    "llc_demand_accesses": ("per_core", "llc_demand_accesses"),
+    "llc_demand_misses": ("per_core", "llc_demand_misses"),
+    "l2_misses": ("per_core", "l2_misses"),
+    "l1_misses": ("per_core", "l1_misses"),
+    "dram_reads": ("dram", "reads"),
+    "dram_writes": ("dram", "writes"),
+    "dram_row_hit_rate": ("dram", "row_hit_rate"),
+    "noc_messages": ("noc", "messages"),
+    "noc_avg_latency": ("noc", "avg_latency"),
+    "fabric_lookups": ("fabric", "lookups"),
+    "fabric_trains": ("fabric", "trains"),
+    "fabric_lookup_latency_avg": ("fabric", "avg_lookup_latency"),
+    "fabric_per_instance": ("fabric", "per_instance"),
+    "nocstar_messages": ("nocstar", "messages"),
+    "nocstar_energy_pj": ("nocstar", "energy_pj"),
+    "per_set_mpka": ("per_set_mpka",),
+    "interval_samples": ("interval_samples",),
+}
+
+
+def full_simulation_result():
+    """A ``SimulationResult`` with every field populated by hand."""
+    from repro.cache.cache import CacheStats
+    from repro.sim.config import CacheConfig, SystemConfig
+    from repro.sim.simulator import SimulationResult
+
+    cfg = SystemConfig(num_cores=2, llc_policy="hawkeye",
+                       llc_sets_per_slice=32,
+                       l1=CacheConfig(sets=4, ways=2, latency=5),
+                       l2=CacheConfig(sets=8, ways=2, latency=15),
+                       prefetcher="none")
+    stats = CacheStats()
+    stats.accesses = 100
+    stats.demand_accesses = 90
+    stats.demand_misses = 40
+    return SimulationResult(
+        config=cfg, trace_names=["a", "b"],
+        instructions=[1000, 900], cycles=[2000.0, 1800.0],
+        llc_stats=stats,
+        llc_demand_accesses=[50, 40], llc_demand_misses=[25, 15],
+        l2_misses=[60, 50], l1_misses=[80, 70],
+        dram_reads=40, dram_writes=10, dram_row_hit_rate=0.5,
+        noc_messages=120, noc_avg_latency=14.0,
+        fabric_lookups=40, fabric_trains=9,
+        fabric_lookup_latency_avg=3.0, fabric_per_instance=[30, 19],
+        nocstar_messages=49, nocstar_energy_pj=75.0,
+        per_set_mpka=np.ones((2, 4)),
+        interval_samples=[{"accesses": 500, "ipc": 0.5}])
+
+
+class TestSimulationExportCompleteness:
+    def _dig(self, payload, path):
+        for step in path:
+            assert step in payload, f"missing {'.'.join(path)}"
+            payload = payload[step]
+        return payload
+
+    def test_export_covers_every_field(self):
+        from repro.sim.report import simulation_to_dict
+        from repro.sim.simulator import SimulationResult
+
+        field_names = {f.name for f in
+                       dataclasses.fields(SimulationResult)}
+        assert field_names == set(SIMULATION_FIELD_TO_PATH), \
+            "SimulationResult fields and export map diverged"
+        payload = simulation_to_dict(full_simulation_result())
+        for name, path in SIMULATION_FIELD_TO_PATH.items():
+            self._dig(payload, path)
+
+    def test_export_values_and_json_safety(self):
+        from repro.sim.report import (SIMULATION_SCHEMA_VERSION,
+                                      simulation_to_dict)
+
+        payload = simulation_to_dict(full_simulation_result())
+        json.dumps(payload)  # numpy fully converted
+        assert payload["schema_version"] == SIMULATION_SCHEMA_VERSION
+        assert payload["per_core"]["l1_misses"] == [80, 70]
+        assert payload["per_core"]["llc_demand_accesses"] == [50, 40]
+        assert payload["fabric"]["per_instance"] == [30, 19]
+        assert payload["per_set_mpka"] == [[1.0] * 4] * 2
+        assert payload["interval_samples"][0]["accesses"] == 500
+
+    def test_export_optional_fields_absent(self):
+        from repro.sim.report import simulation_to_dict
+
+        result = full_simulation_result()
+        result.per_set_mpka = None
+        result.interval_samples = None
+        payload = simulation_to_dict(result)
+        json.dumps(payload)
+        assert payload["per_set_mpka"] is None
+        assert payload["interval_samples"] is None

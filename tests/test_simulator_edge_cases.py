@@ -31,6 +31,23 @@ class TestWarmupEdges:
         assert result.llc_stats.accesses > 0
         assert all(i > 0 for i in result.instructions)
 
+    def test_one_short_trace_does_not_disable_warmup_for_mix(self):
+        # Regression: a single trace shorter than the warmup target used
+        # to keep its core permanently cold, so `all(warm)` never became
+        # true and the *whole mix* silently ran without a warmup reset.
+        # Each core's target is now clamped to its trace length.
+        short, long_ = trace("s", n=30), trace("l", n=400, base=1 << 20)
+        warm = Simulator(tiny_cfg(), [short, long_],
+                         warmup_accesses=100).run()
+        cold = Simulator(tiny_cfg(), [short, long_],
+                         warmup_accesses=0).run()
+        # The short trace finishes entirely inside warmup: measured zero.
+        assert warm.instructions[0] == 0
+        # The long trace still warmed up: a strict subset is measured.
+        assert 0 < warm.instructions[1] < cold.instructions[1]
+        # And the LLC counters really were reset mid-run.
+        assert warm.llc_stats.accesses < cold.llc_stats.accesses
+
     def test_single_access_traces(self):
         sim = Simulator(tiny_cfg(), [trace(n=1), trace(n=1, base=1 << 20)],
                         warmup_accesses=0)
