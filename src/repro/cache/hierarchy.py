@@ -122,6 +122,9 @@ class MemoryHierarchy:
         """
         self.dram.publish_stats(registry, prefix="dram")
         self.mesh.publish_stats(registry, prefix="noc")
+        if self.tlbs is not None:
+            for i, unit in enumerate(self.tlbs):
+                unit.publish_stats(registry, prefix=f"core.{i}.tlb")
         for i in range(self.config.num_cores):
             for attr in CoreStats.__slots__:
                 registry.register(
@@ -324,6 +327,9 @@ class MemoryHierarchy:
         self.llc.reset_stats()
         self.dram.reset_stats()
         self.mesh.reset_stats()
+        if self.tlbs is not None:
+            for unit in self.tlbs:
+                unit.reset_stats()
         for cache in self.l1 + self.l2:
             cache.stats = type(cache.stats)()
         for i in range(self.config.num_cores):

@@ -163,13 +163,7 @@ class SlicedLLC:
                 sl.set_misses.fill(0)
         if self.fabric is not None:
             # Keep predictor contents; zero traffic counters only.
-            stats = self.fabric.stats
-            stats.lookups = 0
-            stats.trains = 0
-            stats.lookup_latency_total = 0
-            stats.train_latency_total = 0
-            for i in range(len(stats.per_instance_accesses)):
-                stats.per_instance_accesses[i] = 0
+            self.fabric.reset_stats()
         if self.nocstar is not None:
             self.nocstar.reset_stats()
 

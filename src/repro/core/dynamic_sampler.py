@@ -175,6 +175,13 @@ class DynamicSampledSets(SampledSetSelector):
             f"{prefix}.counter_spread",
             lambda: int(self._counters.max() - self._counters.min()))
 
+    def reset_stats(self) -> None:
+        """Zero the phase diagnostics, keep selection state (counters,
+        sampled sets, FSM phase) — the post-warmup reset contract."""
+        self.reselections = 0
+        self.uniform_phases = 0
+        self.dynamic_phases = 0
+
     def reset(self) -> None:
         self._rng = np.random.default_rng(self.seed)
         self._counters.fill(self.counter_init)

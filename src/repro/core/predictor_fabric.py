@@ -231,6 +231,16 @@ class PredictorFabric:
                 f"{prefix}.instance.{i}.accesses",
                 lambda i=i: self.stats.per_instance_accesses[i])
 
+    def reset_stats(self) -> None:
+        """Zero traffic/latency counters, keep predictor learned state
+        (the post-warmup reset contract)."""
+        self.stats.lookups = 0
+        self.stats.trains = 0
+        self.stats.lookup_latency_total = 0
+        self.stats.train_latency_total = 0
+        for i in range(len(self.stats.per_instance_accesses)):
+            self.stats.per_instance_accesses[i] = 0
+
     def reset(self) -> None:
         """Reset traffic stats and predictor learned state."""
         self.stats = FabricStats(

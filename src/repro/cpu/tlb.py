@@ -78,6 +78,12 @@ class TLB:
         self.hits = 0
         self.misses = 0
 
+    def publish_stats(self, registry, prefix: str = "tlb") -> None:
+        """Register hit/miss counters with a ``StatsRegistry``."""
+        registry.register(f"{prefix}.hits", lambda: self.hits)
+        registry.register(f"{prefix}.misses", lambda: self.misses)
+        registry.register(f"{prefix}.hit_rate", lambda: self.hit_rate)
+
 
 class TranslationUnit:
     """Per-core dTLB + shared-level STLB + page-walk charging.
@@ -118,3 +124,11 @@ class TranslationUnit:
         self.dtlb.reset_stats()
         self.stlb.reset_stats()
         self.walks = 0
+
+    def publish_stats(self, registry, prefix: str = "tlb") -> None:
+        """Register dTLB/STLB/page-walk counters with a
+        ``StatsRegistry`` (``{prefix}.dtlb.*``, ``{prefix}.stlb.*``,
+        ``{prefix}.walks``)."""
+        self.dtlb.publish_stats(registry, prefix=f"{prefix}.dtlb")
+        self.stlb.publish_stats(registry, prefix=f"{prefix}.stlb")
+        registry.register(f"{prefix}.walks", lambda: self.walks)

@@ -413,8 +413,8 @@ class SweepEngine:
                     profile.scale.accesses_per_core, seed=profile.seed)
             return trace_memo[memo_key]
 
-        for cores in {t.cores for t in alone_pending} | \
-                {t.cores for t in cell_pending}:
+        for cores in sorted({t.cores for t in alone_pending} |
+                            {t.cores for t in cell_pending}):
             base_cfgs[cores] = _base_config(profile, cores)
 
         for task in alone_pending:

@@ -1,0 +1,41 @@
+"""repro-lint: determinism & invariant static analysis for the repo.
+
+An AST-based contract checker (``python -m repro.lint`` / the
+``repro-lint`` console script) with a pluggable rule engine.  The
+shipped rules:
+
+=======  ==========================================================
+DET001   no module-level / unseeded ``random`` & ``numpy.random`` use
+DET002   no wall-clock or entropy reads in simulator-reachable code
+DET003   no unordered set iteration in order-sensitive modules
+INV001   ``reset_stats``/``publish_stats`` must come in pairs
+INV002   every policy module registered + smoke-matrix covered
+INV003   ``SystemConfig`` structure pinned per ``CACHE_SCHEMA_VERSION``
+=======  ==========================================================
+
+See ``docs/static-analysis.md`` for rule rationale, suppression
+syntax (``# repro-lint: disable=CODE``) and how to add a rule.
+"""
+
+from repro.lint.rules import (RULE_REGISTRY, Rule, Violation,
+                              all_rule_codes, build_rules, register_rule)
+from repro.lint.engine import (LintResult, ModuleInfo, ProjectContext,
+                               run_lint)
+from repro.lint import determinism as _determinism  # registers DET rules
+from repro.lint import invariants as _invariants    # registers INV rules
+from repro.lint.reporters import render_human, render_json
+
+__all__ = [
+    "RULE_REGISTRY",
+    "Rule",
+    "Violation",
+    "LintResult",
+    "ModuleInfo",
+    "ProjectContext",
+    "all_rule_codes",
+    "build_rules",
+    "register_rule",
+    "run_lint",
+    "render_human",
+    "render_json",
+]

@@ -1,0 +1,104 @@
+"""Command-line entry point: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status is 0 when no error-severity findings remain after
+suppression filtering, 1 otherwise (2 for usage errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import repro.lint  # noqa: F401  (registers the rule set)
+from repro.lint.engine import build_project, run_lint
+from repro.lint.reporters import render_human, render_json
+from repro.lint.rules import RULE_REGISTRY, all_rule_codes, build_rules
+
+
+def _default_paths() -> List[Path]:
+    """Lint the installed ``repro`` package when no paths are given."""
+    import repro
+    return [Path(repro.__file__).resolve().parent]
+
+
+def _split_codes(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def _print_config_pin(paths: List[Path]) -> int:
+    """Print the current structural hash + schema version as a ready
+    to paste ``config_pin`` entry."""
+    from repro.lint.invariants import (_find_schema_version,
+                                       struct_hash)
+    project, errors = build_project(paths)
+    for err in errors:
+        print(err.render(), file=sys.stderr)
+    trees = {str(m.path): m.tree for m in project.modules}
+    version = None
+    for module in project.modules:
+        if "resultcache" in module.path.name:
+            found = _find_schema_version(module.tree)
+            if found is not None:
+                version = found
+    digest = struct_hash(trees)
+    print(f"CACHE_SCHEMA_VERSION: {version}")
+    print(f"struct_hash: {digest}")
+    print(f"pin entry:   {{{version}: \"{digest}\"}}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & invariant static analysis for the "
+                    "Drishti reproduction (see docs/static-analysis.md).")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    parser.add_argument("--config-pin", action="store_true",
+                        help="print the current SystemConfig structural "
+                             "hash for repro/lint/config_pin.py")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in all_rule_codes():
+            rule = RULE_REGISTRY[code]
+            print(f"{code}  [{rule.severity}]  {rule.title}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    for path in paths:
+        if not path.exists():
+            print(f"repro-lint: no such path: {path}", file=sys.stderr)
+            return 2
+
+    if args.config_pin:
+        return _print_config_pin(paths)
+
+    try:
+        rules = build_rules(select=_split_codes(args.select),
+                            ignore=_split_codes(args.ignore))
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_lint(paths, rules)
+    print(render_json(result) if args.json else render_human(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

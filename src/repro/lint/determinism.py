@@ -1,0 +1,294 @@
+"""Determinism rules: DET001 (RNG hygiene), DET002 (wall clock),
+DET003 (set-iteration order).
+
+All three are syntactic over-approximations — they resolve import
+aliases (``import numpy as np``, ``from time import perf_counter``)
+but do not follow values through assignments.  That is the right
+trade-off for a contract checker: the banned constructs have exact
+seeded/deterministic replacements, so a false positive is fixed by
+writing the code the way the simulator requires anyway, and a
+deliberate exception is one ``# repro-lint: disable=`` comment away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import ModuleInfo, ProjectContext
+from repro.lint.rules import Rule, Violation, register_rule
+
+# -- import alias resolution ------------------------------------------------
+
+def _alias_map(tree: ast.Module) -> Tuple[Dict[str, str],
+                                          Dict[str, Tuple[str, str]]]:
+    """(module aliases, from-imported names).
+
+    ``import numpy as np``            -> aliases["np"] = "numpy"
+    ``from numpy import random``      -> aliases["random"] = "numpy.random"
+    ``from time import perf_counter`` -> names["perf_counter"] =
+                                         ("time", "perf_counter")
+    """
+    aliases: Dict[str, str] = {}
+    names: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and not node.level \
+                and node.module:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                # "from numpy import random" binds a submodule; record
+                # it as a module alias so attribute chains resolve.
+                if alias.name == "random" and node.module == "numpy":
+                    aliases[bound] = f"{node.module}.{alias.name}"
+                else:
+                    names[bound] = (node.module, alias.name)
+    return aliases, names
+
+
+def _resolve_call_chain(func: ast.expr, aliases: Dict[str, str],
+                        names: Dict[str, Tuple[str, str]],
+                        ) -> Optional[str]:
+    """Dotted name of a called attribute chain, alias-resolved.
+
+    ``np.random.default_rng`` -> ``numpy.random.default_rng`` when
+    ``np`` aliases ``numpy``; ``datetime.now`` ->
+    ``datetime.datetime.now`` under ``from datetime import datetime``;
+    None for non-name roots (method calls on arbitrary expressions).
+    """
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None and node.id in names:
+        root = ".".join(names[node.id])
+    if root is None:
+        return None
+    parts.append(root)
+    parts.reverse()
+    return ".".join(parts)
+
+
+# -- DET001 -----------------------------------------------------------------
+
+#: Constructors of explicitly seedable RNG objects — the only
+#: attributes of the random / numpy.random modules code may call.
+_STDLIB_RANDOM_ALLOWED = {"Random", "SystemRandom", "getstate", "setstate"}
+_NP_RANDOM_ALLOWED = {"default_rng", "Generator", "SeedSequence",
+                      "RandomState", "BitGenerator", "PCG64", "PCG64DXSM",
+                      "MT19937", "Philox", "SFC64"}
+#: Constructors that take the seed as their first argument and are
+#: unseeded (process-entropy) when called with no arguments.
+_SEED_FIRST_ARG = {"random.Random", "numpy.random.default_rng",
+                   "numpy.random.RandomState", "numpy.random.SeedSequence",
+                   "numpy.random.PCG64", "numpy.random.PCG64DXSM",
+                   "numpy.random.MT19937", "numpy.random.Philox",
+                   "numpy.random.SFC64"}
+
+
+@register_rule
+class UnseededRandomRule(Rule):
+    """DET001: no module-level RNG state, no entropy-seeded generators.
+
+    Simulation results are cached under content-addressed keys
+    (``SystemConfig.canonical_dict()`` + seed), so every stochastic
+    choice must flow from an explicit seed through a per-instance
+    ``random.Random`` / ``numpy.random.Generator``.  Calls through the
+    ``random`` or ``numpy.random`` module globals, ``np.random.seed``,
+    and no-argument generator constructions all break that contract.
+    """
+
+    code = "DET001"
+    title = "unseeded / module-level RNG use"
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        aliases, names = _alias_map(module.tree)
+
+        # Importing a stateful helper is flagged at the import: the
+        # call sites would otherwise look like innocent local calls.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and not node.level:
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _STDLIB_RANDOM_ALLOWED:
+                            yield self.violation(
+                                module, node,
+                                f"'from random import {alias.name}' pulls "
+                                f"in module-level RNG state; construct a "
+                                f"seeded random.Random instead")
+                elif node.module in ("numpy.random", "np.random"):
+                    for alias in node.names:
+                        if alias.name not in _NP_RANDOM_ALLOWED:
+                            yield self.violation(
+                                module, node,
+                                f"'from numpy.random import {alias.name}' "
+                                f"uses numpy's global RNG state; use a "
+                                f"numpy.random.default_rng(seed) instance")
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = _resolve_call_chain(node.func, aliases, names)
+            if full is None:
+                continue
+            if full.startswith("random."):
+                attr = full.split(".", 1)[1]
+                if "." not in attr and attr not in _STDLIB_RANDOM_ALLOWED:
+                    yield self.violation(
+                        module, node,
+                        f"call to random.{attr} uses the interpreter's "
+                        f"shared RNG state; thread a seeded "
+                        f"random.Random through instead")
+                    continue
+            if full.startswith("numpy.random."):
+                attr = full.split("numpy.random.", 1)[1]
+                if "." not in attr and attr not in _NP_RANDOM_ALLOWED:
+                    yield self.violation(
+                        module, node,
+                        f"call to numpy.random.{attr} uses numpy's global "
+                        f"RNG state; use a numpy.random.default_rng(seed) "
+                        f"instance")
+                    continue
+            if full in _SEED_FIRST_ARG and not node.args \
+                    and not node.keywords:
+                yield self.violation(
+                    module, node,
+                    f"{full}() without a seed draws OS entropy; pass an "
+                    f"explicit seed so runs are reproducible")
+
+
+# -- DET002 -----------------------------------------------------------------
+
+#: (module, attribute) pairs that read wall clock / OS entropy.
+_WALLCLOCK_ATTRS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "process_time"), ("time", "process_time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+    ("os", "urandom"), ("os", "getrandom"),
+    ("uuid", "uuid1"), ("uuid", "uuid4"),
+}
+
+
+@register_rule
+class WallClockRule(Rule):
+    """DET002: wall time must not reach simulated state.
+
+    Scope is the import closure of ``repro.sim.simulator`` (everything
+    a ``Simulator.run`` or a ``ProcessPoolExecutor`` sweep worker can
+    execute) minus the declared bookkeeping modules (``repro.obs``,
+    the sweep engine and experiment CLI — see
+    ``WALLCLOCK_EXEMPT_PREFIXES``).  Within scope, any
+    ``time.time``-family call, ``datetime.now``, ``os.urandom`` or
+    ``uuid1/uuid4`` is a finding: a timestamp that influences a
+    simulated decision silently breaks bit-identical goldens and
+    poisons the result cache.
+    """
+
+    code = "DET002"
+    title = "wall-clock / entropy read in simulator-reachable code"
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        if not project.wallclock_in_scope(module):
+            return
+        aliases, names = _alias_map(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and not node.level:
+                for alias in node.names:
+                    if (node.module, alias.name) in _WALLCLOCK_ATTRS:
+                        yield self.violation(
+                            module, node,
+                            f"'from {node.module} import {alias.name}' "
+                            f"imports a wall-clock/entropy source into "
+                            f"simulator-reachable code")
+            if not isinstance(node, ast.Call):
+                continue
+            full = _resolve_call_chain(node.func, aliases, names)
+            if full is None:
+                continue
+            parts = full.split(".")
+            if len(parts) >= 2 and \
+                    (parts[-2], parts[-1]) in _WALLCLOCK_ATTRS:
+                yield self.violation(
+                    module, node,
+                    f"{full}() reads wall clock/entropy in "
+                    f"simulator-reachable code; wall time belongs in "
+                    f"repro.obs or engine bookkeeping only")
+
+
+# -- DET003 -----------------------------------------------------------------
+
+def _is_setlike(node: ast.expr) -> bool:
+    """True for expressions that evaluate to a set, syntactically."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return _is_setlike(node.left) or _is_setlike(node.right)
+    return False
+
+
+#: Builtins that materialise their argument's iteration order.
+_ORDER_CAPTURING_CALLS = ("list", "tuple", "enumerate", "iter", "next")
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """DET003: no order-dependent iteration over sets in key paths.
+
+    Python set iteration order depends on insertion history and hash
+    values; under ``PYTHONHASHSEED`` randomisation (strings) it is not
+    even stable across processes.  In modules that feed
+    ``canonical_dict`` serialisation, sweep work-unit ordering or
+    manifest rows (``ORDER_SENSITIVE_MODULES``), iterating a set
+    expression — directly, in a comprehension, or via
+    ``list()/tuple()/enumerate()`` — must go through ``sorted()``.
+    """
+
+    code = "DET003"
+    title = "unordered set iteration in order-sensitive code"
+
+    _MESSAGE = ("iteration over a set has no deterministic order; wrap "
+                "it in sorted() (order-sensitive module)")
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        if not project.order_in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and _is_setlike(node.iter):
+                yield self.violation(module, node.iter, self._MESSAGE)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    if _is_setlike(comp.iter):
+                        yield self.violation(module, comp.iter,
+                                             self._MESSAGE)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id in _ORDER_CAPTURING_CALLS \
+                    and node.args and _is_setlike(node.args[0]):
+                yield self.violation(
+                    module, node,
+                    f"{node.func.id}() over a set captures an "
+                    f"unstable order; use sorted() "
+                    f"(order-sensitive module)")

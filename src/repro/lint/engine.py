@@ -1,0 +1,316 @@
+"""Discovery, parsing and orchestration for ``repro-lint``.
+
+The engine turns a list of paths into :class:`ModuleInfo` records
+(path, dotted module name, AST, inline suppressions), builds the
+cross-file :class:`ProjectContext` (import graph, hot set reachable
+from ``repro.sim.simulator``), runs every active rule and filters
+findings through the suppression comments.
+
+Suppression syntax (anywhere in a file)::
+
+    x = time.time()  # repro-lint: disable=DET002
+    y = foo()        # repro-lint: disable=DET001,DET003
+    # repro-lint: disable-file=INV001
+    # repro-lint: disable-file=all
+
+``disable`` silences the listed codes on that physical line;
+``disable-file`` silences them for the whole file; ``all`` matches
+every code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.rules import Rule, Violation
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)")
+
+#: Modules whose wall-clock use is engine/telemetry bookkeeping by
+#: design (DET002's allow-list; see docs/static-analysis.md).
+WALLCLOCK_EXEMPT_PREFIXES: Tuple[str, ...] = (
+    "repro.obs",
+    "repro.experiments.engine",
+    "repro.experiments.__main__",
+)
+
+#: Import-graph roots whose reachable set is the DET002 "hot set".
+HOT_ROOTS: Tuple[str, ...] = ("repro.sim.simulator",)
+
+#: Modules whose iteration order feeds cache keys, work-unit ordering
+#: or manifest rows (DET003's scope).
+ORDER_SENSITIVE_MODULES: Tuple[str, ...] = (
+    "repro.sim.config",
+    "repro.experiments.engine",
+    "repro.experiments.common",
+    "repro.experiments.resultcache",
+    "repro.obs.manifest",
+    "repro.obs.registry",
+)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    name: str                 #: dotted module name ("repro.sim.config")
+    in_package: bool          #: False for standalone scripts/fixtures
+    tree: ast.Module
+    source: str
+    #: line -> codes suppressed on that line ({"all"} matches any).
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: codes suppressed for the whole file.
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def suppressed(self, violation: Violation) -> bool:
+        for pool in (self.file_suppressions,
+                     self.line_suppressions.get(violation.line, set())):
+            if "all" in pool or violation.code in pool:
+                return True
+        return False
+
+
+@dataclass
+class ProjectContext:
+    """Everything rules may need beyond a single module."""
+
+    modules: List[ModuleInfo]
+    by_name: Dict[str, ModuleInfo]
+    by_path: Dict[str, ModuleInfo]
+    #: modules (dotted names) import-reachable from :data:`HOT_ROOTS`.
+    hot_set: Set[str]
+    wallclock_exempt: Tuple[str, ...] = WALLCLOCK_EXEMPT_PREFIXES
+    order_sensitive: Tuple[str, ...] = ORDER_SENSITIVE_MODULES
+
+    def wallclock_in_scope(self, module: ModuleInfo) -> bool:
+        """DET002 scope: hot-set members minus the allow-list; files
+        outside any package are checked conservatively (no import
+        information exists to prove them cold)."""
+        if not module.in_package:
+            return True
+        if any(module.name == p or module.name.startswith(p + ".")
+               for p in self.wallclock_exempt):
+            return False
+        return module.name in self.hot_set
+
+    def order_in_scope(self, module: ModuleInfo) -> bool:
+        """DET003 scope: the order-sensitive module list, plus
+        standalone files (conservative, as above)."""
+        if not module.in_package:
+            return True
+        return module.name in self.order_sensitive
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand *paths* into a sorted, de-duplicated ``*.py`` list."""
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"not a python file or directory: "
+                                    f"{path}")
+        for cand in candidates:
+            if "__pycache__" in cand.parts:
+                continue
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(cand)
+    return out
+
+
+def module_name_for(path: Path) -> Tuple[str, bool]:
+    """Dotted module name for *path*, by climbing ``__init__.py`` dirs.
+
+    Returns ``(name, in_package)``; a file whose directory has no
+    ``__init__.py`` is standalone and named by its stem.
+    """
+    resolved = path.resolve()
+    parent = resolved.parent
+    parts: List[str] = []
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    parts.reverse()
+    stem = resolved.stem
+    if not parts:
+        return stem, False
+    if stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts), True
+
+
+def _collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]],
+                                                Set[str]]:
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            kind, codes_text = match.groups()
+            codes = {c.strip() for c in codes_text.split(",") if c.strip()}
+            if kind == "disable-file":
+                per_file |= codes
+            else:
+                per_line.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return per_line, per_file
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo`.
+
+    Raises ``SyntaxError`` on unparsable source; the caller reports it
+    as a finding rather than crashing the run.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    name, in_package = module_name_for(path)
+    line_supp, file_supp = _collect_suppressions(source)
+    return ModuleInfo(path=path, name=name, in_package=in_package,
+                      tree=tree, source=source,
+                      line_suppressions=line_supp,
+                      file_suppressions=file_supp)
+
+
+# ---------------------------------------------------------------------------
+# Import graph (DET002 reachability)
+# ---------------------------------------------------------------------------
+
+def _module_imports(module: ModuleInfo,
+                    known: Set[str]) -> Set[str]:
+    """Dotted names (restricted to *known*) that *module* imports."""
+    deps: Set[str] = set()
+
+    def add(candidate: str) -> None:
+        if candidate in known:
+            deps.add(candidate)
+        # "import a.b.c" also marks packages a and a.b as imported.
+        while "." in candidate:
+            candidate = candidate.rsplit(".", 1)[0]
+            if candidate in known:
+                deps.add(candidate)
+
+    package_parts = module.name.split(".")
+    if module.path.name != "__init__.py":
+        package_parts = package_parts[:-1]
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[:len(package_parts)
+                                           - (node.level - 1)]
+                base = ".".join(base_parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if not base:
+                continue
+            add(base)
+            for alias in node.names:
+                add(f"{base}.{alias.name}")
+    return deps
+
+
+def compute_hot_set(modules: Sequence[ModuleInfo],
+                    roots: Sequence[str] = HOT_ROOTS) -> Set[str]:
+    """Modules transitively imported by *roots* (roots included)."""
+    known = {m.name for m in modules if m.in_package}
+    graph: Dict[str, Set[str]] = {}
+    for module in modules:
+        if module.in_package:
+            graph[module.name] = _module_imports(module, known)
+    hot: Set[str] = set()
+    frontier = [r for r in roots if r in graph]
+    while frontier:
+        name = frontier.pop()
+        if name in hot:
+            continue
+        hot.add(name)
+        frontier.extend(graph.get(name, ()))
+    return hot
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LintResult:
+    violations: List[Violation]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not any(v.severity == "error" for v in self.violations)
+
+
+def build_project(paths: Sequence[Path]) -> Tuple[ProjectContext,
+                                                  List[Violation]]:
+    """Parse every file under *paths*; syntax errors become findings."""
+    parse_errors: List[Violation] = []
+    modules: List[ModuleInfo] = []
+    for path in discover_files(paths):
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            parse_errors.append(Violation(
+                code="PARSE", message=f"syntax error: {exc.msg}",
+                path=str(path), line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1))
+    project = ProjectContext(
+        modules=modules,
+        by_name={m.name: m for m in modules},
+        by_path={str(m.path): m for m in modules},
+        hot_set=compute_hot_set(modules))
+    return project, parse_errors
+
+
+def run_lint(paths: Sequence[Path],
+             rules: Sequence[Rule]) -> LintResult:
+    """Lint *paths* with *rules*; returns suppression-filtered findings
+    sorted by (path, line, col, code)."""
+    project, findings = build_project(paths)
+    for module in project.modules:
+        for rule in rules:
+            findings.extend(rule.check_module(module, project))
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+
+    kept: List[Violation] = []
+    for violation in findings:
+        module = project.by_path.get(violation.path)
+        if module is not None and module.suppressed(violation):
+            continue
+        kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return LintResult(violations=kept,
+                      files_checked=len(project.modules))

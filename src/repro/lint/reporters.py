@@ -1,0 +1,38 @@
+"""Output formats for ``repro-lint``: human-readable and JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import LintResult
+
+
+def render_human(result: LintResult) -> str:
+    """One line per finding plus a summary — the default CLI output."""
+    lines: List[str] = [v.render() for v in result.violations]
+    by_code: Dict[str, int] = {}
+    for violation in result.violations:
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    if result.violations:
+        breakdown = ", ".join(f"{code}: {count}"
+                              for code, count in sorted(by_code.items()))
+        lines.append(f"{len(result.violations)} violation(s) in "
+                     f"{result.files_checked} file(s) ({breakdown})")
+    else:
+        lines.append(f"{result.files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order) for CI tooling."""
+    by_code: Dict[str, int] = {}
+    for violation in result.violations:
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    payload = {
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "counts": {code: by_code[code] for code in sorted(by_code)},
+        "violations": [v.to_dict() for v in result.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,15 @@
+"""Known-bad DET001 corpus: module-level / unseeded RNG use."""
+
+import random
+
+import numpy as np
+from random import shuffle  # DET001: stateful helper import
+
+values = [3, 1, 2]
+shuffle(values)
+
+pick = random.choice(values)          # DET001: module-level state
+np.random.seed(42)                    # DET001: global numpy seeding
+noise = np.random.rand(4)             # DET001: global numpy state
+rng = np.random.default_rng()         # DET001: unseeded generator
+coin = random.Random()                # DET001: unseeded Random

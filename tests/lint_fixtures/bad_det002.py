@@ -1,0 +1,16 @@
+"""Known-bad DET002 corpus: wall-clock/entropy reads in code the
+simulator could execute (standalone files are conservatively in
+scope)."""
+
+import os
+import time
+from datetime import datetime
+from time import perf_counter  # DET002: wall-clock import
+
+
+def decide_eviction(ways):
+    jitter = time.time()              # DET002
+    stamp = datetime.now()            # DET002
+    salt = os.urandom(4)              # DET002
+    tick = perf_counter()             # DET002
+    return (int(jitter) + stamp.microsecond + salt[0] + int(tick)) % ways

@@ -1,0 +1,16 @@
+"""Known-bad DET003 corpus: order-dependent iteration over sets."""
+
+
+def merge_keys(a, b):
+    out = []
+    for key in set(a) | set(b):       # DET003: unordered union walk
+        out.append(key)
+    return out
+
+
+def dedup(items):
+    return list(set(items))           # DET003: list() captures order
+
+
+def label_all(groups):
+    return [f"g{i}" for i in {g.gid for g in groups}]  # DET003

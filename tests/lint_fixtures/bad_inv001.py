@@ -1,0 +1,17 @@
+"""Known-bad INV001 corpus: half-implemented stats contracts."""
+
+
+class CounterOnlyReset:
+    def __init__(self):
+        self.hits = 0
+
+    def reset_stats(self):            # INV001: no publish_stats
+        self.hits = 0
+
+
+class CounterOnlyPublish:
+    def __init__(self):
+        self.misses = 0
+
+    def publish_stats(self, registry, prefix="x"):  # INV001: no reset
+        registry.register(f"{prefix}.misses", lambda: self.misses)

@@ -1,0 +1,8 @@
+"""A registered fixture policy (no violation here)."""
+
+
+class MiniLRUPolicy:
+    name = "mini-lru"
+
+    def choose_victim(self, set_idx, blocks, ctx):
+        return 0

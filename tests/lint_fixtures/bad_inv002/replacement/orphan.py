@@ -1,0 +1,8 @@
+"""INV002: a policy class the registry never mentions."""
+
+
+class OrphanPolicy:
+    name = "orphan"
+
+    def choose_victim(self, set_idx, blocks, ctx):
+        return 1

@@ -1,0 +1,7 @@
+"""Fixture registry that forgot to register OrphanPolicy."""
+
+from .lru_like import MiniLRUPolicy
+
+POLICY_REGISTRY = {
+    "mini-lru": MiniLRUPolicy,
+}

@@ -1,0 +1,4 @@
+"""INV003 fixture: claims schema version 2, whose pinned hash belongs
+to the real tree's structure — the fixture config above cannot match."""
+
+CACHE_SCHEMA_VERSION = 2

@@ -1,0 +1,13 @@
+"""INV003 fixture: a SystemConfig whose structure does not match the
+hash pinned for its CACHE_SCHEMA_VERSION (simulating a field added
+without a schema bump)."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SystemConfig:
+    num_cores: int = 4
+    llc_policy: str = "lru"
+    sneaky_new_knob: float = 0.5  # the un-bumped addition
+    seed: int = 0

@@ -1,0 +1,21 @@
+"""Known-good DET001 corpus: every RNG is per-instance and seeded."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_draws(seed: int):
+    rng = np.random.default_rng(seed)
+    alt = default_rng(seed + 1)
+    coin = random.Random(seed)
+    return rng.integers(0, 8), alt.random(), coin.randint(0, 7)
+
+
+class SeededThing:
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self) -> float:
+        return float(self._rng.random())

@@ -1,0 +1,19 @@
+"""Known-good DET003 corpus: set contents only reach iteration through
+sorted()."""
+
+
+def merge_keys(a, b):
+    out = []
+    for key in sorted(set(a) | set(b)):
+        out.append(key)
+    return out
+
+
+def dedup(items):
+    return sorted(set(items))
+
+
+def membership_is_fine(seen, item):
+    # Building and probing sets is fine; only iterating them is not.
+    pending = {1, 2, 3}
+    return item in pending and item not in seen

@@ -1,0 +1,17 @@
+"""Known-good INV001 corpus: full pairs, or neither method."""
+
+
+class FullContract:
+    def __init__(self):
+        self.hits = 0
+
+    def reset_stats(self):
+        self.hits = 0
+
+    def publish_stats(self, registry, prefix="x"):
+        registry.register(f"{prefix}.hits", lambda: self.hits)
+
+
+class NoStatsAtAll:
+    def poke(self):
+        return 1

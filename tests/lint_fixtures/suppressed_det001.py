@@ -1,0 +1,9 @@
+"""Suppression corpus: violations silenced by inline comments, so the
+file lints clean overall."""
+
+import random
+
+pick = random.choice([1, 2, 3])  # repro-lint: disable=DET001
+
+# repro-lint: disable-file=DET003
+grab = list({x for x in [1, 2]})

@@ -2,7 +2,10 @@
 files and docs cannot silently drift apart."""
 
 import importlib
+import os
 import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -54,6 +57,7 @@ class TestDocsPresence:
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/calibration.md", "docs/api.md",
         "docs/performance.md", "docs/observability.md",
+        "docs/static-analysis.md",
         "examples/README.md",
     ])
     def test_doc_exists_and_nonempty(self, name):
@@ -75,3 +79,32 @@ class TestExamplesImportable:
         compile(source, script, "exec")
         assert 'def main()' in source
         assert '__main__' in source
+
+
+class TestStaticAnalysisGate:
+    """`repro-lint` is the machine-enforced determinism contract: the
+    shipped tree must exit 0 through the real CLI (the same invocation
+    the CI lint job runs)."""
+
+    def run_lint(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True, text=True, env=env, cwd=REPO)
+
+    def test_repro_lint_exits_zero_on_tree(self):
+        proc = self.run_lint(str(REPO / "src" / "repro"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_repro_lint_flags_bad_fixture(self):
+        proc = self.run_lint(
+            str(REPO / "tests" / "lint_fixtures" / "bad_det001.py"))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+
+    def test_docs_list_every_rule(self):
+        text = (REPO / "docs" / "static-analysis.md").read_text()
+        from repro.lint import all_rule_codes
+        for code in all_rule_codes():
+            assert code in text, f"docs/static-analysis.md misses {code}"
