@@ -28,6 +28,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.sampled_sets import SampledSetSelector
+from repro.obs.sanitize import SANITIZE, check_range
 
 
 class DynamicSampledSets(SampledSetSelector):
@@ -124,6 +125,9 @@ class DynamicSampledSets(SampledSetSelector):
             else:
                 if self._counters[set_idx] < self.counter_max:
                     self._counters[set_idx] += 1
+            if SANITIZE:
+                check_range(int(self._counters[set_idx]), 0,
+                            self.counter_max, f"dsc.counter[{set_idx}]")
             if self._accesses_in_phase >= self.monitor_window:
                 return self._finish_monitoring()
         else:

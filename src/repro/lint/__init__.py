@@ -1,8 +1,10 @@
-"""repro-lint: determinism & invariant static analysis for the repo.
+"""repro-lint: determinism, invariant & soundness static analysis.
 
 An AST-based contract checker (``python -m repro.lint`` / the
 ``repro-lint`` console script) with a pluggable rule engine.  The
-shipped rules:
+shipped rules, by tier:
+
+**contracts** (syntactic AST checks)
 
 =======  ==========================================================
 DET001   no module-level / unseeded ``random`` & ``numpy.random`` use
@@ -13,17 +15,31 @@ INV002   every policy module registered + smoke-matrix covered
 INV003   ``SystemConfig`` structure pinned per ``CACHE_SCHEMA_VERSION``
 =======  ==========================================================
 
+**dataflow** (flow-sensitive, over a CFG + forward dataflow engine)
+
+=======  ==========================================================
+SAT001   saturating-counter updates provably clamped or guarded
+UNIT001  no cross-unit arithmetic / magic latency literals
+PAR001   pool-submitted work units are pure (no global state)
+STAT001  no dead telemetry (unpublished / never-reset metrics)
+=======  ==========================================================
+
 See ``docs/static-analysis.md`` for rule rationale, suppression
 syntax (``# repro-lint: disable=CODE``) and how to add a rule.
 """
 
 from repro.lint.rules import (RULE_REGISTRY, Rule, Violation,
-                              all_rule_codes, build_rules, register_rule)
+                              all_rule_codes, build_rules,
+                              expand_codes, register_rule)
 from repro.lint.engine import (LintResult, ModuleInfo, ProjectContext,
                                run_lint)
 from repro.lint import determinism as _determinism  # registers DET rules
 from repro.lint import invariants as _invariants    # registers INV rules
-from repro.lint.reporters import render_human, render_json
+from repro.lint import soundness as _soundness      # SAT001 / UNIT001
+from repro.lint import purity as _purity            # PAR001
+from repro.lint import telemetry as _telemetry      # STAT001
+from repro.lint.reporters import (render_human, render_json,
+                                  render_sarif)
 
 __all__ = [
     "RULE_REGISTRY",
@@ -34,8 +50,10 @@ __all__ = [
     "ProjectContext",
     "all_rule_codes",
     "build_rules",
+    "expand_codes",
     "register_rule",
     "run_lint",
     "render_human",
     "render_json",
+    "render_sarif",
 ]

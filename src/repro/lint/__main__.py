@@ -7,14 +7,17 @@ suppression filtering, 1 otherwise (2 for usage errors).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import repro.lint  # noqa: F401  (registers the rule set)
 from repro.lint.engine import build_project, run_lint
-from repro.lint.reporters import render_human, render_json
-from repro.lint.rules import RULE_REGISTRY, all_rule_codes, build_rules
+from repro.lint.reporters import (render_human, render_json,
+                                  render_sarif)
+from repro.lint.rules import (RULE_REGISTRY, TIERS, all_rule_codes,
+                              build_rules)
 
 
 def _default_paths() -> List[Path]:
@@ -27,6 +30,22 @@ def _split_codes(raw: Optional[str]) -> List[str]:
     if not raw:
         return []
     return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def _list_rules() -> int:
+    """Rule inventory grouped by tier."""
+    by_tier: Dict[str, List[str]] = {tier: [] for tier in TIERS}
+    for code in all_rule_codes():
+        by_tier.setdefault(RULE_REGISTRY[code].tier, []).append(code)
+    for tier in TIERS:
+        codes = by_tier.get(tier, [])
+        if not codes:
+            continue
+        print(f"{tier}:")
+        for code in codes:
+            rule = RULE_REGISTRY[code]
+            print(f"  {code}  [{rule.severity}]  {rule.title}")
+    return 0
 
 
 def _print_config_pin(paths: List[Path]) -> int:
@@ -51,33 +70,61 @@ def _print_config_pin(paths: List[Path]) -> int:
     return 0
 
 
+def _print_sanitize_facts(paths: List[Path],
+                          graph_cache: Optional[Path]) -> int:
+    """Emit the SAT001 fact table the runtime sanitizer asserts."""
+    from repro.lint.soundness import sanitize_facts
+    project, errors = build_project(paths, graph_cache=graph_cache)
+    for err in errors:
+        print(err.render(), file=sys.stderr)
+    facts: List[Dict[str, object]] = []
+    for module in project.modules:
+        facts.extend(sanitize_facts(module.tree, str(module.path)))
+    dirty = sum(1 for f in facts if f["status"] == "dirty")
+    print(json.dumps({"facts": facts,
+                      "sites": len(facts),
+                      "dirty": dirty}, indent=2))
+    return 0 if dirty == 0 and not errors else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Determinism & invariant static analysis for the "
-                    "Drishti reproduction (see docs/static-analysis.md).")
+        description="Determinism, invariant & soundness static analysis "
+                    "for the Drishti reproduction "
+                    "(see docs/static-analysis.md).")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "
                              "(default: the installed repro package)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON report")
+    parser.add_argument("--sarif", action="store_true",
+                        help="emit a SARIF 2.1.0 report for GitHub "
+                             "code scanning")
     parser.add_argument("--select", metavar="CODES",
-                        help="comma-separated rule codes to run "
-                             "(default: all)")
+                        help="comma-separated rule codes or family "
+                             "prefixes to run (e.g. SAT001 or SAT; "
+                             "default: all)")
     parser.add_argument("--ignore", metavar="CODES",
-                        help="comma-separated rule codes to skip")
+                        help="comma-separated rule codes/prefixes to "
+                             "skip")
     parser.add_argument("--list-rules", action="store_true",
-                        help="list registered rules and exit")
+                        help="list registered rules by tier and exit")
     parser.add_argument("--config-pin", action="store_true",
                         help="print the current SystemConfig structural "
                              "hash for repro/lint/config_pin.py")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="print the SAT001 counter fact table the "
+                             "runtime sanitizer (REPRO_SANITIZE=1) "
+                             "asserts; exits 1 if any fact is dirty")
+    parser.add_argument("--graph-cache", metavar="FILE", type=Path,
+                        help="JSON file caching the import graph "
+                             "between runs (CI shares it via "
+                             "actions/cache)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for code in all_rule_codes():
-            rule = RULE_REGISTRY[code]
-            print(f"{code}  [{rule.severity}]  {rule.title}")
-        return 0
+        return _list_rules()
 
     paths = args.paths or _default_paths()
     for path in paths:
@@ -87,6 +134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.config_pin:
         return _print_config_pin(paths)
+    if args.sanitize:
+        return _print_sanitize_facts(paths, args.graph_cache)
 
     try:
         rules = build_rules(select=_split_codes(args.select),
@@ -95,8 +144,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
-    result = run_lint(paths, rules)
-    print(render_json(result) if args.json else render_human(result))
+    result = run_lint(paths, rules, graph_cache=args.graph_cache)
+    if args.sarif:
+        print(render_sarif(result))
+    elif args.json:
+        print(render_json(result))
+    else:
+        print(render_human(result))
     return 0 if result.ok else 1
 
 

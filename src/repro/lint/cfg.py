@@ -1,0 +1,252 @@
+"""Intraprocedural control-flow graphs for the dataflow rule tier.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` into a :class:`CFG` of
+:class:`Block` nodes.  Blocks hold straight-line simple statements;
+edges carry an optional *assumption* — the branch condition and the
+truth value it has on that edge — which is what lets the dataflow
+rules (SAT001 and friends, see :mod:`repro.lint.dataflow`) learn facts
+from guards like ``if counter < counter_max:``.
+
+Coverage and deliberate approximations:
+
+* ``if``/``while``/``for``/``with``/``try`` are linearised with real
+  branch/loop edges (including ``break``/``continue``/``return``/
+  ``raise`` and ``while``-``else``/``for``-``else``);
+* ``for`` loop heads are modelled as a *target-assigning* statement
+  (the ``ast.For`` node itself appears in the head block so transfer
+  functions can kill facts about the loop variable) with a taken and a
+  not-taken edge;
+* ``assert cond`` produces a true-assumption edge to the next block
+  and a false edge to the exit — runtime sanitizer asserts are
+  therefore visible to the analysis as proofs;
+* ``try`` bodies conservatively edge into every handler from every
+  block created inside the body (an exception can fire anywhere);
+* nested ``def``/``class``/``lambda`` are opaque single statements —
+  callers analyse nested functions with their own CFGs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Assumption", "Block", "CFG", "Edge", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class Assumption:
+    """A branch condition known to be *truth* on the edge it labels."""
+
+    test: ast.expr
+    truth: bool
+
+
+@dataclass(frozen=True)
+class Edge:
+    """Directed edge ``src -> dst``, optionally carrying an assumption."""
+
+    src: int
+    dst: int
+    assumption: Optional[Assumption] = None
+
+
+@dataclass
+class Block:
+    """A straight-line run of simple statements."""
+
+    id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: Dict[int, Block] = {}
+        self.edges: List[Edge] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+
+    # -- construction ---------------------------------------------------
+    def _new_block(self) -> int:
+        bid = len(self.blocks)
+        self.blocks[bid] = Block(bid)
+        return bid
+
+    def _add_edge(self, src: int, dst: int,
+                  assumption: Optional[Assumption] = None) -> None:
+        self.edges.append(Edge(src, dst, assumption))
+
+    # -- queries --------------------------------------------------------
+    def successors(self, bid: int) -> List[Edge]:
+        return [e for e in self.edges if e.src == bid]
+
+    def predecessors(self, bid: int) -> List[Edge]:
+        return [e for e in self.edges if e.dst == bid]
+
+    def __repr__(self) -> str:
+        return (f"CFG({self.name!r}, {len(self.blocks)} blocks, "
+                f"{len(self.edges)} edges)")
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        #: (continue-target, break-target) per enclosing loop.
+        self.loop_stack: List[Tuple[int, int]] = []
+        #: handler-entry blocks of enclosing ``try`` statements; every
+        #: block created while inside edges into each of them.
+        self.handler_stack: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    def new_block(self) -> int:
+        bid = self.cfg._new_block()
+        for handlers in self.handler_stack:
+            for handler in handlers:
+                self.cfg._add_edge(bid, handler)
+        return bid
+
+    def build(self, stmts: List[ast.stmt], current: int) -> int:
+        """Wire *stmts* starting at block *current*; returns the block
+        control falls out into (possibly unreachable)."""
+        for stmt in stmts:
+            current = self._statement(stmt, current)
+        return current
+
+    # ------------------------------------------------------------------
+    def _statement(self, stmt: ast.stmt, current: int) -> int:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.cfg.blocks[current].stmts.append(stmt)
+            return self.build(stmt.body, current)
+        if isinstance(stmt, ast.Assert):
+            return self._assert(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.cfg.blocks[current].stmts.append(stmt)
+            self.cfg._add_edge(current, self.cfg.exit)
+            return self.new_block()  # dead continuation
+        if isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self.cfg._add_edge(current, self.loop_stack[-1][1])
+            return self.new_block()
+        if isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                self.cfg._add_edge(current, self.loop_stack[-1][0])
+            return self.new_block()
+        # Simple statement (incl. nested def/class, which stay opaque).
+        self.cfg.blocks[current].stmts.append(stmt)
+        return current
+
+    # ------------------------------------------------------------------
+    def _if(self, stmt: ast.If, current: int) -> int:
+        then_entry = self.new_block()
+        else_entry = self.new_block()
+        after = self.new_block()
+        self.cfg._add_edge(current, then_entry,
+                           Assumption(stmt.test, True))
+        self.cfg._add_edge(current, else_entry,
+                           Assumption(stmt.test, False))
+        then_exit = self.build(stmt.body, then_entry)
+        self.cfg._add_edge(then_exit, after)
+        else_exit = self.build(stmt.orelse, else_entry)
+        self.cfg._add_edge(else_exit, after)
+        return after
+
+    def _while(self, stmt: ast.While, current: int) -> int:
+        head = self.new_block()
+        body_entry = self.new_block()
+        after = self.new_block()
+        self.cfg._add_edge(current, head)
+        always_true = (isinstance(stmt.test, ast.Constant)
+                       and bool(stmt.test.value))
+        self.cfg._add_edge(head, body_entry,
+                           None if always_true
+                           else Assumption(stmt.test, True))
+        if not always_true:
+            else_entry = self.new_block()
+            self.cfg._add_edge(head, else_entry,
+                               Assumption(stmt.test, False))
+            else_exit = self.build(stmt.orelse, else_entry)
+            self.cfg._add_edge(else_exit, after)
+        self.loop_stack.append((head, after))
+        body_exit = self.build(stmt.body, body_entry)
+        self.loop_stack.pop()
+        self.cfg._add_edge(body_exit, head)
+        return after
+
+    def _for(self, stmt: ast.stmt, current: int) -> int:
+        # Head block contains the For node itself: transfer functions
+        # treat it as a store to the loop target, killing stale facts.
+        head = self.new_block()
+        body_entry = self.new_block()
+        after = self.new_block()
+        self.cfg._add_edge(current, head)
+        self.cfg.blocks[head].stmts.append(stmt)
+        self.cfg._add_edge(head, body_entry)
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            else_entry = self.new_block()
+            self.cfg._add_edge(head, else_entry)
+            else_exit = self.build(orelse, else_entry)
+            self.cfg._add_edge(else_exit, after)
+        else:
+            self.cfg._add_edge(head, after)
+        self.loop_stack.append((head, after))
+        body = getattr(stmt, "body", [])
+        body_exit = self.build(body, body_entry)
+        self.loop_stack.pop()
+        self.cfg._add_edge(body_exit, head)
+        return after
+
+    def _try(self, stmt: ast.Try, current: int) -> int:
+        after = self.new_block()
+        handler_entries = [self.new_block() for _ in stmt.handlers]
+        # Push before creating the body entry so even a single-block
+        # body edges into every handler (an exception can fire on its
+        # very first statement).
+        self.handler_stack.append(handler_entries)
+        body_entry = self.new_block()
+        self.cfg._add_edge(current, body_entry)
+        body_exit = self.build(stmt.body, body_entry)
+        self.handler_stack.pop()
+        else_exit = self.build(stmt.orelse, body_exit)
+        finally_entry = self.new_block()
+        self.cfg._add_edge(else_exit, finally_entry)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_exit = self.build(handler.body, entry)
+            self.cfg._add_edge(handler_exit, finally_entry)
+        final_exit = self.build(stmt.finalbody, finally_entry)
+        self.cfg._add_edge(final_exit, after)
+        return after
+
+    def _assert(self, stmt: ast.Assert, current: int) -> int:
+        after = self.new_block()
+        self.cfg._add_edge(current, after, Assumption(stmt.test, True))
+        self.cfg._add_edge(current, self.cfg.exit,
+                           Assumption(stmt.test, False))
+        return after
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG for one ``FunctionDef``/``AsyncFunctionDef`` body."""
+    if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg expects a function node, "
+                        f"got {type(fn).__name__}")
+    cfg = CFG(fn.name)
+    builder = _Builder(cfg)
+    start = builder.new_block()
+    cfg._add_edge(cfg.entry, start)
+    fall_out = builder.build(list(fn.body), start)
+    cfg._add_edge(fall_out, cfg.exit)
+    return cfg

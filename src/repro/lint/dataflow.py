@@ -1,0 +1,247 @@
+"""Forward dataflow engine + interval lattice for the dataflow tier.
+
+:func:`run_forward` executes a classic worklist fixpoint over a
+:class:`repro.lint.cfg.CFG`.  Analyses implement
+:class:`ForwardAnalysis`: a join-semilattice of facts with per-statement
+and per-assumption (branch edge) transfer functions.  Facts must be
+immutable values compared with ``==``; ``None`` is the distinguished
+"unreached" element (the identity of ``join``), so analyses never see
+it in their transfer functions.
+
+The :class:`Interval` / :class:`IntervalEnv` classes implement the
+standard integer-interval abstract domain (with widening) used by the
+SAT001 bit-width proofs: a ``k``-bit saturating counter is sound iff
+the interval the analysis derives for it stays inside ``[0, 2^k - 1]``.
+Symbolic bounds (``counter_max``-style attributes whose numeric value
+is a per-instance config) are handled one level up, in
+:mod:`repro.lint.soundness`, by tracking *boundedness facts* — whether
+the value is proven ``<=`` its declared maximum / ``>=`` zero on every
+path — which is the same lattice with the interval end-points
+abstracted to the counter's own declared range.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Generic, List, Optional, TypeVar
+
+from repro.lint.cfg import CFG
+
+__all__ = ["ForwardAnalysis", "Interval", "IntervalEnv", "run_forward"]
+
+T = TypeVar("T")
+
+
+class ForwardAnalysis(Generic[T]):
+    """Interface a forward dataflow analysis implements."""
+
+    def initial(self) -> T:
+        """Fact at the CFG entry."""
+        raise NotImplementedError
+
+    def join(self, a: T, b: T) -> T:
+        """Least upper bound of two facts (must be commutative,
+        associative, idempotent and monotone)."""
+        raise NotImplementedError
+
+    def transfer_stmt(self, stmt: ast.stmt, fact: T) -> T:
+        """Fact after executing *stmt* from *fact*."""
+        raise NotImplementedError
+
+    def transfer_assume(self, test: ast.expr, truth: bool, fact: T) -> T:
+        """Fact after learning that *test* evaluates to *truth*."""
+        return fact
+
+
+#: Fixpoint safety valve: no realistic intraprocedural analysis over
+#: these finite lattices needs more passes than this.
+_MAX_VISITS_PER_BLOCK = 64
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[T],
+                ) -> Dict[int, Optional[T]]:
+    """Worklist fixpoint; returns the fact at the *entry* of every
+    block (``None`` for blocks never reached)."""
+    in_facts: Dict[int, Optional[T]] = {bid: None for bid in cfg.blocks}
+    in_facts[cfg.entry] = analysis.initial()
+    worklist: List[int] = [cfg.entry]
+    visits: Dict[int, int] = {}
+
+    while worklist:
+        bid = worklist.pop(0)
+        visits[bid] = visits.get(bid, 0) + 1
+        if visits[bid] > _MAX_VISITS_PER_BLOCK:
+            continue
+        fact = in_facts[bid]
+        if fact is None:
+            continue
+        for stmt in cfg.blocks[bid].stmts:
+            fact = analysis.transfer_stmt(stmt, fact)
+        for edge in cfg.successors(bid):
+            out = fact
+            if edge.assumption is not None:
+                out = analysis.transfer_assume(
+                    edge.assumption.test, edge.assumption.truth, fact)
+            old = in_facts[edge.dst]
+            new = out if old is None else analysis.join(old, out)
+            if new != old:
+                in_facts[edge.dst] = new
+                if edge.dst not in worklist:
+                    worklist.append(edge.dst)
+    return in_facts
+
+
+# ---------------------------------------------------------------------------
+# Interval domain
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Interval:
+    """A (possibly unbounded) integer interval ``[lo, hi]``.
+
+    ``None`` end-points mean minus/plus infinity.  The empty interval
+    (bottom) is represented by :data:`Interval.BOTTOM`.
+    """
+
+    lo: Optional[int]
+    hi: Optional[int]
+    empty: bool = False
+
+    BOTTOM: "Interval" = None  # type: ignore[assignment]  # set below
+    TOP: "Interval" = None  # type: ignore[assignment]
+
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    # -- lattice --------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        lo = None if self.lo is None or other.lo is None \
+            else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None \
+            else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval":
+        if self.empty or other.empty:
+            return Interval.BOTTOM
+        lo = other.lo if self.lo is None else (
+            self.lo if other.lo is None else max(self.lo, other.lo))
+        hi = other.hi if self.hi is None else (
+            self.hi if other.hi is None else min(self.hi, other.hi))
+        if lo is not None and hi is not None and lo > hi:
+            return Interval.BOTTOM
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: an end-point that moved outward
+        jumps straight to infinity, guaranteeing termination."""
+        if self.empty:
+            return newer
+        if newer.empty:
+            return self
+        lo = self.lo if (self.lo is not None and newer.lo is not None
+                         and newer.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and newer.hi is not None
+                         and newer.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    # -- arithmetic -----------------------------------------------------
+    def shift(self, delta: int) -> "Interval":
+        """The interval of ``x + delta``."""
+        if self.empty:
+            return self
+        return Interval(None if self.lo is None else self.lo + delta,
+                        None if self.hi is None else self.hi + delta)
+
+    def clamp_hi(self, bound: int) -> "Interval":
+        """The interval of ``min(x, bound)``."""
+        return self.meet(Interval(None, bound))
+
+    def clamp_lo(self, bound: int) -> "Interval":
+        """The interval of ``max(x, bound)``."""
+        return self.meet(Interval(bound, None))
+
+    # -- queries --------------------------------------------------------
+    def contains(self, other: "Interval") -> bool:
+        """True when *other* is entirely inside this interval."""
+        if other.empty:
+            return True
+        if self.empty:
+            return False
+        if self.lo is not None and (other.lo is None or other.lo < self.lo):
+            return False
+        if self.hi is not None and (other.hi is None or other.hi > self.hi):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        if self.empty:
+            return "Interval(⊥)"
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"Interval([{lo}, {hi}])"
+
+
+Interval.BOTTOM = Interval(None, None, empty=True)
+Interval.TOP = Interval(None, None)
+
+
+class IntervalEnv:
+    """An immutable mapping of variable keys to :class:`Interval`.
+
+    Missing keys are TOP (nothing known).  Used directly by the lattice
+    unit tests and available to future numeric rules; SAT001 uses the
+    boundedness abstraction described in the module docstring.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Dict[str, Interval]] = None):
+        self._map: Dict[str, Interval] = dict(mapping or {})
+
+    def get(self, key: str) -> Interval:
+        return self._map.get(key, Interval.TOP)
+
+    def set(self, key: str, interval: Interval) -> "IntervalEnv":
+        out = dict(self._map)
+        if interval == Interval.TOP:
+            out.pop(key, None)
+        else:
+            out[key] = interval
+        return IntervalEnv(out)
+
+    def drop(self, key: str) -> "IntervalEnv":
+        return self.set(key, Interval.TOP)
+
+    def join(self, other: "IntervalEnv") -> "IntervalEnv":
+        out: Dict[str, Interval] = {}
+        for key in set(self._map) & set(other._map):
+            joined = self._map[key].join(other._map[key])
+            if joined != Interval.TOP:
+                out[key] = joined
+        return IntervalEnv(out)
+
+    def widen(self, newer: "IntervalEnv") -> "IntervalEnv":
+        out: Dict[str, Interval] = {}
+        for key in set(self._map) & set(newer._map):
+            widened = self._map[key].widen(newer._map[key])
+            if widened != Interval.TOP:
+                out[key] = widened
+        return IntervalEnv(out)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalEnv) and self._map == other._map
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as key
+        return hash(frozenset(self._map.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v!r}"
+                          for k, v in sorted(self._map.items()))
+        return f"IntervalEnv({{{inner}}})"

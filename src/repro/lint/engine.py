@@ -21,12 +21,14 @@ every code.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
+import json
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.rules import Rule, Violation
 
@@ -55,6 +57,16 @@ ORDER_SENSITIVE_MODULES: Tuple[str, ...] = (
     "repro.obs.manifest",
     "repro.obs.registry",
 )
+
+#: Directory names whose standalone scripts are measurement/demo
+#: harnesses, not simulator-reachable code: wall-clock use there is
+#: the product (throughput benchmarks) and nothing they order feeds a
+#: cache key, so the conservative standalone-file scoping is lifted.
+SCRIPT_DIR_EXEMPT: Tuple[str, ...] = ("benchmarks", "examples")
+
+
+def _script_exempt(module: "ModuleInfo") -> bool:
+    return any(part in SCRIPT_DIR_EXEMPT for part in module.path.parts)
 
 
 @dataclass
@@ -94,9 +106,10 @@ class ProjectContext:
     def wallclock_in_scope(self, module: ModuleInfo) -> bool:
         """DET002 scope: hot-set members minus the allow-list; files
         outside any package are checked conservatively (no import
-        information exists to prove them cold)."""
+        information exists to prove them cold) unless they live in a
+        benchmark/example script directory."""
         if not module.in_package:
-            return True
+            return not _script_exempt(module)
         if any(module.name == p or module.name.startswith(p + ".")
                for p in self.wallclock_exempt):
             return False
@@ -106,7 +119,7 @@ class ProjectContext:
         """DET003 scope: the order-sensitive module list, plus
         standalone files (conservative, as above)."""
         if not module.in_package:
-            return True
+            return not _script_exempt(module)
         return module.name in self.order_sensitive
 
 
@@ -201,19 +214,19 @@ def load_module(path: Path) -> ModuleInfo:
 # Import graph (DET002 reachability)
 # ---------------------------------------------------------------------------
 
-def _module_imports(module: ModuleInfo,
-                    known: Set[str]) -> Set[str]:
-    """Dotted names (restricted to *known*) that *module* imports."""
+def _import_candidates(module: ModuleInfo) -> List[str]:
+    """Every dotted name *module* references via imports (sorted,
+    unfiltered — the hot-set builder intersects with the known module
+    set, so the candidate list is file-set independent and cacheable
+    by content hash)."""
     deps: Set[str] = set()
 
     def add(candidate: str) -> None:
-        if candidate in known:
-            deps.add(candidate)
+        deps.add(candidate)
         # "import a.b.c" also marks packages a and a.b as imported.
         while "." in candidate:
             candidate = candidate.rsplit(".", 1)[0]
-            if candidate in known:
-                deps.add(candidate)
+            deps.add(candidate)
 
     package_parts = module.name.split(".")
     if module.path.name != "__init__.py":
@@ -237,17 +250,28 @@ def _module_imports(module: ModuleInfo,
             add(base)
             for alias in node.names:
                 add(f"{base}.{alias.name}")
-    return deps
+    return sorted(deps)
 
 
 def compute_hot_set(modules: Sequence[ModuleInfo],
-                    roots: Sequence[str] = HOT_ROOTS) -> Set[str]:
-    """Modules transitively imported by *roots* (roots included)."""
+                    roots: Sequence[str] = HOT_ROOTS,
+                    candidates: Optional[Dict[str, List[str]]] = None,
+                    ) -> Set[str]:
+    """Modules transitively imported by *roots* (roots included).
+
+    *candidates* optionally maps module name -> pre-computed (possibly
+    cached) import candidate list; missing entries are derived from
+    the AST.
+    """
     known = {m.name for m in modules if m.in_package}
     graph: Dict[str, Set[str]] = {}
     for module in modules:
-        if module.in_package:
-            graph[module.name] = _module_imports(module, known)
+        if not module.in_package:
+            continue
+        cand = (candidates or {}).get(module.name)
+        if cand is None:
+            cand = _import_candidates(module)
+        graph[module.name] = set(cand) & known
     hot: Set[str] = set()
     frontier = [r for r in roots if r in graph]
     while frontier:
@@ -257,6 +281,42 @@ def compute_hot_set(modules: Sequence[ModuleInfo],
         hot.add(name)
         frontier.extend(graph.get(name, ()))
     return hot
+
+
+# ---------------------------------------------------------------------------
+# Import-graph cache (CI jobs share it via actions/cache)
+# ---------------------------------------------------------------------------
+
+_GRAPH_CACHE_VERSION = 1
+
+
+def _source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def load_graph_cache(path: Path) -> Dict[str, List[str]]:
+    """sha256(source) -> import candidates; {} when absent/invalid."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict) or \
+            payload.get("version") != _GRAPH_CACHE_VERSION:
+        return {}
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        return {}
+    return {str(k): [str(x) for x in v]
+            for k, v in entries.items() if isinstance(v, list)}
+
+
+def save_graph_cache(path: Path,
+                     entries: Dict[str, List[str]]) -> None:
+    payload = {"version": _GRAPH_CACHE_VERSION,
+               "entries": {k: entries[k] for k in sorted(entries)}}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True),
+                    encoding="utf-8")
 
 
 # ---------------------------------------------------------------------------
@@ -273,9 +333,16 @@ class LintResult:
         return not any(v.severity == "error" for v in self.violations)
 
 
-def build_project(paths: Sequence[Path]) -> Tuple[ProjectContext,
-                                                  List[Violation]]:
-    """Parse every file under *paths*; syntax errors become findings."""
+def build_project(paths: Sequence[Path],
+                  graph_cache: Optional[Path] = None,
+                  ) -> Tuple[ProjectContext, List[Violation]]:
+    """Parse every file under *paths*; syntax errors become findings.
+
+    *graph_cache* points at a JSON file of content-hashed import
+    candidate lists; hits skip the per-module import walk and the file
+    is rewritten with the current tree's entries (shared between CI
+    jobs via ``actions/cache``).
+    """
     parse_errors: List[Violation] = []
     modules: List[ModuleInfo] = []
     for path in discover_files(paths):
@@ -286,19 +353,37 @@ def build_project(paths: Sequence[Path]) -> Tuple[ProjectContext,
                 code="PARSE", message=f"syntax error: {exc.msg}",
                 path=str(path), line=exc.lineno or 1,
                 col=(exc.offset or 1) - 1))
+    candidates: Optional[Dict[str, List[str]]] = None
+    if graph_cache is not None:
+        cached = load_graph_cache(graph_cache)
+        fresh: Dict[str, List[str]] = {}
+        candidates = {}
+        for module in modules:
+            if not module.in_package:
+                continue
+            digest = _source_digest(module.source)
+            cand = cached.get(digest)
+            if cand is None:
+                cand = _import_candidates(module)
+            candidates[module.name] = cand
+            fresh[digest] = cand
+        try:
+            save_graph_cache(graph_cache, fresh)
+        except OSError:
+            pass  # read-only FS: the cache is an optimisation only
     project = ProjectContext(
         modules=modules,
         by_name={m.name: m for m in modules},
         by_path={str(m.path): m for m in modules},
-        hot_set=compute_hot_set(modules))
+        hot_set=compute_hot_set(modules, candidates=candidates))
     return project, parse_errors
 
 
-def run_lint(paths: Sequence[Path],
-             rules: Sequence[Rule]) -> LintResult:
+def run_lint(paths: Sequence[Path], rules: Sequence[Rule],
+             graph_cache: Optional[Path] = None) -> LintResult:
     """Lint *paths* with *rules*; returns suppression-filtered findings
     sorted by (path, line, col, code)."""
-    project, findings = build_project(paths)
+    project, findings = build_project(paths, graph_cache=graph_cache)
     for module in project.modules:
         for rule in rules:
             findings.extend(rule.check_module(module, project))

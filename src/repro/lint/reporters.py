@@ -36,3 +36,62 @@ def render_json(result: LintResult) -> str:
         "violations": [v.to_dict() for v in result.violations],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report — what GitHub code scanning ingests, so
+    findings annotate PR diffs inline."""
+    from repro.lint.rules import RULE_REGISTRY
+
+    used_codes = sorted({v.code for v in result.violations}
+                        | set(RULE_REGISTRY))
+    rules = []
+    for code in used_codes:
+        rule = RULE_REGISTRY.get(code)
+        rules.append({
+            "id": code,
+            "name": code,
+            "shortDescription": {
+                "text": rule.title if rule else code},
+            "properties": {"tier": rule.tier if rule else "engine"},
+        })
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+
+    results = []
+    for violation in result.violations:
+        results.append({
+            "ruleId": violation.code,
+            "ruleIndex": rule_index.get(violation.code, -1),
+            "level": "error" if violation.severity == "error"
+                     else "warning",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, violation.line),
+                        "startColumn": max(1, violation.col + 1),
+                    },
+                },
+            }],
+        })
+
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "docs/static-analysis.md",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2)

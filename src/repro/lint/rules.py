@@ -55,17 +55,25 @@ class Violation:
                 f"{self.code} [{self.severity}] {self.message}")
 
 
+#: Rule tiers, in the order ``--list-rules`` groups them.
+TIERS = ("contracts", "dataflow")
+
+
 class Rule:
     """Base class for lint rules.
 
-    Subclasses set ``code``, ``title`` and ``severity`` and override
-    one (or both) of the check hooks.  Both hooks are generators of
-    :class:`Violation`; the engine filters suppressed findings.
+    Subclasses set ``code``, ``title``, ``severity`` and ``tier`` and
+    override one (or both) of the check hooks.  Both hooks are
+    generators of :class:`Violation`; the engine filters suppressed
+    findings.  ``tier`` is ``"contracts"`` for the syntactic AST rules
+    (DET/INV) and ``"dataflow"`` for the CFG/dataflow rules
+    (SAT/UNIT/PAR/STAT).
     """
 
     code: str = ""
     title: str = ""
     severity: str = "error"
+    tier: str = "contracts"
 
     def check_module(self, module: "ModuleInfo",
                      project: "ProjectContext") -> Iterator[Violation]:
@@ -98,6 +106,8 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"duplicate rule code {cls.code}")
     if cls.severity not in SEVERITIES:
         raise ValueError(f"rule {cls.code}: bad severity {cls.severity!r}")
+    if cls.tier not in TIERS:
+        raise ValueError(f"rule {cls.code}: bad tier {cls.tier!r}")
     RULE_REGISTRY[cls.code] = cls
     return cls
 
@@ -106,17 +116,38 @@ def all_rule_codes() -> List[str]:
     return sorted(RULE_REGISTRY)
 
 
+def expand_codes(raw: Iterable[str]) -> List[str]:
+    """Expand exact codes and family prefixes to registered codes.
+
+    ``"SAT001"`` selects itself; ``"SAT"`` (or ``"det"``) selects every
+    registered code starting with that prefix.  Raises ``ValueError``
+    on anything matching nothing.
+    """
+    out: List[str] = []
+    for entry in raw:
+        token = entry.strip()
+        if not token:
+            continue
+        if token in RULE_REGISTRY:
+            out.append(token)
+            continue
+        matches = [code for code in all_rule_codes()
+                   if code.startswith(token.upper())]
+        if not matches:
+            raise ValueError(f"unknown rule code or prefix: {token!r}")
+        out.extend(matches)
+    return out
+
+
 def build_rules(select: Iterable[str] = (),
                 ignore: Iterable[str] = ()) -> List[Rule]:
     """Instantiate the active rule set.
 
     Args:
-        select: if non-empty, only these codes run.
-        ignore: codes removed after selection.
+        select: if non-empty, only these codes (or family prefixes,
+            e.g. ``"SAT"``) run.
+        ignore: codes/prefixes removed after selection.
     """
-    selected = set(select) or set(RULE_REGISTRY)
-    unknown = (selected | set(ignore)) - set(RULE_REGISTRY)
-    if unknown:
-        raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
-    active = sorted(selected - set(ignore))
+    selected = set(expand_codes(select)) or set(RULE_REGISTRY)
+    active = sorted(selected - set(expand_codes(ignore)))
     return [RULE_REGISTRY[code]() for code in active]

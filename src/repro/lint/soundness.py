@@ -1,0 +1,541 @@
+"""Flow-sensitive model-soundness rules (the dataflow tier).
+
+**SAT001** proves saturating-counter updates stay bounded.  Drishti's
+hardware model is built out of k-bit counters — DSC miss counters,
+RRPV fields, SHCT/predictor counters, PSEL — and Python integers do
+not wrap, so an unclamped ``+= 1`` silently grows a "3-bit" counter
+without bound and corrupts the training signal while every golden test
+still passes (the drift only shows on longer traces).  The rule runs a
+forward dataflow over each function's CFG: a ``+=``/``-=`` on a
+counter-typed lvalue is *dirty* unless excused by a dominating strict
+guard (``if ctr < ctr_max: ctr += 1``), and a dirty update must be
+discharged before function exit by a clamp (``x = min(x + 1, MAX)``,
+``max``, ``np.clip``, ``& mask``), an overwrite, or a corrective
+branch/assert proving the bound.  What counts as counter-typed is a
+name vocabulary (:data:`COUNTER_WORDS`) matched against the snake-case
+words of the lvalue's base identifier.
+
+**UNIT001** is a lightweight dimensional checker for
+simulator-reachable code: it infers cycles / instructions / bytes /
+accesses units from identifier names (:data:`UNIT_WORDS`) and flags
+``+``/``-`` between operands of different units, plus magic latency
+literals (``cycle + 3``-style constants) that bypass the config
+dataclasses where latencies belong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Set,
+                    Tuple)
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import ForwardAnalysis, run_forward
+from repro.lint.rules import Rule, Violation, register_rule
+
+__all__ = ["COUNTER_WORDS", "SaturationRule", "UNIT_WORDS",
+           "UnitConsistencyRule", "analyze_function",
+           "counter_update_sites"]
+
+#: Snake-case words marking an lvalue as a bounded hardware counter.
+#: Deliberately excludes telemetry tallies (trains, lookups, clock,
+#: phases, …) which are *meant* to grow without bound.
+COUNTER_WORDS: FrozenSet[str] = frozenset({
+    "rrpv", "psel", "shct", "etr", "counter", "counters", "ctr", "dsc",
+})
+
+#: Functions whose call clamps a value (``x = min(x + 1, MAX)``).
+_CLAMP_CALLEES: FrozenSet[str] = frozenset({"min", "max", "clip"})
+
+_BoundKind = str  # "lt" | "le" | "gt" | "ge"
+
+
+def _snake_words(identifier: str) -> Set[str]:
+    return {w for w in identifier.lower().split("_") if w}
+
+
+def _base_identifier(node: ast.expr) -> Optional[str]:
+    """Innermost attribute/name an lvalue hangs off, ignoring indices:
+    ``self._rrpv[s][w]`` -> ``_rrpv``; ``rrpv[w]`` -> ``rrpv``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_counter_lvalue(node: ast.expr) -> bool:
+    base = _base_identifier(node)
+    if base is None:
+        return False
+    return bool(_snake_words(base) & COUNTER_WORDS)
+
+
+def _key(node: ast.expr) -> str:
+    return ast.unparse(node)
+
+
+def _identifiers_in(text: str) -> Set[str]:
+    """Identifier-ish tokens of a key string (cheap, regex-free)."""
+    out: Set[str] = set()
+    word = []
+    for ch in text + "\0":
+        if ch.isalnum() or ch == "_":
+            word.append(ch)
+        else:
+            if word and not word[0].isdigit():
+                out.add("".join(word))
+            word = []
+    return out
+
+
+def _is_clamp_expr(node: ast.expr) -> bool:
+    """``min(...)``/``max(...)``/``*.clip(...)``/``x & mask``."""
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.attr if isinstance(fn, ast.Attribute) else (
+            fn.id if isinstance(fn, ast.Name) else "")
+        return name in _CLAMP_CALLEES
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitAnd):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+        return True
+    return False
+
+
+def _self_increment(target: ast.expr,
+                    value: ast.expr) -> Optional[Tuple[str, ast.expr]]:
+    """``x = x + 1`` / ``x = x - 1`` shape: direction + delta operand."""
+    if not isinstance(value, ast.BinOp):
+        return None
+    if not isinstance(value.op, (ast.Add, ast.Sub)):
+        return None
+    key = _key(target)
+    direction = "up" if isinstance(value.op, ast.Add) else "down"
+    if _key(value.left) == key:
+        return direction, value.right
+    if isinstance(value.op, ast.Add) and _key(value.right) == key:
+        return direction, value.left
+    return None
+
+
+def _delta_is_one(delta: ast.expr) -> bool:
+    return isinstance(delta, ast.Constant) and delta.value == 1
+
+
+# ---------------------------------------------------------------------------
+# SAT001 dataflow
+# ---------------------------------------------------------------------------
+
+#: One unexcused counter update: (key, line, col, direction).
+_Dirty = Tuple[str, int, int, str]
+
+#: (bounds, dirty): bounds is {(key, kind)}, dirty is {_Dirty}.
+_Fact = Tuple[FrozenSet[Tuple[str, _BoundKind]], FrozenSet[_Dirty]]
+
+
+class _SatAnalysis(ForwardAnalysis[_Fact]):
+    """Must-bounds (intersection join) + may-dirty (union join)."""
+
+    def initial(self) -> _Fact:
+        return frozenset(), frozenset()
+
+    def join(self, a: _Fact, b: _Fact) -> _Fact:
+        return a[0] & b[0], a[1] | b[1]
+
+    # -- statements -----------------------------------------------------
+    def transfer_stmt(self, stmt: ast.stmt, fact: _Fact) -> _Fact:
+        bounds, dirty = fact
+        if isinstance(stmt, ast.AugAssign) and \
+                isinstance(stmt.op, (ast.Add, ast.Sub)):
+            direction = "up" if isinstance(stmt.op, ast.Add) else "down"
+            return self._update(stmt.target, stmt.value, direction,
+                                stmt, bounds, dirty)
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, (ast.Name, ast.Attribute,
+                                   ast.Subscript)):
+                inc = (None if _is_clamp_expr(stmt.value)
+                       else _self_increment(target, stmt.value))
+                if inc is not None and _is_counter_lvalue(target):
+                    direction, delta = inc
+                    return self._update(target, delta, direction, stmt,
+                                        bounds, dirty)
+                # Overwrite (incl. clamp): key is clean again.
+                key = _key(target)
+                bounds = frozenset(b for b in bounds if b[0] != key)
+                dirty = frozenset(d for d in dirty if d[0] != key)
+            return self._kill_names(stmt.targets, bounds), dirty
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            target = stmt.target
+            key = _key(target)
+            bounds = frozenset(b for b in bounds if b[0] != key)
+            dirty = frozenset(d for d in dirty if d[0] != key)
+            return self._kill_names([target], bounds), dirty
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # Loop head: the target is re-stored every iteration.
+            return self._kill_names([stmt.target], bounds), dirty
+        return bounds, dirty
+
+    def _update(self, target: ast.expr, delta: ast.expr, direction: str,
+                stmt: ast.stmt, bounds: FrozenSet[Tuple[str, str]],
+                dirty: FrozenSet[_Dirty]) -> _Fact:
+        key = _key(target)
+        excused = False
+        if _is_counter_lvalue(target) and _delta_is_one(delta):
+            needed = "lt" if direction == "up" else "gt"
+            excused = (key, needed) in bounds
+        elif not _is_counter_lvalue(target):
+            excused = True
+        bounds = frozenset(b for b in bounds if b[0] != key)
+        if not excused:
+            dirty = dirty | {(key, stmt.lineno, stmt.col_offset,
+                              direction)}
+        return bounds, dirty
+
+    @staticmethod
+    def _kill_names(targets: List[ast.expr],
+                    bounds: FrozenSet[Tuple[str, str]],
+                    ) -> FrozenSet[Tuple[str, str]]:
+        """Reassigning ``way`` invalidates bounds on ``rrpv[way]``."""
+        stored: Set[str] = set()
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name):
+                    stored.add(node.id)
+        if not stored:
+            return bounds
+        return frozenset(
+            b for b in bounds if not (_identifiers_in(b[0]) & stored))
+
+    # -- assumptions ----------------------------------------------------
+    def transfer_assume(self, test: ast.expr, truth: bool,
+                        fact: _Fact) -> _Fact:
+        if isinstance(test, ast.BoolOp):
+            wanted = truth if isinstance(test.op, ast.And) else not truth
+            if wanted == truth:
+                # `a and b` true, or `a or b` false: all parts known.
+                if (isinstance(test.op, ast.And) and truth) or \
+                        (isinstance(test.op, ast.Or) and not truth):
+                    for part in test.values:
+                        fact = self.transfer_assume(part, truth, fact)
+            return fact
+        if isinstance(test, ast.UnaryOp) and \
+                isinstance(test.op, ast.Not):
+            return self.transfer_assume(test.operand, not truth, fact)
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            return self._assume_compare(test.left, test.ops[0],
+                                        test.comparators[0], truth, fact)
+        return fact
+
+    def _assume_compare(self, left: ast.expr, op: ast.cmpop,
+                        right: ast.expr, truth: bool,
+                        fact: _Fact) -> _Fact:
+        kind = self._op_kind(op, truth)
+        if kind is None:
+            return fact
+        if _is_counter_lvalue(left):
+            fact = self._learn(_key(left), kind, fact)
+        if _is_counter_lvalue(right):
+            fact = self._learn(_key(right), _MIRROR[kind], fact)
+        return fact
+
+    @staticmethod
+    def _op_kind(op: ast.cmpop, truth: bool) -> Optional[_BoundKind]:
+        table: Dict[type, _BoundKind] = {
+            ast.Lt: "lt", ast.LtE: "le", ast.Gt: "gt", ast.GtE: "ge"}
+        kind = table.get(type(op))
+        if kind is None:
+            return None
+        if not truth:
+            kind = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt"}[kind]
+        return kind
+
+    @staticmethod
+    def _learn(key: str, kind: _BoundKind, fact: _Fact) -> _Fact:
+        bounds, dirty = fact
+        bounds = bounds | {(key, kind)}
+        # A proven bound discharges dirt in the bounded direction: the
+        # value is now known in range on this path.
+        if kind in ("lt", "le"):
+            dirty = frozenset(d for d in dirty
+                              if not (d[0] == key and d[3] == "up"))
+        else:
+            dirty = frozenset(d for d in dirty
+                              if not (d[0] == key and d[3] == "down"))
+        return bounds, dirty
+
+
+_MIRROR: Dict[str, str] = {"lt": "gt", "le": "ge", "gt": "lt",
+                           "ge": "le"}
+
+
+def counter_update_sites(fn: ast.AST) -> List[ast.stmt]:
+    """Counter-typed ``+=``/``-=``/``x = x ± c`` statements in *fn*."""
+    sites: List[ast.stmt] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.AugAssign) and \
+                isinstance(node.op, (ast.Add, ast.Sub)) and \
+                _is_counter_lvalue(node.target):
+            sites.append(node)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and _is_counter_lvalue(node.targets[0]) \
+                and not _is_clamp_expr(node.value) \
+                and _self_increment(node.targets[0], node.value):
+            sites.append(node)
+    return sites
+
+
+def analyze_function(fn: ast.AST) -> List[_Dirty]:
+    """Dirty counter updates that reach *fn*'s exit on some path."""
+    if not counter_update_sites(fn):
+        return []
+    cfg = build_cfg(fn)
+    analysis = _SatAnalysis()
+    in_facts = run_forward(cfg, analysis)
+    escaped: Set[_Dirty] = set()
+    for edge in cfg.predecessors(cfg.exit):
+        if edge.assumption is not None and not edge.assumption.truth:
+            continue  # assert-failure edge: the program crashes there
+        fact = in_facts.get(edge.src)
+        if fact is None:
+            continue
+        for stmt in cfg.blocks[edge.src].stmts:
+            fact = analysis.transfer_stmt(stmt, fact)
+        if edge.assumption is not None:
+            fact = analysis.transfer_assume(
+                edge.assumption.test, edge.assumption.truth, fact)
+        escaped.update(fact[1])
+    return sorted(escaped, key=lambda d: (d[1], d[2], d[0]))
+
+
+def sanitize_facts(tree: ast.Module,
+                   path: str) -> List[Dict[str, object]]:
+    """SAT001 fact table for ``repro-lint --sanitize``.
+
+    One record per counter-update site with its static proof status —
+    the same facts the runtime sanitizer (``repro.obs.sanitize``,
+    armed by ``REPRO_SANITIZE=1``) asserts dynamically.  CI prints
+    this to keep the static and dynamic views reviewably in sync.
+    """
+    facts: List[Dict[str, object]] = []
+    seen: Set[Tuple[int, int]] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+            continue
+        sites = counter_update_sites(node)
+        if not sites:
+            continue
+        dirty = {(line, col) for _k, line, col, _d
+                 in analyze_function(node)}
+        for site in sites:
+            anchor = (site.lineno, site.col_offset)
+            if anchor in seen:
+                continue
+            seen.add(anchor)
+            target = site.target if isinstance(site, ast.AugAssign) \
+                else site.targets[0]  # type: ignore[attr-defined]
+            op = site.op if isinstance(site, ast.AugAssign) \
+                else site.value.op  # type: ignore[attr-defined]
+            facts.append({
+                "path": path,
+                "function": node.name,
+                "line": site.lineno,
+                "col": site.col_offset,
+                "counter": _key(target),
+                "direction": "up" if isinstance(op, ast.Add)
+                             else "down",
+                "status": "dirty" if anchor in dirty else "proven",
+            })
+    facts.sort(key=lambda f: (f["path"], f["line"], f["col"]))
+    return facts
+
+
+@register_rule
+class SaturationRule(Rule):
+    """SAT001: counter updates must be clamped or guarded."""
+
+    code = "SAT001"
+    title = "unclamped saturating-counter update"
+    severity = "error"
+    tier = "dataflow"
+
+    def check_module(self, module: "object",
+                     project: "object") -> Iterator[Violation]:
+        tree = module.tree  # type: ignore[attr-defined]
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for key, line, col, direction in analyze_function(node):
+                arrow = "+=" if direction == "up" else "-="
+                yield Violation(
+                    code=self.code,
+                    message=(
+                        f"counter '{key}' updated with '{arrow}' but "
+                        f"no clamp (min/max/np.clip/& mask) or strict "
+                        f"guard bounds it before function exit"),
+                    path=str(module.path),  # type: ignore[attr-defined]
+                    line=line, col=col, severity=self.severity)
+
+
+# ---------------------------------------------------------------------------
+# UNIT001
+# ---------------------------------------------------------------------------
+
+#: word -> canonical unit.
+UNIT_WORDS: Dict[str, str] = {
+    "cycle": "cycles", "cycles": "cycles",
+    "latency": "cycles", "lat": "cycles",
+    "instr": "instructions", "instrs": "instructions",
+    "instruction": "instructions", "instructions": "instructions",
+    "insts": "instructions",
+    "byte": "bytes", "bytes": "bytes",
+    "loads": "accesses", "stores": "accesses",
+    "accesses": "accesses", "misses": "accesses", "hits": "accesses",
+}
+
+#: Words that mark an identifier as a *rate/ratio*, never a quantity.
+_RATE_WORDS: FrozenSet[str] = frozenset({
+    "avg", "average", "per", "rate", "ratio", "frac", "fraction",
+    "ipc", "mpki", "apki", "pki", "threshold",
+})
+
+
+def _unit_of(node: ast.expr) -> Optional[str]:
+    """Unit inferred from an identifier's name, or None."""
+    base = _base_identifier(node)
+    if base is None:
+        return None
+    words = _snake_words(base)
+    if words & _RATE_WORDS:
+        return None
+    units = {UNIT_WORDS[w] for w in words if w in UNIT_WORDS}
+    if len(units) == 1:
+        return next(iter(units))
+    return None  # unknown or ambiguous (e.g. cycles_per_instr)
+
+
+def _latency_flavoured(node: ast.expr) -> bool:
+    base = _base_identifier(node)
+    if base is None:
+        return False
+    return bool(_snake_words(base) & {"latency", "lat"})
+
+
+def _config_call(node: ast.Call) -> bool:
+    fn = node.func
+    name = fn.attr if isinstance(fn, ast.Attribute) else (
+        fn.id if isinstance(fn, ast.Name) else "")
+    return name.endswith("Config") or name.endswith("Profile")
+
+
+@register_rule
+class UnitConsistencyRule(Rule):
+    """UNIT001: no cross-unit +/- and no magic latency literals in
+    simulator-reachable code."""
+
+    code = "UNIT001"
+    title = "unit mismatch or magic latency literal"
+    severity = "error"
+    tier = "dataflow"
+
+    def check_module(self, module: "object",
+                     project: "object") -> Iterator[Violation]:
+        if not self._in_scope(module, project):
+            return
+        tree = module.tree  # type: ignore[attr-defined]
+        path = str(module.path)  # type: ignore[attr-defined]
+        config_kw_lines = self._config_literal_lines(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BinOp) and \
+                    isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_binop(node, path)
+            elif isinstance(node, ast.AugAssign) and \
+                    isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(node.target, node.value,
+                                            node, path)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.keyword) and node.arg and \
+                    _snake_words(node.arg) & {"latency", "lat"} and \
+                    isinstance(node.value, ast.Constant) and \
+                    isinstance(node.value.value, int) and \
+                    node.value.lineno not in config_kw_lines:
+                yield Violation(
+                    code=self.code,
+                    message=(f"magic latency literal "
+                             f"'{node.arg}={node.value.value}' — route "
+                             f"latencies through the config dataclasses "
+                             f"(NOCConfig/DRAMConfig/CacheConfig)"),
+                    path=path, line=node.value.lineno,
+                    col=node.value.col_offset, severity=self.severity)
+
+    @staticmethod
+    def _in_scope(module: "object", project: "object") -> bool:
+        """Hot-set members only: unit bugs matter where the simulator
+        computes; config modules *define* the latencies.  Standalone
+        files are checked conservatively (no import information exists
+        to prove them cold) unless they are benchmark/example
+        scripts — mirroring DET002's scoping."""
+        from repro.lint.engine import _script_exempt
+        name = module.name  # type: ignore[attr-defined]
+        if not module.in_package:  # type: ignore[attr-defined]
+            return not _script_exempt(module)  # type: ignore[arg-type]
+        if name in ("repro.sim.config",):
+            return False
+        return name in project.hot_set  # type: ignore[attr-defined]
+
+    def _check_binop(self, node: ast.BinOp,
+                     path: str) -> Iterator[Violation]:
+        yield from self._check_pair(node.left, node.right, node, path)
+
+    def _check_pair(self, left: ast.expr, right: ast.expr,
+                    node: ast.AST, path: str) -> Iterator[Violation]:
+        lu, ru = _unit_of(left), _unit_of(right)
+        if lu is not None and ru is not None and lu != ru:
+            yield Violation(
+                code=self.code,
+                message=(f"adding/subtracting mixed units: "
+                         f"'{ast.unparse(left)}' is {lu} but "
+                         f"'{ast.unparse(right)}' is {ru}"),
+                path=path, line=node.lineno,
+                col=node.col_offset,  # type: ignore[attr-defined]
+                severity=self.severity)
+            return
+        # cycles ± <magic int> (anything but 0/±1 tick adjustments).
+        for unit_side, const_side in ((left, right), (right, left)):
+            if _latency_flavoured(unit_side) and \
+                    isinstance(const_side, ast.Constant) and \
+                    isinstance(const_side.value, int) and \
+                    abs(const_side.value) > 1:
+                yield Violation(
+                    code=self.code,
+                    message=(f"magic literal {const_side.value} "
+                             f"added to latency "
+                             f"'{ast.unparse(unit_side)}' — use a "
+                             f"config field"),
+                    path=path, line=node.lineno,
+                    col=node.col_offset,  # type: ignore[attr-defined]
+                    severity=self.severity)
+                return
+
+    @staticmethod
+    def _config_literal_lines(tree: ast.Module) -> Set[int]:
+        """Lines where int literals are legitimately latency kwargs:
+        config-constructor calls and function signature defaults."""
+        lines: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _config_call(node):
+                for kw in node.keywords:
+                    if isinstance(kw.value, ast.Constant):
+                        lines.add(kw.value.lineno)
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                for default in (list(node.args.defaults)
+                                + list(node.args.kw_defaults)):
+                    if isinstance(default, ast.Constant):
+                        lines.add(default.lineno)
+        return lines

@@ -1,0 +1,239 @@
+"""STAT001: dead-telemetry detection, cross-checked against the
+``repro.obs.registry`` API.
+
+Two failure shapes, both of which split the telemetry view from the
+result view without failing any golden test:
+
+* **counted-but-never-published** — a class that participates in the
+  observability contract (defines ``publish_stats``) tallies a public
+  attribute with ``+=`` but never exposes it through its
+  ``publish_stats``; the counter burns cycles and nobody can read it.
+* **published-but-never-reset** — a tallied attribute *is* published
+  but no ``reset_stats``/``reset`` method zeroes it, so it survives
+  the post-warmup reset and pollutes measured-phase numbers.
+* **registered-but-never-published** — an owned metric created and
+  immediately discarded (``registry.counter("x")`` as a bare
+  expression statement): the handle is lost, so the metric can never
+  be incremented.
+
+Private attributes (leading underscore) are internal FSM/model state,
+not telemetry, and are exempt; assigning a whole stats container
+(``self.stats = FabricStats(...)``) counts as resetting everything
+under it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleInfo, ProjectContext
+from repro.lint.rules import Rule, Violation, register_rule
+
+__all__ = ["DeadTelemetryRule"]
+
+_RESET_METHODS = ("reset_stats", "reset")
+_OWNED_FACTORIES = ("counter", "gauge", "histogram")
+
+
+def _self_attr_path(node: ast.expr) -> Optional[str]:
+    """Dotted attribute path hanging off ``self``, ignoring indices:
+    ``self.stats.lookups`` -> ``stats.lookups``;
+    ``self._etr[s][w]`` -> ``_etr``; None if not rooted at self."""
+    parts: List[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        parts.reverse()
+        return ".".join(parts)
+    return None
+
+
+def _is_private(path: str) -> bool:
+    return any(part.startswith("_") for part in path.split("."))
+
+
+class _ClassTelemetry:
+    """Tally / publish / reset attribute sets of one class."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.cls = cls
+        self.tallies: List[Tuple[str, ast.AST]] = []
+        self.published: Set[str] = set()
+        self.reset: Set[str] = set()
+        self.has_publish = False
+        self._collect()
+
+    @property
+    def published_leaves(self) -> Set[str]:
+        return {path.split(".")[-1] for path in self.published}
+
+    def _collect(self) -> None:
+        for stmt in self.cls.body:
+            if not isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "publish_stats":
+                self.has_publish = True
+                self._collect_published(stmt)
+            elif stmt.name in _RESET_METHODS:
+                self._collect_reset(stmt)
+            else:
+                self._collect_tallies(stmt)
+
+    def _collect_tallies(self, fn: ast.AST) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AugAssign) and \
+                    isinstance(node.op, (ast.Add, ast.Sub)):
+                path = _self_attr_path(node.target)
+                if path is not None and not _is_private(path) and \
+                        not isinstance(node.target, ast.Subscript):
+                    self.tallies.append((path, node))
+
+    def _collect_published(self, fn: ast.AST) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute):
+                path = _self_attr_path(node)
+                if path is not None:
+                    self.published.add(path)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "register_many" and \
+                    len(node.args) >= 3:
+                # register_many(prefix, obj, attrs) reads
+                # getattr(obj.stats, attr) — see StatsRegistry.
+                base = node.args[1]
+                prefix = "stats."
+                if isinstance(base, (ast.Attribute, ast.Subscript)):
+                    root = _self_attr_path(base)
+                    if root is not None:
+                        prefix = root + ".stats."
+                names_arg = node.args[2]
+                if isinstance(names_arg, (ast.List, ast.Tuple)):
+                    for elt in names_arg.elts:
+                        if isinstance(elt, ast.Constant) and \
+                                isinstance(elt.value, str):
+                            self.published.add(prefix + elt.value)
+
+    def _collect_reset(self, fn: ast.AST) -> None:
+        for node in ast.walk(fn):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                path = _self_attr_path(target)
+                if path is not None:
+                    self.reset.add(path)
+
+    # ------------------------------------------------------------------
+    def is_reset(self, path: str) -> bool:
+        """Direct reset, or reset of an enclosing container."""
+        if path in self.reset:
+            return True
+        parts = path.split(".")
+        for i in range(1, len(parts)):
+            if ".".join(parts[:i]) in self.reset:
+                return True
+        return False
+
+
+def _module_properties(tree: ast.Module) -> "dict[str, Set[str]]":
+    """``@property`` name -> self-attribute leaves its body reads, for
+    every class in the module.  Lets a published derived metric
+    (``avg_read_latency``) vouch for the raw tallies it is computed
+    from (``total_read_latency``)."""
+    out: "dict[str, Set[str]]" = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            is_property = any(
+                isinstance(dec, ast.Name) and dec.id == "property"
+                for dec in stmt.decorator_list)
+            if not is_property:
+                continue
+            reads: Set[str] = set()
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Attribute):
+                    path = _self_attr_path(sub)
+                    if path is not None:
+                        reads.add(path.split(".")[-1])
+            out.setdefault(stmt.name, set()).update(reads)
+    return out
+
+
+@register_rule
+class DeadTelemetryRule(Rule):
+    """STAT001: every tallied metric is published and reset."""
+
+    code = "STAT001"
+    title = "dead telemetry (unpublished or never-reset metric)"
+    severity = "error"
+    tier = "dataflow"
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        properties = _module_properties(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node, properties)
+        yield from self._check_discarded_metrics(module)
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef,
+                     properties: "dict[str, Set[str]]",
+                     ) -> Iterator[Violation]:
+        info = _ClassTelemetry(cls)
+        if not info.has_publish:
+            return
+        derived: Set[str] = set()
+        for leaf in info.published_leaves:
+            derived |= properties.get(leaf, set())
+        reported: Set[str] = set()
+        for path, node in info.tallies:
+            if path in reported:
+                continue
+            if path not in info.published and \
+                    path.split(".")[-1] not in derived:
+                reported.add(path)
+                yield self.violation(
+                    module, node,
+                    f"{cls.name}.{path} is tallied with '+=' but "
+                    f"never exposed by {cls.name}.publish_stats — "
+                    f"dead telemetry")
+            elif not info.is_reset(path):
+                reported.add(path)
+                yield self.violation(
+                    module, node,
+                    f"{cls.name}.{path} is published but no "
+                    f"reset_stats/reset zeroes it, so it survives the "
+                    f"post-warmup reset")
+
+    def _check_discarded_metrics(self, module: ModuleInfo,
+                                 ) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Expr) and \
+                    isinstance(node.value, ast.Call) and \
+                    isinstance(node.value.func, ast.Attribute) and \
+                    node.value.func.attr in _OWNED_FACTORIES:
+                owner = node.value.func.value
+                owner_name = owner.id if isinstance(owner, ast.Name) \
+                    else (owner.attr if isinstance(owner, ast.Attribute)
+                          else "")
+                if "registry" not in owner_name.lower():
+                    continue
+                args = node.value.args
+                label = ""
+                if args and isinstance(args[0], ast.Constant):
+                    label = f" {args[0].value!r}"
+                yield self.violation(
+                    module, node,
+                    f"owned metric{label} created via "
+                    f".{node.value.func.attr}() and discarded — keep "
+                    f"the handle or nothing can ever publish into it")

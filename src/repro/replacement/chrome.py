@@ -25,6 +25,7 @@ from repro.cache.block import AccessContext, CacheBlock
 from repro.core.predictor_fabric import PredictorFabric, PredictorScope
 from repro.core.sampled_sets import SampledSetSelector, StaticSampledSets
 from repro.core.signature import make_signature
+from repro.obs.sanitize import SANITIZE, check_range
 from repro.replacement.base import ReplacementPolicy
 
 RRPV_MAX = 3
@@ -167,7 +168,10 @@ class ChromePolicy(ReplacementPolicy):
                 if rrpv[way] >= RRPV_MAX:
                     return way
             for way in range(self.num_ways):
-                rrpv[way] += 1
+                # No-op clamp; see SRRIPPolicy._find_victim (SAT001).
+                rrpv[way] = min(RRPV_MAX, rrpv[way] + 1)
+                if SANITIZE:
+                    check_range(rrpv[way], 0, RRPV_MAX, "chrome.rrpv")
 
     def on_evict(self, set_idx: int, way: int, block: CacheBlock,
                  ctx: AccessContext) -> None:

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cache.block import AccessContext, CacheBlock
+from repro.obs.sanitize import SANITIZE, check_range
 from repro.replacement.base import ReplacementPolicy
 
 
@@ -53,6 +54,8 @@ class DIPPolicy(ReplacementPolicy):
             self._psel = min(self._psel + 1, self._psel_max)
         elif set_idx in self._bip_leaders:
             self._psel = max(self._psel - 1, 0)
+        if SANITIZE:
+            check_range(self._psel, 0, self._psel_max, "dip.psel")
 
     def choose_victim(self, set_idx: int, blocks: Sequence[CacheBlock],
                       ctx: AccessContext) -> int:

@@ -8,6 +8,8 @@ evictions of friendly lines decrement.
 
 from __future__ import annotations
 
+from repro.obs.sanitize import SANITIZE, check_range
+
 
 class HawkeyePredictor:
     """3-bit counter table with friendly/averse classification.
@@ -50,12 +52,18 @@ class HawkeyePredictor:
         self._check(signature)
         if self._counters[signature] < self.counter_max:
             self._counters[signature] += 1
+        if SANITIZE:
+            check_range(self._counters[signature], 0, self.counter_max,
+                        f"hawkeye.counter[{signature}]")
         self.trains_friendly += 1
 
     def train_averse(self, signature: int) -> None:
         self._check(signature)
         if self._counters[signature] > 0:
             self._counters[signature] -= 1
+        if SANITIZE:
+            check_range(self._counters[signature], 0, self.counter_max,
+                        f"hawkeye.counter[{signature}]")
         self.trains_averse += 1
 
     def reset(self) -> None:

@@ -27,6 +27,7 @@ from repro.core.predictor_fabric import PredictorFabric, PredictorScope
 from repro.core.sampled_sets import SampledSetSelector, StaticSampledSets
 from repro.core.signature import make_signature
 from repro.replacement.base import ReplacementPolicy
+from repro.obs.sanitize import SANITIZE, check_range
 from repro.replacement.mockingjay.predictor import (
     ETRPredictor,
     INF_SCALED,
@@ -104,6 +105,8 @@ class MockingjayPolicy(ReplacementPolicy):
         for way in range(self.num_ways):
             if etr[way] > ETR_MIN:
                 etr[way] -= 1
+            if SANITIZE:
+                check_range(etr[way], ETR_MIN, None, "mockingjay.etr")
 
     def _observe_sample(self, set_idx: int, ctx: AccessContext) -> None:
         now = self._sample_time.get(set_idx, 0)

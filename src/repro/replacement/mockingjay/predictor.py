@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.sanitize import SANITIZE, check_range
+
 #: Scaled-distance ceiling for finite reuse; one below the INF marker.
 MAX_SCALED = 14
 #: The INFINITE reuse marker (predicted dead on arrival).
@@ -91,6 +93,9 @@ class ETRPredictor:
             if blended == old and scaled_distance != old:
                 blended += 1 if scaled_distance > old else -1
             self._values[signature] = min(INF_SCALED, max(0, blended))
+        if SANITIZE:
+            check_range(self._values[signature], 0, INF_SCALED,
+                        f"mockingjay.rdp[{signature}]")
         self.trains += 1
 
     def train_inf(self, signature: int) -> None:

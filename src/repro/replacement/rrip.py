@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cache.block import AccessContext, CacheBlock
+from repro.obs.sanitize import SANITIZE, check_range
 from repro.replacement.base import ReplacementPolicy
 
 RRPV_BITS = 2
@@ -46,7 +47,12 @@ class SRRIPPolicy(ReplacementPolicy):
                 if rrpv[way] >= RRPV_MAX:
                     return way
             for way in range(self.num_ways):
-                rrpv[way] += 1
+                # No-op clamp: the scan above guarantees rrpv < MAX
+                # here, but min() makes the saturation explicit and
+                # machine-provable (SAT001).
+                rrpv[way] = min(RRPV_MAX, rrpv[way] + 1)
+                if SANITIZE:
+                    check_range(rrpv[way], 0, RRPV_MAX, "srrip.rrpv")
 
     def choose_victim(self, set_idx: int, blocks: Sequence[CacheBlock],
                       ctx: AccessContext) -> int:
@@ -124,6 +130,8 @@ class DRRIPPolicy(SRRIPPolicy):
             self._psel = min(self._psel + 1, self._psel_max)
         elif set_idx in self._brrip_leaders:
             self._psel = max(self._psel - 1, 0)
+        if SANITIZE:
+            check_range(self._psel, 0, self._psel_max, "drrip.psel")
 
     def insertion_rrpv(self, set_idx: int, ctx: AccessContext) -> int:
         if set_idx in self._srrip_leaders:

@@ -23,6 +23,7 @@ from repro.cache.block import AccessContext, CacheBlock
 from repro.core.predictor_fabric import PredictorFabric, PredictorScope
 from repro.core.sampled_sets import SampledSetSelector, StaticSampledSets
 from repro.core.signature import make_signature
+from repro.obs.sanitize import SANITIZE, check_range
 from repro.replacement.base import ReplacementPolicy
 
 RRPV_BITS = 2
@@ -46,10 +47,16 @@ class SHCT:
     def increment(self, signature: int) -> None:
         if self._counters[signature] < self.counter_max:
             self._counters[signature] += 1
+        if SANITIZE:
+            check_range(self._counters[signature], 0, self.counter_max,
+                        f"SHCT[{signature}]")
 
     def decrement(self, signature: int) -> None:
         if self._counters[signature] > 0:
             self._counters[signature] -= 1
+        if SANITIZE:
+            check_range(self._counters[signature], 0, self.counter_max,
+                        f"SHCT[{signature}]")
 
     def reset(self) -> None:
         for i in range(len(self._counters)):
@@ -115,7 +122,10 @@ class SHiPPolicy(ReplacementPolicy):
                 if rrpv[way] >= RRPV_MAX:
                     return way
             for way in range(self.num_ways):
-                rrpv[way] += 1
+                # No-op clamp; see SRRIPPolicy._find_victim (SAT001).
+                rrpv[way] = min(RRPV_MAX, rrpv[way] + 1)
+                if SANITIZE:
+                    check_range(rrpv[way], 0, RRPV_MAX, "ship.rrpv")
 
     def on_evict(self, set_idx: int, way: int, block: CacheBlock,
                  ctx: AccessContext) -> None:

@@ -128,7 +128,11 @@ def run_mix(config: SystemConfig, traces: Sequence[Trace],
             f"alone_ipc_cache with measure_alone_ipcs on the baseline "
             f"system when comparing configurations",
             RuntimeWarning, stacklevel=2)
-        obs_events.emit("lazy_alone_ipc", traces=missing,
+        # Unreachable from pool workers: SweepEngine prefills
+        # alone_ipc_cache before submitting cell units, so the lazy
+        # path only runs in direct serial calls (regression-tested by
+        # test_parallel_engine).
+        obs_events.emit("lazy_alone_ipc", traces=missing,  # repro-lint: disable=PAR001
                         policy=config.llc_policy)
     alone_results: Dict[str, SimulationResult] = {}
     ipc_alone: List[float] = []

@@ -249,12 +249,12 @@ class SyntheticWorkload:
         pc_base = 0x400000 + (stable_hash(spec.name) & 0xFFFF) * 0x1000
 
         weights: List[float] = []
-        pc_counter = 0
+        pc_index = 0
         for cls in spec.classes:
             per_pc_weight = cls.weight / cls.count
             for _ in range(cls.count):
-                pc = pc_base + pc_counter * 0x14
-                pc_counter += 1
+                pc = pc_base + pc_index * 0x14
+                pc_index += 1
                 pool_size = max(4, int(cls.pool_frac * self.capacity_blocks))
                 is_stream = cls.pattern == "stream"
                 affine = (not is_stream and

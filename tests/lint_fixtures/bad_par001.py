@@ -1,0 +1,26 @@
+"""Known-bad PAR001 corpus: pool-submitted work units that touch
+module-level state (lost in workers, so pooled and serial diverge)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+RESULTS = {}
+TOTALS = []
+
+
+def work(x):
+    RESULTS[x] = x * x     # PAR001: module-global subscript write
+    TOTALS.append(x)       # PAR001: mutating call on a module global
+    return x * x
+
+
+def helper(x):
+    global TALLY           # PAR001: global declaration (transitive root)
+    TALLY = x
+    return x
+
+
+def run(xs):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, x) for x in xs]
+        pool.submit(helper, 0)
+        return [f.result() for f in futures]

@@ -1,0 +1,21 @@
+"""Known-bad SAT001 corpus: saturating-counter updates with no clamp,
+guard or corrective branch before function exit."""
+
+
+class Predictor:
+    RRPV_MAX = 3
+
+    def __init__(self, counter_bits: int = 3):
+        self.counter_max = (1 << counter_bits) - 1
+        self._ctr = 0
+        self._rrpv = [0, 0, 0, 0]
+
+    def train_up(self):
+        self._ctr += 1                           # SAT001: unbounded
+
+    def train_down(self):
+        self._ctr -= 1                           # SAT001: unbounded
+
+    def age_all(self):
+        for way in range(len(self._rrpv)):
+            self._rrpv[way] = self._rrpv[way] + 1  # SAT001: unbounded

@@ -1,0 +1,21 @@
+"""Known-bad STAT001 corpus: dead and sticky telemetry."""
+
+
+class FabricStats:
+    def __init__(self):
+        self.lookups = 0
+        self.evictions = 0
+
+    def on_lookup(self):
+        self.lookups += 1     # STAT001: published but never reset
+
+    def on_evict(self):
+        self.evictions += 1   # STAT001: tallied but never published
+
+    def publish_stats(self, registry):
+        registry.register("fabric.lookups", lambda: self.lookups)
+        registry.counter("fabric.drops")  # STAT001: handle discarded
+
+    def reset_stats(self):
+        # Deliberately forgets self.lookups (the sticky-metric case).
+        self.evictions = 0

@@ -1,0 +1,14 @@
+"""Known-bad UNIT001 corpus: cross-unit arithmetic and magic latency
+literals (standalone files are conservatively in scope)."""
+
+
+def total_cost(busy_cycles, retired_instrs):
+    return busy_cycles + retired_instrs   # UNIT001: cycles + instructions
+
+
+def pad_latency(read_latency):
+    return read_latency + 12              # UNIT001: magic latency literal
+
+
+def queue_hop(packet):
+    packet.send(latency=9)                # UNIT001: latency kwarg literal

@@ -1,0 +1,35 @@
+"""Known-good SAT001 corpus: every counter update is guarded, clamped
+or corrected before the function returns."""
+
+
+class Predictor:
+    RRPV_MAX = 3
+
+    def __init__(self, counter_bits: int = 3):
+        self.counter_max = (1 << counter_bits) - 1
+        self._ctr = 0
+        self._rrpv = [0, 0, 0, 0]
+
+    def train_up(self):
+        # Dominating strict guard excuses the += 1.
+        if self._ctr < self.counter_max:
+            self._ctr += 1
+
+    def train_down(self):
+        if self._ctr > 0:
+            self._ctr -= 1
+
+    def age_all(self):
+        # Clamp expression overwrites the counter: always in range.
+        for way in range(len(self._rrpv)):
+            self._rrpv[way] = min(self.RRPV_MAX, self._rrpv[way] + 1)
+
+    def corrective(self):
+        # Post-hoc correction: both branches discharge the dirty update.
+        self._ctr += 1
+        if self._ctr > self.counter_max:
+            self._ctr = self.counter_max
+
+    def asserted(self):
+        self._ctr += 1
+        assert self._ctr <= self.counter_max

@@ -1,0 +1,25 @@
+"""Known-good STAT001 corpus: every tally is published (directly or
+through a derived property) and zeroed by reset_stats."""
+
+
+class FabricStats:
+    def __init__(self):
+        self.lookups = 0
+        self.total_read_latency = 0
+
+    def on_lookup(self, latency_cycles):
+        self.lookups += 1
+        self.total_read_latency += latency_cycles
+
+    @property
+    def average_read_latency(self):
+        return self.total_read_latency / max(1, self.lookups)
+
+    def publish_stats(self, registry):
+        registry.register("fabric.lookups", lambda: self.lookups)
+        registry.register("fabric.avg_read_latency",
+                          lambda: self.average_read_latency)
+
+    def reset_stats(self):
+        self.lookups = 0
+        self.total_read_latency = 0

@@ -1,0 +1,24 @@
+"""Known-good UNIT001 corpus: matched units, rates exempt, latencies
+routed through config dataclasses and signature defaults."""
+
+
+class NOCConfig:
+    def __init__(self, hop_latency=2):
+        self.hop_latency = hop_latency
+
+
+def total_cycles(busy_cycles, stall_cycles):
+    return busy_cycles + stall_cycles
+
+
+def build_config():
+    return NOCConfig(hop_latency=4)
+
+
+def ipc(retired_instrs, elapsed_cycles):
+    avg_instr_rate = retired_instrs / max(1, elapsed_cycles)
+    return avg_instr_rate
+
+
+def accumulate(total_read_latency, latency_cycles):
+    return total_read_latency + latency_cycles

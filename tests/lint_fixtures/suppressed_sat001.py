@@ -1,0 +1,10 @@
+"""Suppression corpus: a deliberately unbounded tally whose name
+collides with the counter vocabulary, silenced inline."""
+
+
+class Histogram:
+    def __init__(self):
+        self._ctr = 0
+
+    def bump(self):
+        self._ctr += 1  # repro-lint: disable=SAT001

@@ -1,0 +1,18 @@
+"""Suppression corpus: a scratch demo class kept unpublished on
+purpose, silenced file-wide."""
+
+# repro-lint: disable-file=STAT001
+
+
+class ScratchStats:
+    def __init__(self):
+        self.probes = 0
+
+    def on_probe(self):
+        self.probes += 1
+
+    def publish_stats(self, registry):
+        return None
+
+    def reset_stats(self):
+        self.probes = 0

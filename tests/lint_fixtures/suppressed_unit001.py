@@ -1,0 +1,6 @@
+"""Suppression corpus: a deliberate mixed-unit sum (documented
+heuristic score), silenced inline."""
+
+
+def pressure_score(stall_cycles, queued_bytes):
+    return stall_cycles + queued_bytes  # repro-lint: disable=UNIT001

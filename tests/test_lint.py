@@ -48,6 +48,10 @@ class TestRuleFixtures:
         ("bad_inv001.py", "INV001"),
         ("bad_inv002", "INV002"),
         ("bad_inv003", "INV003"),
+        ("bad_sat001.py", "SAT001"),
+        ("bad_unit001.py", "UNIT001"),
+        ("bad_par001.py", "PAR001"),
+        ("bad_stat001.py", "STAT001"),
     ])
     def test_bad_fixture_trips_only_its_rule(self, fixture, expected):
         result = lint_path(FIXTURES / fixture)
@@ -56,6 +60,8 @@ class TestRuleFixtures:
 
     @pytest.mark.parametrize("fixture", [
         "good_det001.py", "good_det003.py", "good_inv001.py",
+        "good_sat001.py", "good_unit001.py", "good_par001.py",
+        "good_stat001.py",
     ])
     def test_good_fixture_is_clean(self, fixture):
         result = lint_path(FIXTURES / fixture)
@@ -94,8 +100,13 @@ class TestRuleFixtures:
 # ---------------------------------------------------------------------------
 
 class TestSuppressions:
-    def test_inline_and_file_suppressions(self):
-        result = lint_path(FIXTURES / "suppressed_det001.py")
+    @pytest.mark.parametrize("fixture", [
+        "suppressed_det001.py", "suppressed_sat001.py",
+        "suppressed_unit001.py", "suppressed_par001.py",
+        "suppressed_stat001.py",
+    ])
+    def test_inline_and_file_suppressions(self, fixture):
+        result = lint_path(FIXTURES / fixture)
         assert result.ok, [v.render() for v in result.violations]
 
     def test_suppressed_fixture_trips_without_comments(self, tmp_path):
@@ -150,10 +161,13 @@ class TestEngine:
 
     def test_rule_registry_is_complete(self):
         assert set(all_rule_codes()) == {"DET001", "DET002", "DET003",
-                                         "INV001", "INV002", "INV003"}
+                                         "INV001", "INV002", "INV003",
+                                         "SAT001", "UNIT001", "PAR001",
+                                         "STAT001"}
         for code, cls in RULE_REGISTRY.items():
             assert cls.title, code
             assert cls.severity in ("warning", "error"), code
+            assert cls.tier in ("contracts", "dataflow"), code
 
     def test_select_and_ignore(self):
         only = build_rules(select=["DET001"])
@@ -162,6 +176,17 @@ class TestEngine:
         assert "DET001" not in [r.code for r in rest]
         with pytest.raises(ValueError):
             build_rules(select=["NOPE999"])
+
+    def test_select_accepts_family_prefix(self):
+        dets = build_rules(select=["DET"])
+        assert [r.code for r in dets] == ["DET001", "DET002", "DET003"]
+        mixed = build_rules(select=["SAT", "UNIT001"])
+        assert [r.code for r in mixed] == ["SAT001", "UNIT001"]
+        no_dataflow = build_rules(ignore=["SAT", "UNIT", "PAR", "STAT"])
+        assert [r.code for r in no_dataflow] == [
+            "DET001", "DET002", "DET003", "INV001", "INV002", "INV003"]
+        with pytest.raises(ValueError):
+            build_rules(select=["ZZZ"])
 
 
 # ---------------------------------------------------------------------------
@@ -196,10 +221,64 @@ class TestReporting:
         for code in all_rule_codes():
             assert code in out
 
+    def test_cli_list_rules_groups_by_tier(self, capsys):
+        lint_main(["--list-rules"])
+        out = capsys.readouterr().out
+        assert out.index("contracts:") < out.index("dataflow:")
+        # Every contracts rule is printed before the dataflow header.
+        for code in ("DET001", "INV003"):
+            assert out.index(code) < out.index("dataflow:")
+        for code in ("SAT001", "UNIT001", "PAR001", "STAT001"):
+            assert out.index(code) > out.index("dataflow:")
+
     def test_cli_json_flag(self, capsys):
         lint_main(["--json", str(FIXTURES / "bad_inv001.py")])
         payload = json.loads(capsys.readouterr().out)
         assert payload["counts"] == {"INV001": 2}
+
+    def test_cli_select_prefix(self, capsys):
+        assert lint_main(["--select", "SAT",
+                          str(FIXTURES / "bad_sat001.py")]) == 1
+        assert lint_main(["--select", "DET",
+                          str(FIXTURES / "bad_sat001.py")]) == 0
+        capsys.readouterr()
+
+    def test_cli_sarif_output(self, capsys):
+        assert lint_main(["--sarif",
+                          str(FIXTURES / "bad_sat001.py")]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "SAT001" in rule_ids
+        results = run["results"]
+        assert results and all(r["ruleId"] == "SAT001" for r in results)
+        loc = results[0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("bad_sat001.py")
+        assert loc["region"]["startLine"] >= 1
+
+    def test_cli_sanitize_mode(self, capsys):
+        assert lint_main(["--sanitize",
+                          str(FIXTURES / "good_sat001.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dirty"] == 0
+        assert payload["sites"] == len(payload["facts"]) > 0
+        assert all(f["status"] == "proven" for f in payload["facts"])
+        assert lint_main(["--sanitize",
+                          str(FIXTURES / "bad_sat001.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dirty"] == 3
+
+    def test_cli_graph_cache_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "graph.json"
+        assert lint_main(["--graph-cache", str(cache), str(SRC)]) == 0
+        first = json.loads(cache.read_text())
+        assert first["version"] == 1 and first["entries"]
+        # Second run must hit the cache and reproduce the same verdict.
+        assert lint_main(["--graph-cache", str(cache), str(SRC)]) == 0
+        assert json.loads(cache.read_text()) == first
+        capsys.readouterr()
 
 
 # ---------------------------------------------------------------------------
