@@ -10,7 +10,9 @@ Each experiment prints its rendered table (the same artefact the
 benchmark suite writes to ``results/``).  ``--workers``/``--cache``
 configure the sweep engine (docs/performance.md) and
 ``--telemetry``/``--manifest`` its observability layer
-(docs/observability.md) for every experiment in the invocation by
+(docs/observability.md) and ``--resume``/``--max-retries``/
+``--unit-timeout``/``--faults`` its fault-tolerance layer
+(docs/robustness.md) for every experiment in the invocation by
 setting the corresponding environment knobs.
 """
 
@@ -97,6 +99,26 @@ def main(argv=None) -> int:
     parser.add_argument("--manifest", metavar="PATH", default=None,
                         help="append a JSONL run manifest — one event per "
                              "sweep work unit (sets REPRO_MANIFEST)")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="skip sweep units a prior run's manifest "
+                             "proves complete (sets REPRO_SWEEP_RESUME; "
+                             "pair with --cache so cell results can be "
+                             "replayed — see docs/robustness.md)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="retry a failed sweep unit up to N times "
+                             "before aborting (default 2; sets "
+                             "REPRO_SWEEP_RETRIES)")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="declare a pooled sweep unit hung after SEC "
+                             "seconds and retry it on a fresh worker "
+                             "(default: no timeout; sets "
+                             "REPRO_SWEEP_TIMEOUT)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault injection for "
+                             "testing/CI, e.g. 'cell:*|raise|2' (sets "
+                             "REPRO_FAULTS; see docs/robustness.md)")
     args = parser.parse_args(argv)
 
     if args.workers is not None:
@@ -111,6 +133,18 @@ def main(argv=None) -> int:
         os.environ["REPRO_TELEMETRY"] = "1"
     if args.manifest:
         os.environ["REPRO_MANIFEST"] = args.manifest
+    if args.resume:
+        os.environ["REPRO_SWEEP_RESUME"] = args.resume
+    if args.max_retries is not None:
+        if args.max_retries < 0:
+            parser.error("--max-retries must be >= 0")
+        os.environ["REPRO_SWEEP_RETRIES"] = str(args.max_retries)
+    if args.unit_timeout is not None:
+        if args.unit_timeout < 0:
+            parser.error("--unit-timeout must be >= 0")
+        os.environ["REPRO_SWEEP_TIMEOUT"] = str(args.unit_timeout)
+    if args.faults:
+        os.environ["REPRO_FAULTS"] = args.faults
 
     if args.clear_cache:
         removed = clear_matrix_cache(disk=True)

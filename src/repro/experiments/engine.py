@@ -14,8 +14,9 @@ Units carry only small, picklable descriptions (``ExperimentProfile``,
 traces deterministically with :func:`repro.traces.mixes.make_mix_trace`
 instead of having multi-megabyte traces pickled across processes.
 Every unit's outcome is fully determined by seeds derived from the
-profile, so scheduling order — serial, or any interleaving across a
-process pool — cannot change a single result.
+profile, so scheduling order — serial, any interleaving across a
+process pool, or any pattern of retries — cannot change a single
+result.
 
 ``SweepEngine(parallel=False)`` (the default) runs everything in
 process and is numerically identical to the historical serial sweep;
@@ -25,24 +26,44 @@ already-computed units across runs: the parent probes the cache before
 dispatching, so a fully warm sweep performs **zero** simulations
 (observable via :class:`SweepStats`).
 
+Fault tolerance (docs/robustness.md): every unit runs under a
+:class:`repro.experiments.retry.RetryPolicy` — failed units are
+retried with deterministic exponential backoff, pooled units get a
+wall-clock deadline, a ``BrokenProcessPool`` is survived by respawning
+the pool (and, on repeated breakage, degrading to serial execution),
+and ``SweepEngine.run(resume=...)`` replays a prior manifest + result
+cache so an interrupted sweep skips every completed unit.  The
+:mod:`repro.experiments.faults` injector exercises all of these paths
+deterministically in tests and CI.
+
 Observability (docs/observability.md): give the engine a
 :class:`repro.obs.RunManifest` and every run appends ``sweep_start`` /
 per-unit / ``sweep_end`` JSONL events — cache hits included, so the
 manifest is the complete record of where each number came from; set
 ``progress=True`` for a live ``done/total, cache hits, ETA`` stderr
-line.  Both default off and neither touches simulation arithmetic.
+line.  ``sweep_end`` is emitted even when a run fails or is
+interrupted (with ``status`` ``ok``/``failed``/``interrupted``), and
+recovery actions surface as ``unit_retried`` / ``unit_failed`` /
+``pool_respawn`` / ``pool_degraded`` / ``sweep_interrupted`` events.
+Neither layer touches simulation arithmetic.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, \
+    ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, \
+    Tuple
 
 from repro.core.drishti import DrishtiConfig
+from repro.experiments.faults import FaultPlan, maybe_inject, unit_label
 from repro.experiments.resultcache import ResultCache, cache_key
+from repro.experiments.retry import RetryPolicy, UnitFailure
 from repro.obs import MANIFEST_SCHEMA_VERSION, ProgressLine, RunManifest, \
     telemetry_enabled
 from repro.obs import events as obs_events
@@ -74,7 +95,9 @@ class SweepStats:
 
     ``simulations_run`` counts units that executed a simulator (cache
     misses); a warm-cache sweep reports 0 with
-    ``cache_hits == total_units``.
+    ``cache_hits == total_units``.  ``resumed_units`` counts units
+    skipped because a ``resume`` manifest proved them complete (alone
+    values replayed from the manifest; cells via the result cache).
     """
 
     alone_units: int = 0
@@ -83,6 +106,10 @@ class SweepStats:
     simulations_run: int = 0
     workers: int = 1
     wall_seconds: float = 0.0
+    unit_retries: int = 0
+    unit_failures: int = 0
+    pool_respawns: int = 0
+    resumed_units: int = 0
 
     @property
     def total_units(self) -> int:
@@ -125,6 +152,44 @@ def _cell_worker(profile, cores: int, mix: MixSpec, policy: str,
     return run_mix(cfg, traces, alone_ipc_cache=dict(alone_ipcs))
 
 
+def _pool_alone_unit(profile, task: "_AloneTask",
+                     plan: Optional[FaultPlan], label: str,
+                     attempt: int) -> float:
+    """One pooled alone-unit attempt (fault injection + measurement).
+
+    Pure by contract (PAR001): the fault plan and parent-assigned
+    attempt number arrive as arguments, never from process state.
+    """
+    maybe_inject(plan, label, attempt)
+    return _alone_worker(profile, task.cores, task.mix, task.core_index)
+
+
+def _pool_cell_unit(profile, task: "_CellTask",
+                    alone_ipcs: Dict[str, float],
+                    plan: Optional[FaultPlan], label: str,
+                    attempt: int) -> MixResult:
+    """One pooled cell-unit attempt (fault injection + simulation)."""
+    maybe_inject(plan, label, attempt)
+    return _cell_worker(profile, task.cores, task.mix, task.policy,
+                        task.drishti, alone_ipcs)
+
+
+def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    if pool is None:
+        return
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown races
+        pass
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+
+
 # ---------------------------------------------------------------------------
 # Engine
 # ---------------------------------------------------------------------------
@@ -136,6 +201,7 @@ class _AloneTask:
     trace_name: str
     mix: MixSpec
     core_index: int
+    label: str = ""
 
 
 @dataclass
@@ -146,6 +212,63 @@ class _CellTask:
     policy: str
     drishti: DrishtiConfig
     targets: List[Tuple[int, str, str]] = field(default_factory=list)
+    label: str = ""
+
+
+@dataclass
+class _PoolUnit:
+    """Scheduler state for one pooled work unit."""
+
+    task: object
+    label: str
+    key: str
+    attempts: int = 0        #: attempts consumed so far
+    started: float = 0.0     #: monotonic submit time of this attempt
+    ready_at: float = 0.0    #: monotonic backoff gate for resubmission
+
+
+@dataclass
+class _PoolContext:
+    """Pool lifecycle shared by both phases of one pooled run."""
+
+    workers: int
+    respawns_left: int
+    pool: Optional[ProcessPoolExecutor] = None
+    degraded: bool = False
+
+
+@dataclass
+class _ResumeState:
+    """Completed units recovered from a prior run's manifest."""
+
+    path: str
+    alone_values: Dict[str, float] = field(default_factory=dict)
+    completed: Set[str] = field(default_factory=set)
+    prior_events: int = 0
+    torn_tail: bool = False
+
+
+def _load_resume(path) -> _ResumeState:
+    """Parse a prior manifest (tolerating crash damage) into the set
+    of unit keys proven complete, plus replayable alone-IPC values."""
+    from repro.obs.manifest import read_manifest_ex
+    report = read_manifest_ex(path)
+    state = _ResumeState(path=str(path), prior_events=len(report.events),
+                         torn_tail=report.torn_tail)
+    for event in report.events:
+        if event.get("event") != "unit" or not event.get("key"):
+            continue
+        key = event["key"]
+        metrics = event.get("metrics") or {}
+        if event.get("unit") == "alone":
+            try:
+                state.alone_values[key] = float(metrics["ipc_alone"])
+            except (KeyError, TypeError, ValueError):
+                continue  # unusable record: re-simulate, don't crash
+            state.completed.add(key)
+        elif event.get("unit") == "cell":
+            state.completed.add(key)
+    return state
 
 
 def _cell_metrics(result: MixResult) -> Dict[str, float]:
@@ -160,6 +283,8 @@ class _UnitReporter:
     One ``unit`` event / progress tick per *work unit* — the
     deduplicated alone + distinct-cell units, so cache hits and
     duplicate-config cells never double-count against ``total``.
+    Units skipped via resume count as "warm" for the progress line's
+    ETA (they finish in microseconds, like cache hits).
     """
 
     def __init__(self, manifest: Optional[RunManifest],
@@ -168,14 +293,23 @@ class _UnitReporter:
         self.progress = progress
         self.done = 0
         self.cache_hits = 0
+        self.resumed = 0
 
-    def unit(self, cache_hit: bool, **fields) -> None:
+    @property
+    def warm(self) -> int:
+        return self.cache_hits + self.resumed
+
+    def unit(self, cache_hit: bool, resumed: bool = False,
+             **fields) -> None:
         self.done += 1
         if cache_hit:
             self.cache_hits += 1
+        if resumed:
+            self.resumed += 1
+            fields["resumed"] = True
         if self.manifest is not None:
             self.manifest.emit("unit", cache_hit=cache_hit, **fields)
-        self.progress.update(self.done, self.cache_hits)
+        self.progress.update(self.done, self.warm)
 
 
 class SweepEngine:
@@ -191,18 +325,30 @@ class SweepEngine:
             appends ``sweep_start`` / ``unit`` / ``sweep_end`` events
             (plus any :mod:`repro.obs.events` emitted while it runs).
         progress: write a live ``done/total`` line to stderr.
+        retry: :class:`repro.experiments.retry.RetryPolicy` governing
+            per-unit retries, backoff, timeouts and pool respawns
+            (default: three attempts, no timeout).
+        faults: optional :class:`repro.experiments.faults.FaultPlan`
+            injected into every unit attempt (testing/CI only).
+        resume: default manifest path for :meth:`run`'s ``resume``.
     """
 
     def __init__(self, parallel: bool = False,
                  max_workers: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  manifest: Optional[RunManifest] = None,
-                 progress: bool = False):
+                 progress: bool = False,
+                 retry: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultPlan] = None,
+                 resume=None):
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = cache
         self.manifest = manifest
         self.progress = progress
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
+        self.resume = resume
         self.last_stats: Optional[SweepStats] = None
 
     # ------------------------------------------------------------------
@@ -236,10 +382,22 @@ class SweepEngine:
 
     # ------------------------------------------------------------------
     def run(self, profile, policies: Optional[Sequence[
-            Tuple[str, str, DrishtiConfig]]] = None):
+            Tuple[str, str, DrishtiConfig]]] = None, resume=None):
         """Execute the sweep; returns the merged ``PolicyMatrix``.
 
-        Per-run statistics are left in :attr:`last_stats`.
+        Args:
+            profile: the :class:`ExperimentProfile` to sweep.
+            policies: (label, policy, drishti) triples.
+            resume: path to a prior run's manifest; units it proves
+                complete are skipped (alone IPCs replayed from the
+                manifest, cells through the attached result cache).
+
+        Per-run statistics are left in :attr:`last_stats`.  A
+        ``sweep_end`` manifest event is emitted whether the run
+        completes (``status: ok``), exhausts a unit's retries
+        (``failed``, :class:`UnitFailure` propagates) or is
+        interrupted (``interrupted``, after flushing a
+        ``sweep_interrupted`` record).
         """
         from repro.experiments.common import (HEADLINE_POLICIES,
                                               PolicyMatrix, _mix_suite)
@@ -250,6 +408,8 @@ class SweepEngine:
         stats = SweepStats()
         matrix = PolicyMatrix(profile=profile,
                               labels=[label for label, _p, _d in policies])
+        resume = resume if resume is not None else self.resume
+        resume_state = _load_resume(resume) if resume else None
 
         # ---- plan: decompose into deduplicated work units -------------
         alone_plan: Dict[Tuple[int, str], _AloneTask] = {}
@@ -268,22 +428,36 @@ class SweepEngine:
                             key=self._alone_key(profile, cores, mix,
                                                 core_index),
                             cores=cores, trace_name=tname, mix=mix,
-                            core_index=core_index)
+                            core_index=core_index,
+                            label=unit_label("alone", cores, tname))
                 for label, policy, drishti in policies:
                     cell_plan.append((cores, mix, label, policy, drishti))
         stats.alone_units = len(alone_plan)
         stats.cell_units = len(cell_plan)
 
-        # ---- cache probe (in the parent, before any dispatch) ---------
+        # ---- cache/resume probe (in the parent, pre-dispatch) ---------
         alone_ipcs: Dict[Tuple[int, str], float] = {}
         alone_pending: List[_AloneTask] = []
         alone_hits: List[Tuple[_AloneTask, float]] = []
+        alone_resumed: List[Tuple[_AloneTask, float]] = []
         for (cores, tname), task in alone_plan.items():
             found, value = self._cache_get(task.key)
             if found:
                 alone_ipcs[(cores, tname)] = value
                 stats.cache_hits += 1
                 alone_hits.append((task, value))
+                if resume_state is not None and \
+                        task.key in resume_state.completed:
+                    stats.resumed_units += 1
+            elif resume_state is not None and \
+                    task.key in resume_state.alone_values:
+                # Replay the manifest's value (JSON floats round-trip
+                # exactly) and backfill the cache for the next run.
+                value = resume_state.alone_values[task.key]
+                alone_ipcs[(cores, tname)] = value
+                stats.resumed_units += 1
+                alone_resumed.append((task, value))
+                self._cache_put(task.key, value)
             else:
                 alone_pending.append(task)
 
@@ -291,6 +465,7 @@ class SweepEngine:
         cell_pending: Dict[str, _CellTask] = {}
         cell_hits: List[Tuple[str, int, MixSpec, str, MixResult]] = []
         hit_keys: set = set()
+        resume_missing = 0
         for cores, mix, label, policy, drishti in cell_plan:
             target = (cores, mix.name, label)
             key = self._cell_key(profile, cores, mix, policy, drishti)
@@ -304,10 +479,17 @@ class SweepEngine:
                 if key not in hit_keys:  # one manifest unit per key
                     hit_keys.add(key)
                     cell_hits.append((key, cores, mix, policy, value))
+                    if resume_state is not None and \
+                            key in resume_state.completed:
+                        stats.resumed_units += 1
             else:
+                if resume_state is not None and \
+                        key in resume_state.completed:
+                    resume_missing += 1  # manifest says done, cache lost
                 cell_pending[key] = _CellTask(
                     key=key, cores=cores, mix=mix, policy=policy,
-                    drishti=drishti, targets=[target])
+                    drishti=drishti, targets=[target],
+                    label=unit_label("cell", cores, mix.name, label))
 
         stats.simulations_run = len(alone_pending) + len(cell_pending)
 
@@ -332,13 +514,31 @@ class SweepEngine:
                 cell_units=stats.cell_units,
                 total_units=total_units,
                 workers=workers,
-                cache_attached=self.cache is not None)
+                cache_attached=self.cache is not None,
+                max_attempts=self.retry.max_attempts,
+                unit_timeout=self.retry.unit_timeout,
+                faults_armed=bool(self.faults))
+            if resume_state is not None:
+                self.manifest.emit(
+                    "sweep_resume",
+                    path=resume_state.path,
+                    prior_events=resume_state.prior_events,
+                    prior_torn_tail=resume_state.torn_tail,
+                    completed_units=len(resume_state.completed),
+                    resumed_units=stats.resumed_units,
+                    missing_from_cache=resume_missing)
             listener = obs_events.subscribe(
                 lambda kind, payload: self.manifest.emit(kind, **payload))
         for task, value in alone_hits:
             reporter.unit(True, unit="alone", key=task.key,
                           cores=task.cores, trace=task.trace_name,
                           seed=profile.seed, wall_seconds=0.0,
+                          metrics={"ipc_alone": value})
+        for task, value in alone_resumed:
+            reporter.unit(False, resumed=True, unit="alone",
+                          key=task.key, cores=task.cores,
+                          trace=task.trace_name, seed=profile.seed,
+                          wall_seconds=0.0,
                           metrics={"ipc_alone": value})
         for key, cores, mix, policy, value in cell_hits:
             reporter.unit(True, unit="cell", key=key, cores=cores,
@@ -347,39 +547,115 @@ class SweepEngine:
                           metrics=_cell_metrics(value))
 
         # ---- execute --------------------------------------------------
+        status = "ok"
+        error: Optional[str] = None
         try:
-            if self.parallel and (alone_pending or cell_pending):
-                stats.workers = workers
-                self._run_pool(profile, workers, alone_pending,
-                               list(cell_pending.values()), alone_ipcs,
-                               cell_results, reporter)
-            else:
-                self._run_inline(profile, alone_pending,
-                                 list(cell_pending.values()), alone_ipcs,
-                                 cell_results, reporter)
+            try:
+                if self.parallel and (alone_pending or cell_pending):
+                    stats.workers = workers
+                    self._run_pool(profile, workers, alone_pending,
+                                   list(cell_pending.values()), alone_ipcs,
+                                   cell_results, reporter, stats)
+                else:
+                    self._run_inline(profile, alone_pending,
+                                     list(cell_pending.values()), alone_ipcs,
+                                     cell_results, reporter, stats)
+            except KeyboardInterrupt:
+                # Flush a durable partial-run record: everything done so
+                # far is already in the manifest/cache, so a later
+                # run(resume=...) skips straight to the remainder.
+                status = "interrupted"
+                error = "KeyboardInterrupt"
+                obs_events.emit("sweep_interrupted", done=reporter.done,
+                                total_units=total_units)
+                raise
+            except BaseException as exc:
+                status = "failed"
+                error = repr(exc)
+                raise
         finally:
+            stats.wall_seconds = time.time() - started
+            self.last_stats = stats
+            if self.manifest is not None:
+                end_fields = dict(
+                    status=status,
+                    alone_units=stats.alone_units,
+                    cell_units=stats.cell_units,
+                    total_units=total_units,
+                    cache_hits=stats.cache_hits,
+                    simulations_run=stats.simulations_run,
+                    workers=stats.workers,
+                    unit_retries=stats.unit_retries,
+                    unit_failures=stats.unit_failures,
+                    pool_respawns=stats.pool_respawns,
+                    resumed_units=stats.resumed_units,
+                    wall_seconds=round(stats.wall_seconds, 6))
+                if error is not None:
+                    end_fields["error"] = error
+                self.manifest.emit("sweep_end", **end_fields)
             if listener is not None:
                 obs_events.unsubscribe(listener)
+            progress.finish(reporter.done, reporter.warm)
 
         # ---- merge ----------------------------------------------------
         for cores, mix, label, policy, drishti in cell_plan:
             matrix.results[(cores, mix.name, label)] = \
                 cell_results[(cores, mix.name, label)]
-
-        stats.wall_seconds = time.time() - started
-        self.last_stats = stats
-        if self.manifest is not None:
-            self.manifest.emit(
-                "sweep_end",
-                alone_units=stats.alone_units,
-                cell_units=stats.cell_units,
-                total_units=total_units,
-                cache_hits=stats.cache_hits,
-                simulations_run=stats.simulations_run,
-                workers=stats.workers,
-                wall_seconds=round(stats.wall_seconds, 6))
-        progress.finish(reporter.done, reporter.cache_hits)
         return matrix
+
+    # ------------------------------------------------------------------
+    # Retry plumbing (shared by serial, pooled and degraded execution)
+    # ------------------------------------------------------------------
+    def _handle_unit_error(self, label: str, key: str, attempt: int,
+                           exc: BaseException,
+                           stats: SweepStats) -> float:
+        """Account one failed attempt; returns the backoff delay.
+
+        Raises :class:`UnitFailure` (chaining *exc*) when the retry
+        budget is exhausted.  Events reach the manifest through the
+        engine's bus listener, so serial and pooled runs record the
+        same recovery history.
+        """
+        if attempt >= self.retry.max_attempts:
+            stats.unit_failures += 1
+            obs_events.emit("unit_failed", label=label, key=key,
+                            attempts=attempt, error=repr(exc))
+            raise UnitFailure(label, key, attempt, exc) from exc
+        stats.unit_retries += 1
+        delay = self.retry.delay(key, attempt)
+        obs_events.emit("unit_retried", label=label, key=key,
+                        attempt=attempt, error=repr(exc),
+                        delay_seconds=round(delay, 6))
+        return delay
+
+    def _attempt_serial(self, label: str, key: str, stats: SweepStats,
+                        compute: Callable[[], object],
+                        first_attempt: int = 1):
+        """Run *compute* in-process under the retry policy.
+
+        Returns ``(value, attempts_consumed)``; ``first_attempt`` lets
+        degraded pool units keep the attempt budget they already spent.
+        """
+        attempt = first_attempt - 1
+        while True:
+            attempt += 1
+            try:
+                maybe_inject(self.faults, label, attempt)
+                return compute(), attempt
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                delay = self._handle_unit_error(label, key, attempt,
+                                                exc, stats)
+                if delay > 0:
+                    time.sleep(delay)
+
+    @staticmethod
+    def _attempt_fields(attempts: int) -> Dict[str, int]:
+        """Extra manifest fields for a unit that needed retries (empty
+        for first-try successes, keeping fault-free manifests
+        byte-compatible with earlier schema revisions)."""
+        return {"attempts": attempts} if attempts > 1 else {}
 
     # ------------------------------------------------------------------
     def _mix_alone_ipcs(self, profile, cores: int, mix: MixSpec,
@@ -396,11 +672,15 @@ class SweepEngine:
                     cell_pending: List[_CellTask],
                     alone_ipcs: Dict[Tuple[int, str], float],
                     cell_results: Dict[Tuple[int, str, str], MixResult],
-                    reporter: _UnitReporter) -> None:
+                    reporter: _UnitReporter,
+                    stats: SweepStats) -> None:
         """Serial fallback: same units, same seeds, one process.
 
         Traces are generated once per (core count, mix) and shared
-        across that mix's units, mirroring the historical sweep loop.
+        across that mix's units, mirroring the historical sweep loop;
+        a failed unit is retried in place (recomputation is
+        deterministic, so a crash-then-succeed unit yields the exact
+        bytes a fault-free run would).
         """
         base_cfgs: Dict[int, SystemConfig] = {}
         trace_memo: Dict[Tuple[int, str], list] = {}
@@ -419,23 +699,35 @@ class SweepEngine:
 
         for task in alone_pending:
             unit_started = time.time()
-            trace = traces_for(task.cores, task.mix)[task.core_index]
-            value = run_alone(base_cfgs[task.cores], trace).ipc[0]
+
+            def compute_alone(task=task):
+                trace = traces_for(task.cores, task.mix)[task.core_index]
+                return run_alone(base_cfgs[task.cores], trace).ipc[0]
+
+            value, attempts = self._attempt_serial(
+                task.label, task.key, stats, compute_alone)
             alone_ipcs[(task.cores, task.trace_name)] = value
             self._cache_put(task.key, value)
             reporter.unit(False, unit="alone", key=task.key,
                           cores=task.cores, trace=task.trace_name,
                           seed=profile.seed,
                           wall_seconds=round(time.time() - unit_started, 6),
-                          metrics={"ipc_alone": value})
+                          metrics={"ipc_alone": value},
+                          **self._attempt_fields(attempts))
 
         for task in cell_pending:
             unit_started = time.time()
-            traces = traces_for(task.cores, task.mix)
-            cfg = profile.config(task.cores, task.policy, task.drishti)
-            mix_alone = self._mix_alone_ipcs(profile, task.cores,
-                                             task.mix, alone_ipcs)
-            result = run_mix(cfg, traces, alone_ipc_cache=mix_alone)
+
+            def compute_cell(task=task):
+                traces = traces_for(task.cores, task.mix)
+                cfg = profile.config(task.cores, task.policy,
+                                     task.drishti)
+                mix_alone = self._mix_alone_ipcs(profile, task.cores,
+                                                 task.mix, alone_ipcs)
+                return run_mix(cfg, traces, alone_ipc_cache=mix_alone)
+
+            result, attempts = self._attempt_serial(
+                task.label, task.key, stats, compute_cell)
             for target in task.targets:
                 cell_results[target] = result
             self._cache_put(task.key, result)
@@ -443,58 +735,238 @@ class SweepEngine:
                           cores=task.cores, mix=task.mix.name,
                           policy=task.policy, seed=profile.seed,
                           wall_seconds=round(time.time() - unit_started, 6),
-                          metrics=_cell_metrics(result))
+                          metrics=_cell_metrics(result),
+                          **self._attempt_fields(attempts))
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def _respawn_or_degrade(self, ctx: _PoolContext,
+                            stats: SweepStats) -> None:
+        """The pool broke (or a worker hung past its deadline): spend
+        a respawn if any remain, otherwise fall back to serial
+        execution for every unit still outstanding."""
+        _kill_pool(ctx.pool)
+        if ctx.respawns_left > 0:
+            ctx.respawns_left -= 1
+            stats.pool_respawns += 1
+            obs_events.emit("pool_respawn", workers=ctx.workers,
+                            respawns_left=ctx.respawns_left)
+            ctx.pool = ProcessPoolExecutor(max_workers=ctx.workers)
+        else:
+            ctx.pool = None
+            ctx.degraded = True
+            obs_events.emit("pool_degraded", workers=ctx.workers)
+
+    def _pool_phase(self, ctx: _PoolContext, units: List[_PoolUnit],
+                    submit_unit: Callable[[ProcessPoolExecutor,
+                                           _PoolUnit], Future],
+                    run_serial: Callable[[_PoolUnit], object],
+                    finish_unit: Callable[[_PoolUnit, object, float],
+                                          None],
+                    stats: SweepStats) -> None:
+        """Drive one phase's units to completion, surviving failures.
+
+        A deadline-polling scheduler replaces the fire-and-forget
+        ``as_completed`` loop: failed attempts re-enter the queue
+        after their deterministic backoff, units past
+        ``retry.unit_timeout`` are declared hung (their worker is
+        reclaimed by respawning the pool), and ``BrokenProcessPool``
+        requeues in-flight casualties without charging their retry
+        budgets.  Once the pool is degraded, everything left runs
+        serially in submission order.
+        """
+        pending: Deque[_PoolUnit] = deque(units)
+        inflight: Dict[Future, _PoolUnit] = {}
+        timeout = self.retry.unit_timeout
+
+        def requeue_casualties() -> None:
+            # The pool died under these units through no fault of
+            # their own: refund the attempt and run them again.
+            for unit in inflight.values():
+                unit.attempts -= 1
+                unit.ready_at = 0.0
+                pending.appendleft(unit)
+            inflight.clear()
+
+        while (pending or inflight) and not ctx.degraded:
+            now = time.monotonic()
+            # Fill the pool, respecting each unit's backoff gate.
+            rotations = 0
+            while pending and len(inflight) < 2 * ctx.workers \
+                    and rotations < len(pending) and not ctx.degraded:
+                unit = pending[0]
+                if unit.ready_at > now:
+                    pending.rotate(-1)
+                    rotations += 1
+                    continue
+                pending.popleft()
+                unit.attempts += 1
+                unit.started = now
+                try:
+                    future = submit_unit(ctx.pool, unit)
+                except BrokenExecutor:
+                    unit.attempts -= 1
+                    pending.appendleft(unit)
+                    requeue_casualties()
+                    self._respawn_or_degrade(ctx, stats)
+                    continue
+                inflight[future] = unit
+            if ctx.degraded:
+                break
+            if not inflight:
+                if pending:
+                    wake = min(u.ready_at for u in pending) \
+                        - time.monotonic()
+                    if wake > 0:
+                        time.sleep(min(wake, 0.25))
+                continue
+            done, _not_done = futures_wait(
+                list(inflight), timeout=self.retry.poll_interval,
+                return_when=FIRST_COMPLETED)
+            broken = False
+            for future in list(done):
+                unit = inflight.pop(future)
+                try:
+                    value = future.result()
+                except KeyboardInterrupt:
+                    raise
+                except BrokenExecutor:
+                    broken = True
+                    unit.attempts -= 1
+                    unit.ready_at = 0.0
+                    pending.appendleft(unit)
+                except Exception as exc:
+                    delay = self._handle_unit_error(
+                        unit.label, unit.key, unit.attempts, exc, stats)
+                    unit.ready_at = time.monotonic() + delay
+                    pending.append(unit)
+                else:
+                    finish_unit(unit, value,
+                                time.monotonic() - unit.started)
+            if timeout is not None and not broken:
+                now = time.monotonic()
+                for future in list(inflight):
+                    unit = inflight[future]
+                    if future.done() or now - unit.started <= timeout:
+                        continue
+                    # Hung worker: this attempt is spent, and the only
+                    # way to reclaim the stuck slot is a pool respawn.
+                    broken = True
+                    del inflight[future]
+                    exc: BaseException = TimeoutError(
+                        f"unit {unit.label} exceeded "
+                        f"{timeout}s wall-clock deadline "
+                        f"(attempt {unit.attempts})")
+                    delay = self._handle_unit_error(
+                        unit.label, unit.key, unit.attempts, exc, stats)
+                    unit.ready_at = time.monotonic() + delay
+                    pending.append(unit)
+            if broken:
+                requeue_casualties()
+                self._respawn_or_degrade(ctx, stats)
+
+        # Degraded: finish in-process, keeping each unit's remaining
+        # retry budget (recomputation is deterministic, so results are
+        # identical to a healthy pooled run).
+        while pending:
+            unit = pending.popleft()
+            unit_started = time.monotonic()
+            value, attempts = self._attempt_serial(
+                unit.label, unit.key, stats,
+                lambda unit=unit: run_serial(unit),
+                first_attempt=unit.attempts + 1)
+            unit.attempts = attempts
+            finish_unit(unit, value, time.monotonic() - unit_started)
 
     def _run_pool(self, profile, workers: int,
                   alone_pending: List[_AloneTask],
                   cell_pending: List[_CellTask],
                   alone_ipcs: Dict[Tuple[int, str], float],
                   cell_results: Dict[Tuple[int, str, str], MixResult],
-                  reporter: _UnitReporter) -> None:
+                  reporter: _UnitReporter,
+                  stats: SweepStats) -> None:
         """Fan units out over a process pool, alone phase first.
 
-        Per-unit ``wall_seconds`` is submit-to-completion as seen by
-        the parent, so it includes pool queueing — the number a reader
-        wants when judging where a sweep's time went.
+        Per-unit ``wall_seconds`` is submit-to-completion of the
+        *successful* attempt as seen by the parent, so it includes
+        pool queueing — the number a reader wants when judging where
+        a sweep's time went.
         """
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            submitted = time.time()
-            futures = {
-                pool.submit(_alone_worker, profile, task.cores, task.mix,
-                            task.core_index): task
-                for task in alone_pending
-            }
-            for future in as_completed(futures):
-                task = futures[future]
-                value = future.result()
+        ctx = _PoolContext(workers=workers,
+                           respawns_left=self.retry.max_pool_respawns,
+                           pool=ProcessPoolExecutor(max_workers=workers))
+        try:
+            def submit_alone(pool, unit):
+                return pool.submit(_pool_alone_unit, profile, unit.task,
+                                   self.faults, unit.label,
+                                   unit.attempts)
+
+            def serial_alone(unit):
+                task = unit.task
+                return _alone_worker(profile, task.cores, task.mix,
+                                     task.core_index)
+
+            def finish_alone(unit, value, wall):
+                task = unit.task
                 alone_ipcs[(task.cores, task.trace_name)] = value
                 self._cache_put(task.key, value)
                 reporter.unit(False, unit="alone", key=task.key,
                               cores=task.cores, trace=task.trace_name,
                               seed=profile.seed,
-                              wall_seconds=round(time.time() - submitted, 6),
-                              metrics={"ipc_alone": value})
+                              wall_seconds=round(wall, 6),
+                              metrics={"ipc_alone": value},
+                              **self._attempt_fields(unit.attempts))
 
-            submitted = time.time()
-            cell_futures = {
-                pool.submit(_cell_worker, profile, task.cores, task.mix,
-                            task.policy, task.drishti,
-                            self._mix_alone_ipcs(profile, task.cores,
-                                                 task.mix, alone_ipcs)):
-                task
-                for task in cell_pending
-            }
-            for future in as_completed(cell_futures):
-                task = cell_futures[future]
-                result = future.result()
+            self._pool_phase(
+                ctx,
+                [_PoolUnit(task=t, label=t.label, key=t.key)
+                 for t in alone_pending],
+                submit_alone, serial_alone, finish_alone, stats)
+
+            def submit_cell(pool, unit):
+                task = unit.task
+                return pool.submit(_pool_cell_unit, profile, task,
+                                   self._mix_alone_ipcs(
+                                       profile, task.cores, task.mix,
+                                       alone_ipcs),
+                                   self.faults, unit.label,
+                                   unit.attempts)
+
+            def serial_cell(unit):
+                task = unit.task
+                return _cell_worker(profile, task.cores, task.mix,
+                                    task.policy, task.drishti,
+                                    self._mix_alone_ipcs(
+                                        profile, task.cores, task.mix,
+                                        alone_ipcs))
+
+            def finish_cell(unit, result, wall):
+                task = unit.task
                 for target in task.targets:
                     cell_results[target] = result
                 self._cache_put(task.key, result)
                 reporter.unit(False, unit="cell", key=task.key,
                               cores=task.cores, mix=task.mix.name,
                               policy=task.policy, seed=profile.seed,
-                              wall_seconds=round(time.time() - submitted, 6),
-                              metrics=_cell_metrics(result))
+                              wall_seconds=round(wall, 6),
+                              metrics=_cell_metrics(result),
+                              **self._attempt_fields(unit.attempts))
+
+            self._pool_phase(
+                ctx,
+                [_PoolUnit(task=t, label=t.label, key=t.key)
+                 for t in cell_pending],
+                submit_cell, serial_cell, finish_cell, stats)
+        except BaseException:
+            # Interrupted or failed: don't block on in-flight (possibly
+            # hung) workers — reclaim them and let run() flush records.
+            _kill_pool(ctx.pool)
+            ctx.pool = None
+            raise
+        else:
+            if ctx.pool is not None:
+                ctx.pool.shutdown(wait=True)
 
 
 # ---------------------------------------------------------------------------
@@ -534,27 +1006,43 @@ def _env_manifest() -> Optional[RunManifest]:
     return RunManifest(raw)
 
 
+def _env_resume() -> Optional[str]:
+    """``REPRO_SWEEP_RESUME``: unset → fresh run; a path → replay that
+    manifest and skip every unit it proves complete."""
+    raw = os.environ.get("REPRO_SWEEP_RESUME", "").strip()
+    return raw or None
+
+
 def default_engine() -> SweepEngine:
     """Engine configured from the environment (serial, no cache, no
     telemetry when ``REPRO_SWEEP_WORKERS`` / ``REPRO_SWEEP_CACHE`` /
-    ``REPRO_TELEMETRY`` / ``REPRO_MANIFEST`` are unset)."""
+    ``REPRO_TELEMETRY`` / ``REPRO_MANIFEST`` are unset; retry/timeout
+    from ``REPRO_SWEEP_RETRIES`` / ``REPRO_SWEEP_TIMEOUT``, fault
+    injection from ``REPRO_FAULTS``, resume from
+    ``REPRO_SWEEP_RESUME``)."""
     workers = _env_workers()
     parallel = workers is not None and workers > 1
     return SweepEngine(parallel=parallel,
                        max_workers=workers if parallel else None,
                        cache=_env_cache(),
                        manifest=_env_manifest(),
-                       progress=telemetry_enabled())
+                       progress=telemetry_enabled(),
+                       retry=RetryPolicy.from_env(),
+                       faults=FaultPlan.from_env(),
+                       resume=_env_resume())
 
 
 def run_sweep(profile, policies=None, *, parallel: bool = False,
               max_workers: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               manifest: Optional[RunManifest] = None,
-              progress: bool = False):
+              progress: bool = False,
+              retry: Optional[RetryPolicy] = None,
+              faults: Optional[FaultPlan] = None,
+              resume=None):
     """One-shot sweep; returns ``(PolicyMatrix, SweepStats)``."""
     engine = SweepEngine(parallel=parallel, max_workers=max_workers,
                          cache=cache, manifest=manifest,
-                         progress=progress)
-    matrix = engine.run(profile, policies)
+                         progress=progress, retry=retry, faults=faults)
+    matrix = engine.run(profile, policies, resume=resume)
     return matrix, engine.last_stats

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the sweep engine.
+
+The fault-tolerance machinery in
+:class:`repro.experiments.engine.SweepEngine` (retries, per-unit
+timeouts, ``BrokenProcessPool`` recovery, checkpoint/resume) is only
+trustworthy if every recovery path is exercised end-to-end.  This
+module makes chosen work units fail *on purpose*, reproducibly:
+
+* a :class:`FaultSpec` matches unit labels (``fnmatch`` patterns over
+  ``"alone:{cores}:{trace}"`` / ``"cell:{cores}:{mix}:{policy}"``) and
+  fires on attempts ``1..times`` — the unit fails exactly *times*
+  times, then succeeds, so tests can assert a crash-twice-then-succeed
+  sweep is bit-identical to a fault-free one;
+* a :class:`FaultPlan` is an immutable, picklable bundle of specs the
+  engine threads *explicitly* into every work unit (parent and pool
+  workers alike — workers never consult the environment, keeping the
+  submitted callables pure);
+* :func:`maybe_inject` is the single injection point, called with the
+  parent-assigned attempt number so the decision is identical no
+  matter which process executes the unit.
+
+Fault modes:
+
+``raise``
+    raise :class:`InjectedFault` (a crashing unit).
+``hang``
+    sleep ``hang_seconds`` then raise — in a pool this simulates a
+    hung worker (trip the engine's per-unit deadline by hanging longer
+    than ``unit_timeout``); serially it is a slow crash.
+``kill``
+    ``os._exit`` the worker process mid-unit, which the parent
+    observes as ``BrokenProcessPool``.  In the parent process (serial
+    or degraded execution) this downgrades to ``raise`` — killing the
+    driver would defeat the exercise.
+``interrupt``
+    raise ``KeyboardInterrupt``, simulating Ctrl-C mid-sweep (serial
+    execution; used to test the ``sweep_interrupted`` flush + resume).
+
+``REPRO_FAULTS`` (or CLI ``--faults``) carries a plan as
+``match|mode|times[|hang_seconds]`` specs joined by ``;``, e.g.
+``"cell:*|raise|2;alone:*:mcf*|kill|1"``.  See docs/robustness.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Optional, Tuple
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "maybe_inject",
+    "unit_label",
+]
+
+#: Exit code used by ``kill`` faults (visible in BrokenProcessPool
+#: diagnostics when debugging the harness itself).
+KILL_EXIT_CODE = 86
+
+MODES = ("raise", "hang", "kill", "interrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The failure raised by ``raise``/``hang`` (and in-parent
+    ``kill``) faults — an ordinary unit crash, as far as the engine's
+    retry machinery is concerned."""
+
+
+def unit_label(kind: str, cores: int, name: str,
+               policy: Optional[str] = None) -> str:
+    """The stable, human-readable identity fault specs match against.
+
+    ``alone:{cores}:{trace_name}`` for alone units,
+    ``cell:{cores}:{mix_name}:{policy}`` for cells.
+    """
+    label = f"{kind}:{cores}:{name}"
+    if policy is not None:
+        label = f"{label}:{policy}"
+    return label
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    Attributes:
+        match: ``fnmatch`` pattern over unit labels.
+        mode: one of :data:`MODES`.
+        times: fail attempts ``1..times``; later attempts succeed.
+        hang_seconds: sleep length for ``hang`` mode.
+    """
+
+    match: str
+    mode: str = "raise"
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"fault mode must be one of {MODES}, got {self.mode!r}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be >= 0")
+
+    def applies(self, label: str, attempt: int) -> bool:
+        return attempt <= self.times and fnmatchcase(label, self.match)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of :class:`FaultSpec` rules plus the driver's
+    PID (so ``kill`` faults can tell workers from the parent)."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    parent_pid: int = field(default_factory=os.getpid)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Plan from a ``match|mode|times[|hang_seconds]`` spec string
+        (specs joined by ``;``); raises ``ValueError`` on bad input."""
+        specs = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = [p.strip() for p in chunk.split("|")]
+            if not 1 <= len(parts) <= 4:
+                raise ValueError(
+                    f"fault spec {chunk!r} is not "
+                    f"'match|mode|times[|hang_seconds]'")
+            kwargs = {"match": parts[0]}
+            if len(parts) > 1:
+                kwargs["mode"] = parts[1]
+            try:
+                if len(parts) > 2:
+                    kwargs["times"] = int(parts[2])
+                if len(parts) > 3:
+                    kwargs["hang_seconds"] = float(parts[3])
+            except ValueError:
+                raise ValueError(
+                    f"fault spec {chunk!r}: times must be an integer "
+                    f"and hang_seconds a number") from None
+            specs.append(FaultSpec(**kwargs))
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """Plan from ``REPRO_FAULTS``; ``None`` when unset/empty."""
+        raw = os.environ.get("REPRO_FAULTS", "").strip()
+        if not raw:
+            return None
+        plan = cls.parse(raw)
+        return plan if plan else None
+
+
+def maybe_inject(plan: Optional[FaultPlan], label: str,
+                 attempt: int) -> None:
+    """Fire the first matching fault for (*label*, *attempt*), if any.
+
+    Called at the top of every work-unit execution — in the parent for
+    serial/degraded runs, inside the pool worker otherwise — with the
+    attempt number assigned by the parent, so injection decisions are
+    process-independent.  No-op when *plan* is ``None`` or empty.
+    """
+    if plan is None or not plan.specs:
+        return
+    for spec in plan.specs:
+        if not spec.applies(label, attempt):
+            continue
+        if spec.mode == "hang":
+            time.sleep(spec.hang_seconds)
+            raise InjectedFault(
+                f"injected hang ({spec.hang_seconds}s) for {label} "
+                f"attempt {attempt}")
+        if spec.mode == "kill" and os.getpid() != plan.parent_pid:
+            os._exit(KILL_EXIT_CODE)
+        if spec.mode == "interrupt":
+            raise KeyboardInterrupt(
+                f"injected interrupt for {label} attempt {attempt}")
+        raise InjectedFault(
+            f"injected {spec.mode} for {label} attempt {attempt}")

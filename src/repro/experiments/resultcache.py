@@ -28,6 +28,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Iterable, Optional, Tuple
 
@@ -67,12 +68,15 @@ class ResultCache:
     Attributes:
         root: cache directory (created lazily on first write).
         hits / misses: lookup counters since construction.
+        write_errors: failed :meth:`put` calls since construction.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.write_errors = 0
+        self._writes_disabled = False
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -103,21 +107,41 @@ class ResultCache:
         self.hits += 1
         return True, value
 
-    def put(self, key: str, value: Any) -> None:
-        """Atomically store *value* under *key*."""
+    def put(self, key: str, value: Any) -> bool:
+        """Atomically store *value* under *key*; True on success.
+
+        Caching is an optimisation, so filesystem trouble (disk full,
+        read-only cache dir) must not kill the sweep that tried to
+        populate it: the first ``OSError`` raises a single
+        ``RuntimeWarning`` and disables further writes — mirroring the
+        torn/corrupt-entry tolerance :meth:`get` already has.
+        Non-filesystem errors (e.g. an unpicklable value) still
+        propagate.
+        """
+        if self._writes_disabled:
+            return False
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            return True
+        except OSError as exc:
+            self.write_errors += 1
+            self._writes_disabled = True
+            warnings.warn(
+                f"result cache write to {self.root} failed ({exc!r}); "
+                f"continuing uncached", RuntimeWarning, stacklevel=2)
+            return False
+        finally:
+            if tmp is not None and os.path.exists(tmp):
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
     def _entries(self) -> Iterable[Path]:

@@ -1,0 +1,169 @@
+"""Retry policy for sweep work units.
+
+A sweep's work units are deterministic, so a transient failure — an
+OOM-killed worker, a flaky filesystem, an injected fault from
+:mod:`repro.experiments.faults` — can simply be re-run: the retried
+unit produces the exact bytes the first attempt would have.  This
+module holds the *policy* half of that story (how many attempts, how
+long to back off, when a unit is considered hung); the *mechanism*
+lives in :class:`repro.experiments.engine.SweepEngine`.
+
+Backoff delays are deterministic: the jitter for attempt *n* of unit
+*key* is drawn from ``random.Random(f"{seed}:{key}:{n}")``, so two
+runs of the same failing sweep wait the same amounts — scheduling
+stays reproducible even under injected faults.
+
+Environment knobs (read by :meth:`RetryPolicy.from_env`, set by the
+``--max-retries`` / ``--unit-timeout`` CLI flags):
+
+``REPRO_SWEEP_RETRIES``
+    retries per unit *after* the first attempt (default 2, i.e. three
+    attempts total); ``0`` disables retrying.
+``REPRO_SWEEP_TIMEOUT``
+    per-unit wall-clock timeout in seconds for pooled runs (default:
+    none).  ``0`` or unset disables the deadline.
+
+See docs/robustness.md for the full fault-tolerance story.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "UnitFailure"]
+
+#: Default retries after the first attempt (=> 3 attempts total).
+DEFAULT_RETRIES = 2
+
+
+class UnitFailure(RuntimeError):
+    """A work unit failed every allowed attempt.
+
+    Attributes:
+        label: human-readable unit label (``faults.unit_label``).
+        key: the unit's content-addressed cache key.
+        attempts: how many attempts were made.
+        cause: the final attempt's exception (also ``__cause__``).
+    """
+
+    def __init__(self, label: str, key: str, attempts: int,
+                 cause: BaseException):
+        super().__init__(
+            f"work unit {label!r} failed after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: {cause!r}")
+        self.label = label
+        self.key = key
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the sweep engine treats failing work units.
+
+    Attributes:
+        max_attempts: total tries per unit (1 = no retry).
+        base_delay: backoff before the first retry, in seconds.
+        backoff_factor: multiplier per subsequent retry.
+        max_delay: backoff ceiling (before jitter).
+        jitter: extra delay fraction in ``[0, jitter]``, drawn from a
+            seeded RNG so backoff is deterministic per (unit, attempt).
+        seed: jitter RNG seed.
+        unit_timeout: per-unit wall-clock deadline in seconds for
+            *pooled* execution (``None`` = no deadline; the serial
+            path cannot preempt a unit and ignores it).
+        max_pool_respawns: ``BrokenProcessPool`` recoveries before the
+            engine degrades to serial execution.
+        poll_interval: how often the pooled scheduler wakes to check
+            completions and deadlines, in seconds.
+    """
+
+    max_attempts: int = DEFAULT_RETRIES + 1
+    base_delay: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+    unit_timeout: Optional[float] = None
+    max_pool_respawns: int = 1
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        for name in ("base_delay", "backoff_factor", "max_delay",
+                     "jitter", "poll_interval"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError(
+                f"unit_timeout must be positive (or None), "
+                f"got {self.unit_timeout}")
+        if self.max_pool_respawns < 0:
+            raise ValueError("max_pool_respawns must be >= 0")
+
+    # ------------------------------------------------------------------
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before re-running *key* after failed try *attempt*.
+
+        Exponential in the attempt number, capped at ``max_delay``,
+        with deterministic jitter: the same (seed, key, attempt) always
+        yields the same delay, in any process.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        base = min(self.max_delay,
+                   self.base_delay * self.backoff_factor ** (attempt - 1))
+        if base <= 0:
+            return 0.0
+        rng = random.Random(f"{self.seed}:{key}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+    @property
+    def retries(self) -> int:
+        """Retries after the first attempt (``max_attempts - 1``)."""
+        return self.max_attempts - 1
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy configured by ``REPRO_SWEEP_RETRIES`` /
+        ``REPRO_SWEEP_TIMEOUT`` (defaults where unset)."""
+        return cls(max_attempts=_env_retries() + 1,
+                   unit_timeout=_env_timeout())
+
+
+def _env_retries() -> int:
+    raw = os.environ.get("REPRO_SWEEP_RETRIES", "").strip()
+    if not raw:
+        return DEFAULT_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SWEEP_RETRIES must be a non-negative integer, "
+            f"got {raw!r}") from None
+    if value < 0:
+        raise ValueError(
+            f"REPRO_SWEEP_RETRIES must be >= 0, got {value}")
+    return value
+
+
+def _env_timeout() -> Optional[float]:
+    raw = os.environ.get("REPRO_SWEEP_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SWEEP_TIMEOUT must be a number of seconds, "
+            f"got {raw!r}") from None
+    if value < 0:
+        raise ValueError(
+            f"REPRO_SWEEP_TIMEOUT must be >= 0, got {value}")
+    return value or None

@@ -30,6 +30,7 @@ and measured sampling overhead.
 """
 
 from repro.obs.events import (
+    FAILURE_EVENT_KINDS,
     emit,
     subscribe,
     telemetry_enabled,
@@ -37,24 +38,31 @@ from repro.obs.events import (
 )
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    ManifestReadReport,
     ProgressLine,
     RunManifest,
     read_manifest,
+    read_manifest_ex,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, StatsRegistry
 from repro.obs.sampling import SimTelemetry
 
 __all__ = [
     "Counter",
+    "FAILURE_EVENT_KINDS",
     "Gauge",
     "Histogram",
     "MANIFEST_SCHEMA_VERSION",
+    "ManifestError",
+    "ManifestReadReport",
     "ProgressLine",
     "RunManifest",
     "SimTelemetry",
     "StatsRegistry",
     "emit",
     "read_manifest",
+    "read_manifest_ex",
     "subscribe",
     "telemetry_enabled",
     "unsubscribe",

@@ -12,6 +12,12 @@ Listeners receive ``(kind, payload_dict)``.  A listener that raises
 does not break the emitting simulation: the exception propagates (so
 tests can assert), but emitters are expected to call ``emit`` outside
 their hot loops only.
+
+The sweep engine's fault-tolerance layer publishes its lifecycle here
+(:data:`FAILURE_EVENT_KINDS`) — always from the *parent* process, so
+pooled and serial runs record identical recovery histories — and the
+engine's manifest listener forwards them into the JSONL run manifest.
+See docs/robustness.md for each event's payload.
 """
 
 from __future__ import annotations
@@ -20,6 +26,20 @@ import os
 from typing import Callable, Dict, List
 
 Listener = Callable[[str, Dict], None]
+
+#: Fault-tolerance events the sweep engine emits on this bus:
+#: ``unit_retried`` (a work unit failed and will be re-run),
+#: ``unit_failed`` (retries exhausted; the sweep aborts),
+#: ``pool_respawn`` (BrokenProcessPool recovered by a fresh pool),
+#: ``pool_degraded`` (repeated breakage; remaining units run serially),
+#: ``sweep_interrupted`` (SIGINT flushed a partial-run record).
+FAILURE_EVENT_KINDS = (
+    "unit_retried",
+    "unit_failed",
+    "pool_respawn",
+    "pool_degraded",
+    "sweep_interrupted",
+)
 
 _listeners: List[Listener] = []
 

@@ -33,12 +33,19 @@ import json
 import pathlib
 import sys
 import time
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TextIO, Union
 
 #: Bump when the manifest event layout changes incompatibly.
 MANIFEST_SCHEMA_VERSION = 1
 
 PathLike = Union[str, pathlib.Path]
+
+
+class ManifestError(ValueError):
+    """A manifest line that should have been valid JSONL was not
+    (raised only by ``read_manifest_ex(strict=True)``)."""
 
 
 class RunManifest:
@@ -88,23 +95,79 @@ class RunManifest:
                 f"{self.events_written} events)")
 
 
+@dataclass
+class ManifestReadReport:
+    """What :func:`read_manifest_ex` actually found on disk.
+
+    Attributes:
+        events: the parsed event dicts, in file order.
+        torn_tail: the final record was truncated — the expected
+            artifact of a process killed mid-write.  Resume consumers
+            treat the parseable prefix as the checkpoint.
+        bad_lines: 1-based numbers of *non-final* unparseable lines
+            (real corruption, not a crash artifact); each is skipped
+            and reported with a ``RuntimeWarning``.
+    """
+
+    events: List[Dict] = field(default_factory=list)
+    torn_tail: bool = False
+    bad_lines: List[int] = field(default_factory=list)
+
+
+def read_manifest_ex(path: PathLike, *,
+                     strict: bool = False) -> ManifestReadReport:
+    """Parse a JSONL manifest, tolerating crash damage.
+
+    The writer appends and flushes one line at a time, so a killed
+    process leaves at most one torn *final* record — possibly cut in
+    the middle of a multi-byte UTF-8 sequence, which is why the file
+    is read as bytes (a text-mode read would raise
+    ``UnicodeDecodeError`` before any tolerance logic ran).  The torn
+    tail is dropped and flagged on the report; an unparseable line
+    anywhere *else* is corruption and is skipped with a
+    ``RuntimeWarning`` (or raised as :class:`ManifestError` under
+    ``strict=True``).
+    """
+    raw = pathlib.Path(path).read_bytes()
+    chunks = raw.split(b"\n")
+    numbered = [(i + 1, chunk) for i, chunk in enumerate(chunks)
+                if chunk.strip()]
+    report = ManifestReadReport()
+    for lineno, chunk in numbered:
+        event: Optional[Dict] = None
+        try:
+            parsed = json.loads(chunk.decode("utf-8"))
+            if isinstance(parsed, dict):
+                event = parsed
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            pass
+        if event is not None:
+            report.events.append(event)
+            continue
+        if lineno == numbered[-1][0]:
+            report.torn_tail = True
+            continue
+        if strict:
+            raise ManifestError(
+                f"{path}: unparseable manifest record on line "
+                f"{lineno}: {chunk[:60]!r}")
+        report.bad_lines.append(lineno)
+        warnings.warn(
+            f"{path}: skipping unparseable manifest record on line "
+            f"{lineno} (torn by a crash?)", RuntimeWarning,
+            stacklevel=2)
+    return report
+
+
 def read_manifest(path: PathLike) -> List[Dict]:
     """Parse a JSONL manifest back into a list of event dicts.
 
-    Blank lines are skipped; a torn final line (crash mid-write) is
-    ignored rather than raised, matching the writer's durability story.
+    Blank lines are skipped and a torn final line (crash mid-write) is
+    dropped rather than raised, matching the writer's durability
+    story; use :func:`read_manifest_ex` to learn *whether* anything
+    was dropped.
     """
-    events: List[Dict] = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue
-    return events
+    return read_manifest_ex(path).events
 
 
 def _format_eta(seconds: float) -> str:

@@ -1,0 +1,445 @@
+"""Fault tolerance: retry policy, deterministic fault injection,
+pool recovery, and checkpoint/resume.
+
+Every recovery path the engine advertises is exercised end-to-end
+against the tiny two-core profile, and every recovered run is asserted
+*bit-identical* to a fault-free sweep — retries must never be able to
+change a number, only to delay it (docs/robustness.md).
+"""
+
+import pytest
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.engine import SweepEngine, run_sweep
+from repro.experiments.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    maybe_inject,
+    unit_label,
+)
+from repro.experiments.resultcache import ResultCache
+from repro.experiments.retry import RetryPolicy, UnitFailure
+from repro.obs import RunManifest, read_manifest
+from repro.obs import events as obs_events
+from repro.sim.config import ScaleProfile
+
+TINY_SCALE = ScaleProfile("tiny", llc_sets_per_slice=32, l2_sets=16,
+                          l1_sets=8, accesses_per_core=600)
+
+POLICIES = (("lru", "lru", DrishtiConfig.baseline()),
+            ("d-hawkeye", "hawkeye", DrishtiConfig.full()))
+
+#: No-backoff variant so injected-failure tests don't sleep.
+FAST_RETRY = RetryPolicy(base_delay=0.0, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_listeners():
+    obs_events.clear()
+    yield
+    obs_events.clear()
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                             num_homogeneous=1, num_heterogeneous=1,
+                             seed=3)
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny):
+    """(matrix, stats) of a fault-free serial sweep."""
+    matrix, stats = run_sweep(tiny, POLICIES)
+    assert stats.unit_retries == 0
+    assert stats.unit_failures == 0
+    return matrix, stats
+
+
+def assert_matrices_equal(a, b):
+    assert set(a.results) == set(b.results)
+    for key, res_a in a.results.items():
+        res_b = b.results[key]
+        assert res_a.ws == res_b.ws, key
+        assert res_a.mpki == res_b.mpki, key
+        assert res_a.wpki == res_b.wpki, key
+        assert res_a.ipc_together == res_b.ipc_together, key
+        assert res_a.ipc_alone == res_b.ipc_alone, key
+
+
+def events_of(events, kind):
+    return [e for e in events if e["event"] == kind]
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_delay_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy()
+        assert policy.delay("k1", 1) == policy.delay("k1", 1)
+        assert policy.delay("k1", 1) != policy.delay("k2", 1)
+        assert policy.delay("k1", 1) != policy.delay("k1", 2)
+
+    def test_delay_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, backoff_factor=2.0,
+                             max_delay=100.0, jitter=0.25)
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            d = policy.delay("k", attempt)
+            assert base <= d <= base * 1.25
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(base_delay=4.0, backoff_factor=10.0,
+                             max_delay=5.0, jitter=0.0)
+        assert policy.delay("k", 2) == 5.0
+
+    def test_zero_base_means_no_sleep(self):
+        assert FAST_RETRY.delay("k", 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(unit_timeout=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_pool_respawns=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay("k", 0)
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_TIMEOUT", raising=False)
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 3
+        assert policy.retries == 2
+        assert policy.unit_timeout is None
+
+    def test_from_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "5")
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "2.5")
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 6
+        assert policy.unit_timeout == 2.5
+
+    def test_from_env_zero_timeout_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "0")
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "0")
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 1
+        assert policy.unit_timeout is None
+
+    @pytest.mark.parametrize("name,value", [
+        ("REPRO_SWEEP_RETRIES", "two"),
+        ("REPRO_SWEEP_RETRIES", "-1"),
+        ("REPRO_SWEEP_TIMEOUT", "soon"),
+        ("REPRO_SWEEP_TIMEOUT", "-5"),
+    ])
+    def test_from_env_malformed_raises(self, monkeypatch, name, value):
+        monkeypatch.delenv("REPRO_SWEEP_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_TIMEOUT", raising=False)
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ValueError, match=name):
+            RetryPolicy.from_env()
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan / maybe_inject
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_unit_label(self):
+        assert unit_label("alone", 2, "mcf-s3-c0") == "alone:2:mcf-s3-c0"
+        assert unit_label("cell", 4, "hetero_00", "d-hawkeye") == \
+            "cell:4:hetero_00:d-hawkeye"
+
+    def test_parse(self):
+        plan = FaultPlan.parse("cell:*|raise|2; alone:*|hang|1|0.5")
+        assert plan.specs == (
+            FaultSpec("cell:*", "raise", 2),
+            FaultSpec("alone:*", "hang", 1, 0.5),
+        )
+        assert bool(plan)
+        assert not FaultPlan.parse("  ;  ")
+
+    @pytest.mark.parametrize("text", [
+        "cell:*|explode",          # unknown mode
+        "cell:*|raise|two",        # non-integer times
+        "cell:*|raise|0",          # times < 1
+        "cell:*|hang|1|fast",      # non-numeric hang_seconds
+        "a|b|1|2|3",               # too many fields
+    ])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_applies_window(self):
+        spec = FaultSpec("cell:2:*", times=2)
+        assert spec.applies("cell:2:homo_00_mcf:lru", 1)
+        assert spec.applies("cell:2:homo_00_mcf:lru", 2)
+        assert not spec.applies("cell:2:homo_00_mcf:lru", 3)
+        assert not spec.applies("alone:2:mcf-s3-c0", 1)
+
+    def test_maybe_inject_raise_then_clear(self):
+        plan = FaultPlan.parse("cell:*|raise|2")
+        with pytest.raises(InjectedFault):
+            maybe_inject(plan, "cell:2:m:lru", 1)
+        with pytest.raises(InjectedFault):
+            maybe_inject(plan, "cell:2:m:lru", 2)
+        maybe_inject(plan, "cell:2:m:lru", 3)  # succeeds
+        maybe_inject(plan, "alone:2:t", 1)     # no match
+        maybe_inject(None, "cell:2:m:lru", 1)  # no plan
+
+    def test_maybe_inject_hang_raises_after_sleep(self):
+        plan = FaultPlan.parse("cell:*|hang|1|0")
+        with pytest.raises(InjectedFault, match="hang"):
+            maybe_inject(plan, "cell:2:m:lru", 1)
+
+    def test_maybe_inject_interrupt(self):
+        plan = FaultPlan.parse("cell:*|interrupt|1")
+        with pytest.raises(KeyboardInterrupt):
+            maybe_inject(plan, "cell:2:m:lru", 1)
+
+    def test_kill_downgrades_to_raise_in_parent(self):
+        # plan built in this process, so parent_pid == os.getpid():
+        # the kill must NOT take the test runner down.
+        plan = FaultPlan.parse("cell:*|kill|1")
+        with pytest.raises(InjectedFault):
+            maybe_inject(plan, "cell:2:m:lru", 1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", " ")
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", "cell:*|raise|1")
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.specs[0].match == "cell:*"
+
+
+# ---------------------------------------------------------------------------
+# Serial recovery
+# ---------------------------------------------------------------------------
+
+class TestSerialRecovery:
+    def run_with_manifest(self, profile, path, **engine_kw):
+        with RunManifest(path) as manifest:
+            engine = SweepEngine(manifest=manifest, retry=FAST_RETRY,
+                                 **engine_kw)
+            matrix = engine.run(profile, POLICIES)
+        return matrix, engine.last_stats, read_manifest(path)
+
+    def test_crash_twice_then_succeed_bit_identical(self, tiny, baseline,
+                                                    tmp_path):
+        base_matrix, base_stats = baseline
+        matrix, stats, events = self.run_with_manifest(
+            tiny, tmp_path / "m.jsonl",
+            faults=FaultPlan.parse("cell:*|raise|2"))
+        # Retried units yield the exact bytes a fault-free run does.
+        assert_matrices_equal(matrix, base_matrix)
+        assert stats.unit_failures == 0
+        assert stats.unit_retries == 2 * base_stats.cell_units
+        retried = events_of(events, "unit_retried")
+        assert len(retried) == stats.unit_retries
+        assert all(e["error"].startswith("InjectedFault")
+                   for e in retried)
+        assert events[-1]["event"] == "sweep_end"
+        assert events[-1]["status"] == "ok"
+        assert events[-1]["unit_retries"] == stats.unit_retries
+        # Successful-after-retry units record their attempt count.
+        cells = [e for e in events_of(events, "unit")
+                 if e["unit"] == "cell"]
+        assert all(e["attempts"] == 3 for e in cells)
+
+    def test_exhausted_retries_raise_unit_failure(self, tiny, tmp_path):
+        with pytest.raises(UnitFailure) as excinfo:
+            self.run_with_manifest(
+                tiny, tmp_path / "m.jsonl",
+                faults=FaultPlan.parse("cell:*|raise|3"))
+        assert isinstance(excinfo.value.cause, InjectedFault)
+        assert excinfo.value.attempts == 3
+        events = read_manifest(tmp_path / "m.jsonl")
+        assert events[-1]["event"] == "sweep_end"
+        assert events[-1]["status"] == "failed"
+        assert "UnitFailure" in events[-1]["error"]
+        failed = events_of(events, "unit_failed")
+        assert len(failed) == 1 and failed[0]["attempts"] == 3
+
+    def test_interrupt_flushes_partial_record(self, tiny, tmp_path):
+        with pytest.raises(KeyboardInterrupt):
+            self.run_with_manifest(
+                tiny, tmp_path / "m.jsonl",
+                faults=FaultPlan.parse("cell:*|interrupt|1"))
+        events = read_manifest(tmp_path / "m.jsonl")
+        assert events[-1]["event"] == "sweep_end"
+        assert events[-1]["status"] == "interrupted"
+        interrupted = events_of(events, "sweep_interrupted")
+        assert len(interrupted) == 1
+        # Every alone unit completed (and was recorded) before the
+        # first cell fired the injected Ctrl-C.
+        units = events_of(events, "unit")
+        assert units and all(u["unit"] == "alone" for u in units)
+        assert interrupted[0]["done"] == len(units)
+
+
+# ---------------------------------------------------------------------------
+# Pooled recovery
+# ---------------------------------------------------------------------------
+
+class TestPoolRecovery:
+    def run_pooled(self, profile, path, faults, retry=FAST_RETRY):
+        with RunManifest(path) as manifest:
+            engine = SweepEngine(parallel=True, max_workers=2,
+                                 manifest=manifest, retry=retry,
+                                 faults=faults)
+            matrix = engine.run(profile, POLICIES)
+        return matrix, engine.last_stats, read_manifest(path)
+
+    def test_worker_exception_retried(self, tiny, baseline, tmp_path):
+        base_matrix, base_stats = baseline
+        matrix, stats, events = self.run_pooled(
+            tiny, tmp_path / "m.jsonl",
+            FaultPlan.parse("cell:*|raise|1"))
+        assert_matrices_equal(matrix, base_matrix)
+        assert stats.unit_retries == base_stats.cell_units
+        assert stats.unit_failures == 0
+        assert stats.pool_respawns == 0
+        assert events[-1]["status"] == "ok"
+
+    def test_worker_kill_respawns_then_degrades(self, tiny, baseline,
+                                                tmp_path):
+        # Every cell kills its worker on the first try, so the pool
+        # breaks, is respawned once, breaks again, and the engine
+        # finishes serially — where kill downgrades to a plain raise
+        # and the retry budget drains normally.
+        base_matrix, _stats = baseline
+        matrix, stats, events = self.run_pooled(
+            tiny, tmp_path / "m.jsonl",
+            FaultPlan.parse("cell:*|kill|1"))
+        assert_matrices_equal(matrix, base_matrix)
+        assert stats.unit_failures == 0
+        assert stats.pool_respawns == 1
+        assert len(events_of(events, "pool_respawn")) == 1
+        assert len(events_of(events, "pool_degraded")) == 1
+        assert events[-1]["status"] == "ok"
+
+    def test_hung_worker_hits_deadline_and_recovers(self, tiny, baseline,
+                                                    tmp_path):
+        # One cell hangs (2s) past the 0.5s deadline; the engine
+        # declares it hung, reclaims the stuck worker by respawning
+        # the pool, and the retry succeeds.
+        base_matrix, _stats = baseline
+        matrix, stats, events = self.run_pooled(
+            tiny, tmp_path / "m.jsonl",
+            FaultPlan.parse("cell:2:homo_00_mcf:lru|hang|1|2"),
+            retry=RetryPolicy(base_delay=0.0, jitter=0.0,
+                              unit_timeout=0.5))
+        assert_matrices_equal(matrix, base_matrix)
+        assert stats.unit_failures == 0
+        assert stats.unit_retries >= 1
+        retried = events_of(events, "unit_retried")
+        assert any("TimeoutError" in e["error"] for e in retried)
+        assert events[-1]["status"] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def interrupted_run(self, tiny, tmp_path):
+        """Kill a cached+manifested sweep after the homogeneous cells;
+        returns (manifest_path, cache_dir)."""
+        manifest_path = tmp_path / "run1.jsonl"
+        cache_dir = tmp_path / "cache"
+        with RunManifest(manifest_path) as manifest:
+            engine = SweepEngine(cache=ResultCache(cache_dir),
+                                 manifest=manifest, retry=FAST_RETRY,
+                                 faults=FaultPlan.parse(
+                                     "cell:2:hetero_00:*|interrupt|1"))
+            with pytest.raises(KeyboardInterrupt):
+                engine.run(tiny, POLICIES)
+        return manifest_path, cache_dir
+
+    def test_resume_skips_all_completed_units(self, tiny, baseline,
+                                              tmp_path):
+        base_matrix, base_stats = baseline
+        manifest_path, cache_dir = self.interrupted_run(tiny, tmp_path)
+        completed = len([e for e in read_manifest(manifest_path)
+                         if e["event"] == "unit"])
+        assert 0 < completed < base_stats.total_units
+
+        manifest2 = tmp_path / "run2.jsonl"
+        with RunManifest(manifest2) as manifest:
+            engine = SweepEngine(cache=ResultCache(cache_dir),
+                                 manifest=manifest, retry=FAST_RETRY)
+            matrix = engine.run(tiny, POLICIES, resume=manifest_path)
+        stats = engine.last_stats
+        # Zero completed units re-simulated; only the remainder ran.
+        assert stats.resumed_units == completed
+        assert stats.simulations_run == \
+            base_stats.total_units - completed
+        assert_matrices_equal(matrix, base_matrix)
+        events = read_manifest(manifest2)
+        resume = events_of(events, "sweep_resume")
+        assert len(resume) == 1
+        assert resume[0]["resumed_units"] == completed
+        assert resume[0]["missing_from_cache"] == 0
+        assert events[-1]["status"] == "ok"
+        assert events[-1]["resumed_units"] == completed
+
+    def test_resume_without_cache_replays_alone_from_manifest(
+            self, tiny, baseline, tmp_path):
+        # JSON floats round-trip exactly, so alone IPCs replayed from
+        # the manifest (no result cache at all) keep the final matrix
+        # bit-identical; cells are recomputed deterministically.
+        base_matrix, base_stats = baseline
+        manifest_path = tmp_path / "run1.jsonl"
+        with RunManifest(manifest_path) as manifest:
+            engine = SweepEngine(manifest=manifest, retry=FAST_RETRY)
+            engine.run(tiny, POLICIES)
+
+        engine2 = SweepEngine(retry=FAST_RETRY)
+        matrix = engine2.run(tiny, POLICIES, resume=manifest_path)
+        stats = engine2.last_stats
+        assert stats.resumed_units == base_stats.alone_units
+        assert stats.simulations_run == base_stats.cell_units
+        assert_matrices_equal(matrix, base_matrix)
+
+    def test_resume_tolerates_torn_manifest_tail(self, tiny, baseline,
+                                                 tmp_path):
+        base_matrix, base_stats = baseline
+        manifest_path, cache_dir = self.interrupted_run(tiny, tmp_path)
+        completed = len([e for e in read_manifest(manifest_path)
+                         if e["event"] == "unit"])
+        # Simulate a hard kill mid-write: a truncated trailing record.
+        with open(manifest_path, "ab") as fh:
+            fh.write(b'{"event": "unit", "ke')
+
+        manifest2 = tmp_path / "run2.jsonl"
+        with RunManifest(manifest2) as manifest:
+            engine = SweepEngine(cache=ResultCache(cache_dir),
+                                 manifest=manifest, retry=FAST_RETRY)
+            matrix = engine.run(tiny, POLICIES, resume=manifest_path)
+        assert engine.last_stats.resumed_units == completed
+        assert_matrices_equal(matrix, base_matrix)
+        resume = events_of(read_manifest(manifest2), "sweep_resume")
+        assert resume[0]["prior_torn_tail"] is True
+
+    def test_resume_with_env_knob(self, tiny, baseline, tmp_path,
+                                  monkeypatch):
+        from repro.experiments.engine import default_engine
+        base_matrix, _stats = baseline
+        manifest_path, cache_dir = self.interrupted_run(tiny, tmp_path)
+        monkeypatch.setenv("REPRO_SWEEP_RESUME", str(manifest_path))
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(cache_dir))
+        engine = default_engine()
+        assert engine.resume == str(manifest_path)
+        matrix = engine.run(tiny, POLICIES)
+        assert engine.last_stats.resumed_units > 0
+        assert_matrices_equal(matrix, base_matrix)

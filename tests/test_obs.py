@@ -20,11 +20,13 @@ from repro.obs import (
     Gauge,
     Histogram,
     MANIFEST_SCHEMA_VERSION,
+    ManifestError,
     ProgressLine,
     RunManifest,
     SimTelemetry,
     StatsRegistry,
     read_manifest,
+    read_manifest_ex,
     telemetry_enabled,
 )
 from repro.obs import events as obs_events
@@ -177,6 +179,67 @@ class TestManifest:
             fh.write('{"event": "unit", "i"')  # crash mid-write
         assert [e["i"] for e in read_manifest(path)] == [0]
 
+    def test_torn_tail_flagged_on_report(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunManifest(path) as manifest:
+            manifest.emit("unit", i=0)
+        with open(path, "a") as fh:
+            fh.write('{"event": "unit", "i"')
+        report = read_manifest_ex(path)
+        assert [e["i"] for e in report.events] == [0]
+        assert report.torn_tail is True
+        assert report.bad_lines == []
+
+    def test_tail_torn_mid_utf8_sequence(self, tmp_path):
+        # A process killed mid-write can cut a multi-byte character in
+        # half; a text-mode reader would die with UnicodeDecodeError
+        # before any JSON tolerance logic ran.
+        path = tmp_path / "run.jsonl"
+        with RunManifest(path) as manifest:
+            manifest.emit("unit", i=0)
+        with open(path, "ab") as fh:
+            fh.write('{"event": "unit", "mix": "caf'.encode() + b"\xc3")
+        report = read_manifest_ex(path)
+        assert [e["i"] for e in report.events] == [0]
+        assert report.torn_tail is True
+
+    def test_non_dict_json_tail_dropped(self, tmp_path):
+        # A torn record can still parse as valid JSON (e.g. a bare
+        # number); it must not surface as an "event".
+        path = tmp_path / "run.jsonl"
+        with RunManifest(path) as manifest:
+            manifest.emit("unit", i=0)
+        with open(path, "a") as fh:
+            fh.write("42")
+        report = read_manifest_ex(path)
+        assert [e["i"] for e in report.events] == [0]
+        assert report.torn_tail is True
+
+    def test_mid_file_corruption_warns_and_skips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunManifest(path) as manifest:
+            manifest.emit("unit", i=0)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        with RunManifest(path) as manifest:
+            manifest.emit("unit", i=1)
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            report = read_manifest_ex(path)
+        assert [e["i"] for e in report.events] == [0, 1]
+        assert report.bad_lines == [2]
+        assert report.torn_tail is False
+
+    def test_mid_file_corruption_strict_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunManifest(path) as manifest:
+            manifest.emit("unit", i=0)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        with RunManifest(path) as manifest:
+            manifest.emit("unit", i=1)
+        with pytest.raises(ManifestError, match="line 2"):
+            read_manifest_ex(path, strict=True)
+
     @given(payload=st.dictionaries(
         st.text(min_size=1, max_size=8).filter(
             lambda s: s not in ("event", "ts")),
@@ -219,6 +282,43 @@ class TestProgressLine:
         line.update(1, 0)
         line.finish(4, 0)
         assert out.getvalue() == ""
+
+    def test_eta_zero_elapsed_first_live_unit(self):
+        # The first live completion can land with ~0 elapsed seconds;
+        # the extrapolation must yield a finite "0s", not a crash.
+        import time
+        out = io.StringIO()
+        line = ProgressLine(10, stream=out)
+        line._started = time.time()
+        line.update(1, 0)
+        assert "ETA 0s" in out.getvalue()
+
+    def test_eta_all_cache_hits_complete(self):
+        # Every unit warm: no live basis for a rate, but the sweep is
+        # done, so the ETA is 0s rather than the "--" placeholder.
+        out = io.StringIO()
+        line = ProgressLine(4, stream=out)
+        line.update(4, 4)
+        assert "4/4 units, 4 cache hits, ETA 0s" in out.getvalue()
+
+    def test_eta_done_beyond_total(self):
+        # done > total (e.g. a resumed run double-counting against a
+        # stale denominator) must clamp remaining to zero, not go
+        # negative.
+        out = io.StringIO()
+        line = ProgressLine(4, stream=out)
+        line.update(6, 2)
+        line.finish(6, 2)
+        text = out.getvalue()
+        assert "6/4 units, 2 cache hits, ETA 0s" in text
+        assert "6/4 units done" in text
+
+    def test_format_eta_units(self):
+        from repro.obs.manifest import _format_eta
+        assert _format_eta(59) == "59s"
+        assert _format_eta(61) == "1m01s"
+        assert _format_eta(3600) == "1h00m"
+        assert _format_eta(-5) == "0s"
 
 
 # ---------------------------------------------------------------------------

@@ -249,6 +249,61 @@ class TestDefaults:
 
     def test_bad_workers_env_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS"):
+            default_engine()
+
+    @pytest.mark.parametrize("raw", ["", "  ", "0"])
+    def test_blank_or_zero_workers_env_stays_serial(self, monkeypatch,
+                                                    raw):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", raw)
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        engine = default_engine()
+        assert engine.parallel is False
+
+    def test_auto_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "auto")
+        engine = default_engine()
+        assert engine.parallel is (available_workers() > 1)
+
+    @pytest.mark.parametrize("raw", ["", "  ", "0"])
+    def test_blank_or_zero_cache_env_disables(self, monkeypatch, raw):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", raw)
+        assert default_engine().cache is None
+
+    def test_cache_env_one_uses_default_dir(self, monkeypatch):
+        from repro.experiments.resultcache import default_cache_dir
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "1")
+        engine = default_engine()
+        assert engine.cache is not None
+        assert engine.cache.root == default_cache_dir()
+
+    def test_retry_env_flows_into_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "4")
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "1.5")
+        engine = default_engine()
+        assert engine.retry.max_attempts == 5
+        assert engine.retry.unit_timeout == 1.5
+
+    @pytest.mark.parametrize("name,value", [
+        ("REPRO_SWEEP_RETRIES", "lots"),
+        ("REPRO_SWEEP_RETRIES", "-2"),
+        ("REPRO_SWEEP_TIMEOUT", "later"),
+        ("REPRO_SWEEP_TIMEOUT", "-1"),
+    ])
+    def test_bad_retry_env_raises(self, monkeypatch, name, value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ValueError, match=name):
+            default_engine()
+
+    def test_faults_env_arms_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert default_engine().faults is None
+        monkeypatch.setenv("REPRO_FAULTS", "cell:*|raise|1")
+        engine = default_engine()
+        assert engine.faults is not None
+        assert engine.faults.specs[0].mode == "raise"
+        monkeypatch.setenv("REPRO_FAULTS", "cell:*|maim|1")
         with pytest.raises(ValueError):
             default_engine()
 

@@ -57,7 +57,7 @@ class TestDocsPresence:
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/calibration.md", "docs/api.md",
         "docs/performance.md", "docs/observability.md",
-        "docs/static-analysis.md",
+        "docs/robustness.md", "docs/static-analysis.md",
         "examples/README.md",
     ])
     def test_doc_exists_and_nonempty(self, name):
