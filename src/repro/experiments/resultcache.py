@@ -37,7 +37,10 @@ from typing import Any, Iterable, Optional, Tuple
 # 2: per-core warmup targets are clamped to each trace's length, so
 #    mixes containing a trace shorter than the warmup window now reset
 #    stats where v1 silently measured everything.
-CACHE_SCHEMA_VERSION = 2
+# 3: SystemConfig grew the result-neutral ``sim_kernel`` backend
+#    selector (excluded from canonical_dict, so cached values are still
+#    correct); bumped to re-key the INV003 structural pin.
+CACHE_SCHEMA_VERSION = 3
 
 #: Default cache location, relative to the repository root.
 DEFAULT_CACHE_DIRNAME = os.path.join("results", "cache")

@@ -27,4 +27,8 @@ PINNED_STRUCT_HASHES: Dict[int, str] = {
     # prefetcher, hash_scheme, track_set_stats, model_tlb, llc_inclusive,
     # seed} + CacheConfig/CoreConfig/NOCConfig/DRAMConfig/DrishtiConfig.
     2: "c3c56b21e103223b488eab74c40a29ce22a3247206b607345c1e737d50119948",
+    # v3: as v2 plus SystemConfig.sim_kernel — the result-neutral
+    # backend selector ("auto"/"vector"/"reference"), excluded from
+    # canonical_dict so both backends share cache keys.
+    3: "1635a67f4bde897293b05233204c262fd70ba662ae14079e10e74a908d6e6bff",
 }

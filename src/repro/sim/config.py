@@ -161,6 +161,13 @@ class SystemConfig:
             non-inclusive, as is Sunny Cove's L3; this knob exists for
             sensitivity studies).
         seed: seed for all stochastic components.
+        sim_kernel: access-processing backend — ``"auto"`` (vectorized
+            kernel when the config is eligible, reference otherwise),
+            ``"vector"``, or ``"reference"``.  Results are bit-identical
+            across backends, so this field is excluded from
+            :meth:`canonical_dict` / :meth:`fingerprint`.  Overridable at
+            run time via the ``REPRO_SIM_KERNEL`` environment variable
+            (see :mod:`repro.sim.kernel`).
     """
 
     num_cores: int = 4
@@ -183,10 +190,15 @@ class SystemConfig:
     model_tlb: bool = False
     llc_inclusive: bool = False
     seed: int = 0
+    sim_kernel: str = "auto"
 
     def __post_init__(self):
         if self.num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.sim_kernel not in ("auto", "vector", "reference"):
+            raise ValueError(
+                f"sim_kernel must be 'auto', 'vector' or 'reference', "
+                f"got {self.sim_kernel!r}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -210,6 +222,7 @@ class SystemConfig:
             if not hasattr(cfg, key):
                 raise ValueError(f"unknown SystemConfig field {key!r}")
             setattr(cfg, key, value)
+        cfg.__post_init__()  # overrides bypass field validation
         return cfg
 
     def with_policy(self, llc_policy: str,
@@ -234,12 +247,17 @@ class SystemConfig:
     def canonical_dict(self) -> Dict:
         """Fully-nested plain-dict form with deterministic ordering.
 
-        Every field that can influence a simulation is included, so two
-        configs with equal canonical dicts produce identical runs.
-        Values that are not JSON-native (e.g. policy-param objects) are
-        rendered via ``repr`` at serialisation time.
+        Every field that can influence a simulation *result* is included,
+        so two configs with equal canonical dicts produce identical runs.
+        ``sim_kernel`` is excluded: the vectorized backend is pinned
+        bit-identical to the reference path, so cached sweep results are
+        shared across backends.  Values that are not JSON-native (e.g.
+        policy-param objects) are rendered via ``repr`` at serialisation
+        time.
         """
-        return asdict(self)
+        data = asdict(self)
+        data.pop("sim_kernel", None)
+        return data
 
     def fingerprint(self) -> str:
         """Content hash of this configuration (hex SHA-256).

@@ -35,6 +35,7 @@ from repro.cache.hierarchy import MemoryHierarchy
 from repro.cpu.core_model import CoreTiming
 from repro.obs.sampling import SimTelemetry
 from repro.sim.config import SystemConfig
+from repro.sim.kernel import VectorKernel, resolve_kernel
 from repro.traces.trace import Trace
 
 
@@ -143,6 +144,10 @@ class Simulator:
                     lambda i=i: self.cores[i].instructions)
                 registry.register(f"core.{i}.cycles",
                                   lambda i=i: self.cores[i].cycle)
+        # Set by run(): which access-processing backend executed and,
+        # when it fell back to the reference path, why.
+        self.kernel_used: Optional[str] = None
+        self.kernel_fallback_reasons: List[str] = []
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -154,6 +159,11 @@ class Simulator:
         the single-core case walks its trace directly instead of
         churning a one-element heap.  Both paths apply the exact same
         access/warmup semantics.
+
+        Backend selection: eligible configs (see
+        :func:`repro.sim.kernel.resolve_kernel`) may take the
+        bit-identical vectorized kernel; ``self.kernel_used`` /
+        ``self.kernel_fallback_reasons`` record the decision.
         """
         num_active = len(self.traces)
         positions = [0] * num_active
@@ -175,7 +185,31 @@ class Simulator:
         sample_every = (self.telemetry.sample_interval
                         if self.telemetry is not None else 0)
 
-        if num_active == 1:
+        kernel_used, fallback_reasons = resolve_kernel(
+            self.config, self.telemetry)
+        kernel = None
+        if kernel_used == "vector" and num_active > 0:
+            kernel = VectorKernel(self)
+            if not kernel.ready():
+                kernel = None
+                kernel_used = "reference"
+                fallback_reasons = [
+                    "simulator already ran: the lean private-level "
+                    "replica assumes cold caches"]
+        elif kernel_used == "vector":
+            kernel_used = "reference"  # nothing to vectorize
+        self.kernel_used = kernel_used
+        self.kernel_fallback_reasons = fallback_reasons
+
+        if kernel is not None:
+            if num_active == 1:
+                stats_reset_done = kernel.run_single_core(
+                    warmup_accesses, snapshots, stats_reset_done)
+            else:
+                stats_reset_done = kernel.run_interleaved(
+                    num_active, positions, processed, warm,
+                    warmup_accesses, snapshots, stats_reset_done)
+        elif num_active == 1:
             stats_reset_done = self._run_single_core(
                 warmup_accesses, demand_access, l1_hit_threshold,
                 snapshots, stats_reset_done, sample_every)
@@ -239,6 +273,11 @@ class Simulator:
         for i in range(num_active):
             if warmup_targets[i] == 0:
                 warm[i] = True
+        # O(1) warmup bookkeeping: count warm cores and unfinished
+        # traces incrementally instead of scanning all cores at each
+        # warm transition (bit-identical to the scan form).
+        warm_count = sum(1 for w in warm if w)
+        unfinished = sum(1 for length in trace_lengths if length > 0)
 
         heap = [(0.0, i) for i in range(num_active)]
         heapq.heapify(heap)
@@ -259,13 +298,15 @@ class Simulator:
             core.issue_memory(latency, dependent=access.dependent,
                               is_miss=latency > l1_hit_threshold)
 
+            if pos + 1 == trace_lengths[core_id]:
+                unfinished -= 1
             processed[core_id] += 1
             if not warm[core_id] and \
                     processed[core_id] >= warmup_targets[core_id]:
                 warm[core_id] = True
-                if all(warm) and not stats_reset_done and \
-                        any(positions[i] < trace_lengths[i]
-                            for i in range(num_active)):
+                warm_count += 1
+                if warm_count == num_active and not stats_reset_done \
+                        and unfinished > 0:
                     # Reset only when something remains to measure;
                     # warmup that would consume every trace entirely
                     # falls through to the measure-everything path.

@@ -1,0 +1,92 @@
+"""Artefact I/O and regression-gate logic of :mod:`repro.bench`.
+
+Only the pure parts — nothing here times a simulation.  The committed
+``BENCH_*.json`` recordings themselves are exercised end-to-end by the
+CI ``bench-smoke`` job (``python -m repro.bench --smoke --check``).
+"""
+
+import json
+
+from repro.bench import (BENCH_SCHEMA_VERSION, REGRESSION_TOLERANCE,
+                         check_against_baseline, merge_mode_payload)
+
+
+def baseline(speedup=8.0, sweep_speedup=1.5):
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "modes": {
+            "smoke": {
+                "unit": {"hot_loop": {"speedup": speedup,
+                                      "vector_acc_per_s": 2.0e6}},
+                "sweep": {"speedup": sweep_speedup,
+                          "vector_cells_per_s": 1.6},
+            },
+        },
+    }
+
+
+class TestCheckAgainstBaseline:
+    def test_within_tolerance_passes(self):
+        fresh = {"hot_loop": {"speedup": 8.0 * REGRESSION_TOLERANCE
+                              + 0.01}}
+        assert check_against_baseline(baseline(), "smoke", fresh,
+                                      None) == []
+
+    def test_speedup_regression_reported(self):
+        fresh = {"hot_loop": {"speedup": 8.0 * REGRESSION_TOLERANCE
+                              - 0.01}}
+        problems = check_against_baseline(baseline(), "smoke", fresh,
+                                          None)
+        assert len(problems) == 1
+        assert "hot_loop" in problems[0]
+
+    def test_gate_is_ratio_not_absolute_throughput(self):
+        """A slower machine (lower acc/s, same speedup) must pass."""
+        fresh = {"hot_loop": {"speedup": 8.0,
+                              "vector_acc_per_s": 1.0}}
+        assert check_against_baseline(baseline(), "smoke", fresh,
+                                      None) == []
+
+    def test_sweep_regression_reported(self):
+        fresh_sweep = {"speedup": 1.5 * REGRESSION_TOLERANCE - 0.01}
+        problems = check_against_baseline(baseline(), "smoke", {},
+                                          fresh_sweep)
+        assert len(problems) == 1
+        assert "sweep" in problems[0]
+
+    def test_first_recording_is_never_a_regression(self):
+        empty = {"schema_version": BENCH_SCHEMA_VERSION, "modes": {}}
+        fresh = {"hot_loop": {"speedup": 0.1}}
+        assert check_against_baseline(empty, "smoke", fresh,
+                                      {"speedup": 0.1}) == []
+
+    def test_other_mode_baseline_is_ignored(self):
+        fresh = {"hot_loop": {"speedup": 0.1}}
+        assert check_against_baseline(baseline(), "full", fresh,
+                                      None) == []
+
+
+class TestMergeModePayload:
+    def test_merge_preserves_other_modes(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        merge_mode_payload(path, "smoke", {"unit": {"a": 1}})
+        merged = merge_mode_payload(path, "full", {"unit": {"b": 2}})
+        assert set(merged["modes"]) == {"smoke", "full"}
+        on_disk = json.loads(path.read_text())
+        assert on_disk["modes"]["smoke"] == {"unit": {"a": 1}}
+        assert on_disk["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_rerun_overwrites_only_that_mode(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        merge_mode_payload(path, "smoke", {"unit": {"a": 1}})
+        merge_mode_payload(path, "full", {"unit": {"b": 2}})
+        merged = merge_mode_payload(path, "smoke", {"unit": {"a": 9}})
+        assert merged["modes"]["smoke"] == {"unit": {"a": 9}}
+        assert merged["modes"]["full"] == {"unit": {"b": 2}}
+
+    def test_incompatible_schema_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(json.dumps({"schema_version": -1,
+                                    "modes": {"smoke": {"x": 1}}}))
+        merged = merge_mode_payload(path, "full", {"unit": {}})
+        assert set(merged["modes"]) == {"full"}
