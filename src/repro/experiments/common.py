@@ -186,6 +186,53 @@ def policy_matrix(profile: ExperimentProfile,
     return matrix
 
 
+#: Version of the :func:`matrix_to_dict` archive layout.
+MATRIX_EXPORT_SCHEMA_VERSION = 1
+
+
+def matrix_to_dict(matrix: PolicyMatrix) -> dict:
+    """Flatten a :class:`PolicyMatrix` into JSON-safe primitives.
+
+    The archive is deterministic — cells are sorted by ``(cores, mix,
+    label)`` and every :class:`MixResult` is exported through
+    :func:`repro.sim.report.mix_to_dict` — so two sweeps that computed
+    the same numbers serialise to equal dictionaries regardless of
+    scheduling.  This is the payload the ``repro.service`` results
+    endpoint returns, and the object the service smoke test compares
+    ``==`` against a direct in-process sweep.
+    """
+    from repro.sim.report import mix_to_dict
+    profile = matrix.profile
+    cells = []
+    for cores, mix_name, label in sorted(matrix.results):
+        cells.append({
+            "cores": cores,
+            "mix": mix_name,
+            "label": label,
+            "result": mix_to_dict(matrix.results[(cores, mix_name,
+                                                  label)]),
+        })
+    return {
+        "schema_version": MATRIX_EXPORT_SCHEMA_VERSION,
+        "profile": {
+            "scale": profile.scale.name,
+            "accesses_per_core": profile.scale.accesses_per_core,
+            "core_counts": list(profile.core_counts),
+            "num_homogeneous": profile.num_homogeneous,
+            "num_heterogeneous": profile.num_heterogeneous,
+            "seed": profile.seed,
+        },
+        "labels": list(matrix.labels),
+        "mix_names": {str(cores): list(names)
+                      for cores, names in sorted(matrix.mix_names.items())},
+        "mix_kinds": {name: matrix.mix_kinds[name]
+                      for name in sorted(matrix.mix_kinds)},
+        "mix_suites": {name: matrix.mix_suites[name]
+                       for name in sorted(matrix.mix_suites)},
+        "cells": cells,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Rendering
 # ---------------------------------------------------------------------------

@@ -36,16 +36,21 @@ cache so an interrupted sweep skips every completed unit.  The
 :mod:`repro.experiments.faults` injector exercises all of these paths
 deterministically in tests and CI.
 
-Observability (docs/observability.md): give the engine a
-:class:`repro.obs.RunManifest` and every run appends ``sweep_start`` /
-per-unit / ``sweep_end`` JSONL events — cache hits included, so the
-manifest is the complete record of where each number came from; set
-``progress=True`` for a live ``done/total, cache hits, ETA`` stderr
-line.  ``sweep_end`` is emitted even when a run fails or is
-interrupted (with ``status`` ``ok``/``failed``/``interrupted``), and
-recovery actions surface as ``unit_retried`` / ``unit_failed`` /
-``pool_respawn`` / ``pool_degraded`` / ``sweep_interrupted`` events.
-Neither layer touches simulation arithmetic.
+Observability (docs/observability.md): every run publishes its whole
+lifecycle — ``sweep_start``, one event per work unit (cache hits
+included), ``sweep_end`` on every exit path, and the recovery events
+``unit_retried`` / ``unit_failed`` / ``pool_respawn`` /
+``pool_degraded`` / ``sweep_interrupted`` — on an event bus
+(:class:`repro.obs.events.EventBus`).  Pass ``events=`` to inject a
+private bus (the service daemon gives each job its own, so concurrent
+engines in one process never cross-talk); by default the run uses the
+context's current bus.  A :class:`repro.obs.RunManifest` is simply a
+bus subscriber the engine attaches for the duration of the run — via
+``scoped_subscribe``, so a failing sweep can never leak its listener
+— making the JSONL manifest the complete record of where each number
+came from.  Set ``progress=True`` for a live ``done/total, cache
+hits, ETA`` stderr line.  Neither layer touches simulation
+arithmetic.
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
+from contextlib import ExitStack
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, \
     ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
@@ -67,6 +73,7 @@ from repro.experiments.retry import RetryPolicy, UnitFailure
 from repro.obs import MANIFEST_SCHEMA_VERSION, ProgressLine, RunManifest, \
     telemetry_enabled
 from repro.obs import events as obs_events
+from repro.obs.events import EventBus
 from repro.sim.config import SystemConfig
 from repro.sim.runner import MixResult, run_alone, run_mix
 from repro.traces.mixes import MixSpec, make_mix, make_mix_trace, \
@@ -278,18 +285,19 @@ def _cell_metrics(result: MixResult) -> Dict[str, float]:
 
 
 class _UnitReporter:
-    """Fans unit completions out to the manifest and progress line.
+    """Fans unit completions out to the event bus and progress line.
 
     One ``unit`` event / progress tick per *work unit* — the
     deduplicated alone + distinct-cell units, so cache hits and
     duplicate-config cells never double-count against ``total``.
     Units skipped via resume count as "warm" for the progress line's
-    ETA (they finish in microseconds, like cache hits).
+    ETA (they finish in microseconds, like cache hits).  The manifest
+    (when attached) receives the event as a bus subscriber, as does
+    any other sink — a service job's progress feed, a test probe.
     """
 
-    def __init__(self, manifest: Optional[RunManifest],
-                 progress: ProgressLine):
-        self.manifest = manifest
+    def __init__(self, bus: EventBus, progress: ProgressLine):
+        self.bus = bus
         self.progress = progress
         self.done = 0
         self.cache_hits = 0
@@ -307,8 +315,7 @@ class _UnitReporter:
         if resumed:
             self.resumed += 1
             fields["resumed"] = True
-        if self.manifest is not None:
-            self.manifest.emit("unit", cache_hit=cache_hit, **fields)
+        self.bus.emit("unit", cache_hit=cache_hit, **fields)
         self.progress.update(self.done, self.warm)
 
 
@@ -324,6 +331,13 @@ class SweepEngine:
         manifest: optional :class:`repro.obs.RunManifest`; every run
             appends ``sweep_start`` / ``unit`` / ``sweep_end`` events
             (plus any :mod:`repro.obs.events` emitted while it runs).
+        events: optional :class:`repro.obs.events.EventBus` the run
+            publishes its lifecycle on.  Defaults to the context's
+            current bus (the process-global one for plain callers);
+            inject a private bus to isolate concurrent engines in one
+            process.  While the run executes, the injected bus is
+            also the *current* bus for its thread, so events emitted
+            by library code deep under the run land on it too.
         progress: write a live ``done/total`` line to stderr.
         retry: :class:`repro.experiments.retry.RetryPolicy` governing
             per-unit retries, backoff, timeouts and pool respawns
@@ -337,6 +351,7 @@ class SweepEngine:
                  max_workers: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  manifest: Optional[RunManifest] = None,
+                 events: Optional[EventBus] = None,
                  progress: bool = False,
                  retry: Optional[RetryPolicy] = None,
                  faults: Optional[FaultPlan] = None,
@@ -345,6 +360,7 @@ class SweepEngine:
         self.max_workers = max_workers
         self.cache = cache
         self.manifest = manifest
+        self.events = events
         self.progress = progress
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults
@@ -500,10 +516,23 @@ class SweepEngine:
         workers = (self.max_workers or available_workers()) \
             if self.parallel else 1
         progress = ProgressLine(total_units, enabled=self.progress)
-        reporter = _UnitReporter(self.manifest, progress)
-        listener = None
-        if self.manifest is not None:
-            self.manifest.emit(
+        bus = self.events if self.events is not None \
+            else obs_events.current_bus()
+        reporter = _UnitReporter(bus, progress)
+        with ExitStack() as scope:
+            # The injected bus becomes this thread's current bus, so
+            # events emitted by library code under the run (e.g.
+            # run_mix's lazy_alone_ipc) reach this run's sinks only.
+            scope.enter_context(obs_events.use_bus(bus))
+            if self.manifest is not None:
+                # The manifest is just a bus subscriber, scoped so no
+                # exit path — including exceptions raised before the
+                # execute phase even starts — can leak it onto the bus
+                # where it would double-report into the next run.
+                manifest = self.manifest
+                scope.enter_context(bus.scoped_subscribe(
+                    lambda kind, payload: manifest.emit(kind, **payload)))
+            bus.emit(
                 "sweep_start",
                 schema_version=MANIFEST_SCHEMA_VERSION,
                 seed=profile.seed,
@@ -519,7 +548,7 @@ class SweepEngine:
                 unit_timeout=self.retry.unit_timeout,
                 faults_armed=bool(self.faults))
             if resume_state is not None:
-                self.manifest.emit(
+                bus.emit(
                     "sweep_resume",
                     path=resume_state.path,
                     prior_events=resume_state.prior_events,
@@ -527,56 +556,56 @@ class SweepEngine:
                     completed_units=len(resume_state.completed),
                     resumed_units=stats.resumed_units,
                     missing_from_cache=resume_missing)
-            listener = obs_events.subscribe(
-                lambda kind, payload: self.manifest.emit(kind, **payload))
-        for task, value in alone_hits:
-            reporter.unit(True, unit="alone", key=task.key,
-                          cores=task.cores, trace=task.trace_name,
-                          seed=profile.seed, wall_seconds=0.0,
-                          metrics={"ipc_alone": value})
-        for task, value in alone_resumed:
-            reporter.unit(False, resumed=True, unit="alone",
-                          key=task.key, cores=task.cores,
-                          trace=task.trace_name, seed=profile.seed,
-                          wall_seconds=0.0,
-                          metrics={"ipc_alone": value})
-        for key, cores, mix, policy, value in cell_hits:
-            reporter.unit(True, unit="cell", key=key, cores=cores,
-                          mix=mix.name, policy=policy,
-                          seed=profile.seed, wall_seconds=0.0,
-                          metrics=_cell_metrics(value))
-
-        # ---- execute --------------------------------------------------
-        status = "ok"
-        error: Optional[str] = None
-        try:
+            status = "ok"
+            error: Optional[str] = None
             try:
-                if self.parallel and (alone_pending or cell_pending):
-                    stats.workers = workers
-                    self._run_pool(profile, workers, alone_pending,
-                                   list(cell_pending.values()), alone_ipcs,
-                                   cell_results, reporter, stats)
-                else:
-                    self._run_inline(profile, alone_pending,
-                                     list(cell_pending.values()), alone_ipcs,
-                                     cell_results, reporter, stats)
-            except KeyboardInterrupt:
-                # Flush a durable partial-run record: everything done so
-                # far is already in the manifest/cache, so a later
-                # run(resume=...) skips straight to the remainder.
-                status = "interrupted"
-                error = "KeyboardInterrupt"
-                obs_events.emit("sweep_interrupted", done=reporter.done,
-                                total_units=total_units)
-                raise
-            except BaseException as exc:
-                status = "failed"
-                error = repr(exc)
-                raise
-        finally:
-            stats.wall_seconds = time.time() - started
-            self.last_stats = stats
-            if self.manifest is not None:
+                # ---- execute ------------------------------------------
+                try:
+                    for task, value in alone_hits:
+                        reporter.unit(True, unit="alone", key=task.key,
+                                      cores=task.cores,
+                                      trace=task.trace_name,
+                                      seed=profile.seed, wall_seconds=0.0,
+                                      metrics={"ipc_alone": value})
+                    for task, value in alone_resumed:
+                        reporter.unit(False, resumed=True, unit="alone",
+                                      key=task.key, cores=task.cores,
+                                      trace=task.trace_name,
+                                      seed=profile.seed, wall_seconds=0.0,
+                                      metrics={"ipc_alone": value})
+                    for key, cores, mix, policy, value in cell_hits:
+                        reporter.unit(True, unit="cell", key=key,
+                                      cores=cores, mix=mix.name,
+                                      policy=policy, seed=profile.seed,
+                                      wall_seconds=0.0,
+                                      metrics=_cell_metrics(value))
+                    if self.parallel and (alone_pending or cell_pending):
+                        stats.workers = workers
+                        self._run_pool(profile, workers, alone_pending,
+                                       list(cell_pending.values()),
+                                       alone_ipcs, cell_results, reporter,
+                                       stats)
+                    else:
+                        self._run_inline(profile, alone_pending,
+                                         list(cell_pending.values()),
+                                         alone_ipcs, cell_results, reporter,
+                                         stats)
+                except KeyboardInterrupt:
+                    # Flush a durable partial-run record: everything done
+                    # so far is already in the manifest/cache, so a later
+                    # run(resume=...) skips straight to the remainder.
+                    status = "interrupted"
+                    error = "KeyboardInterrupt"
+                    bus.emit("sweep_interrupted", done=reporter.done,
+                             total_units=total_units)
+                    raise
+                except BaseException as exc:
+                    status = "failed"
+                    error = repr(exc)
+                    raise
+            finally:
+                stats.wall_seconds = time.time() - started
+                self.last_stats = stats
                 end_fields = dict(
                     status=status,
                     alone_units=stats.alone_units,
@@ -592,10 +621,8 @@ class SweepEngine:
                     wall_seconds=round(stats.wall_seconds, 6))
                 if error is not None:
                     end_fields["error"] = error
-                self.manifest.emit("sweep_end", **end_fields)
-            if listener is not None:
-                obs_events.unsubscribe(listener)
-            progress.finish(reporter.done, reporter.warm)
+                bus.emit("sweep_end", **end_fields)
+                progress.finish(reporter.done, reporter.warm)
 
         # ---- merge ----------------------------------------------------
         for cores, mix, label, policy, drishti in cell_plan:

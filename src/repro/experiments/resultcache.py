@@ -71,6 +71,7 @@ class ResultCache:
     Attributes:
         root: cache directory (created lazily on first write).
         hits / misses: lookup counters since construction.
+        read_errors: corrupt/unreadable entries dropped by :meth:`get`.
         write_errors: failed :meth:`put` calls since construction.
     """
 
@@ -78,8 +79,10 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.read_errors = 0
         self.write_errors = 0
         self._writes_disabled = False
+        self._warned_read_error = False
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
@@ -90,6 +93,19 @@ class ResultCache:
 
         The two-tuple (rather than a ``None`` sentinel) lets callers
         cache falsy values like ``0.0`` IPCs unambiguously.
+
+        A cache entry is an optimisation, never an obligation: *any*
+        failure to read or unpickle one — torn write left by a killed
+        process, disk-full leftovers, stale class layout, bit rot —
+        is treated as a miss, counted in :attr:`read_errors`,
+        reported once per cache with a ``RuntimeWarning``, and the
+        offending file is deleted so the entry is recomputed and
+        rewritten cleanly.  Unpickling arbitrary bytes can raise
+        nearly anything (``ValueError`` from a garbled protocol-0
+        int, ``struct.error`` from a truncated frame, ``KeyError``
+        from a memo reference...), which is why the net is
+        ``Exception``-wide rather than an enumerated list — only
+        exits like ``KeyboardInterrupt`` propagate.
         """
         path = self._path(key)
         try:
@@ -98,9 +114,17 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return False, None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # Torn write or stale class layout: drop and treat as miss.
+        except Exception as exc:
+            # Corrupt/unreadable entry: drop it and treat as a miss.
+            self.read_errors += 1
+            if not self._warned_read_error:
+                self._warned_read_error = True
+                warnings.warn(
+                    f"result cache entry {path.name} is unreadable "
+                    f"({exc!r}); deleting it and re-simulating "
+                    f"(further corrupt entries in {self.root} will be "
+                    f"dropped silently — see ResultCache.read_errors)",
+                    RuntimeWarning, stacklevel=2)
             try:
                 path.unlink()
             except OSError:

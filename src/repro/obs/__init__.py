@@ -31,10 +31,16 @@ and measured sampling overhead.
 
 from repro.obs.events import (
     FAILURE_EVENT_KINDS,
+    LIFECYCLE_EVENT_KINDS,
+    EventBus,
+    current_bus,
+    default_bus,
     emit,
+    scoped_subscribe,
     subscribe,
     telemetry_enabled,
     unsubscribe,
+    use_bus,
 )
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
@@ -50,9 +56,11 @@ from repro.obs.sampling import SimTelemetry
 
 __all__ = [
     "Counter",
+    "EventBus",
     "FAILURE_EVENT_KINDS",
     "Gauge",
     "Histogram",
+    "LIFECYCLE_EVENT_KINDS",
     "MANIFEST_SCHEMA_VERSION",
     "ManifestError",
     "ManifestReadReport",
@@ -60,10 +68,14 @@ __all__ = [
     "RunManifest",
     "SimTelemetry",
     "StatsRegistry",
+    "current_bus",
+    "default_bus",
     "emit",
     "read_manifest",
     "read_manifest_ex",
+    "scoped_subscribe",
     "subscribe",
     "telemetry_enabled",
     "unsubscribe",
+    "use_bus",
 ]

@@ -1,33 +1,63 @@
-"""Process-global telemetry event hooks.
+"""Telemetry event buses.
 
 Deep library code sometimes needs to surface a structured event — e.g.
 ``run_mix`` warning that it measured ``IPC_alone`` lazily on a
 non-baseline config — without knowing whether a manifest writer, a
-test, or nothing at all is listening.  This module is that indirection:
-a flat listener list, ``emit`` as a no-op when nobody subscribed, and
-an environment switch (``REPRO_TELEMETRY``) that callers can consult
-before doing anything expensive.
+test, or nothing at all is listening.  This module is that indirection.
+
+An :class:`EventBus` is a flat listener list with ``emit`` as a no-op
+when nobody subscribed.  Historically there was exactly one
+process-global bus; running several sweeps concurrently in one process
+(the ``repro.service`` job daemon) needs *scoped* buses so one job's
+manifest never records another job's events.  The module-level
+``subscribe``/``emit``/... functions therefore delegate to the
+**current** bus: a :mod:`contextvars` variable that defaults to the
+process-wide :func:`default_bus` and can be rebound for a dynamic
+scope (one engine run, one service job) with :func:`use_bus`.
+Context variables are per-thread, so two jobs running in different
+worker threads each see their own bus while single-threaded callers
+keep the exact historical semantics.
 
 Listeners receive ``(kind, payload_dict)``.  A listener that raises
 does not break the emitting simulation: the exception propagates (so
 tests can assert), but emitters are expected to call ``emit`` outside
-their hot loops only.
+their hot loops only.  Subscriptions that must not outlive a dynamic
+scope — the sweep engine's manifest forwarder, a service job's
+progress feed — use :func:`scoped_subscribe`, which guarantees the
+listener is detached even when the guarded block raises (the listener
+-leak bug this API replaced: an exception between ``subscribe`` and
+the matching ``unsubscribe`` left stale listeners double-reporting
+into the next run's manifest).
 
-The sweep engine's fault-tolerance layer publishes its lifecycle here
-(:data:`FAILURE_EVENT_KINDS`) — always from the *parent* process, so
-pooled and serial runs record identical recovery histories — and the
-engine's manifest listener forwards them into the JSONL run manifest.
-See docs/robustness.md for each event's payload.
+The sweep engine publishes its whole lifecycle here — ``sweep_start``,
+per-``unit`` completions, ``sweep_end``, and the fault-tolerance
+events in :data:`FAILURE_EVENT_KINDS` — always from the *parent*
+process, so pooled and serial runs record identical histories.  The
+JSONL run manifest is just one subscriber.  See docs/robustness.md
+and docs/observability.md for each event's payload.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, List
 
 Listener = Callable[[str, Dict], None]
 
-#: Fault-tolerance events the sweep engine emits on this bus:
+#: Lifecycle events the sweep engine emits on the current bus:
+#: ``sweep_start`` / ``sweep_resume`` (run headers), ``unit`` (one per
+#: completed work unit, cache hits included), ``sweep_end`` (final
+#: stats, every exit path).
+LIFECYCLE_EVENT_KINDS = (
+    "sweep_start",
+    "sweep_resume",
+    "unit",
+    "sweep_end",
+)
+
+#: Fault-tolerance events the sweep engine emits on the current bus:
 #: ``unit_retried`` (a work unit failed and will be re-run),
 #: ``unit_failed`` (retries exhausted; the sweep aborts),
 #: ``pool_respawn`` (BrokenProcessPool recovered by a fresh pool),
@@ -41,8 +71,6 @@ FAILURE_EVENT_KINDS = (
     "sweep_interrupted",
 )
 
-_listeners: List[Listener] = []
-
 _TRUTHY = ("1", "true", "yes", "on")
 
 
@@ -51,28 +79,122 @@ def telemetry_enabled() -> bool:
     return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
 
 
+class EventBus:
+    """An independent listener list with the classic emit/subscribe API.
+
+    Instances are cheap; the service allocates one per job so
+    concurrent sweeps stay isolated.  All methods are safe under the
+    CPython GIL for the append/remove/iterate patterns used here
+    (``emit`` snapshots the list before delivering).
+    """
+
+    def __init__(self) -> None:
+        self._listeners: List[Listener] = []
+
+    def subscribe(self, listener: Listener) -> Listener:
+        """Add *listener*; returns it so callers can unsubscribe."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Remove *listener* (no error if it was never subscribed)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def scoped_subscribe(self, listener: Listener) -> Iterator[Listener]:
+        """Subscribe *listener* for the duration of a ``with`` block.
+
+        The listener is detached on exit no matter how the block ends,
+        so a failing sweep can never leak its manifest forwarder into
+        the next run of the same process.
+        """
+        self.subscribe(listener)
+        try:
+            yield listener
+        finally:
+            self.unsubscribe(listener)
+
+    def clear(self) -> None:
+        """Drop all listeners (test isolation)."""
+        self._listeners.clear()
+
+    def emit(self, kind: str, **payload) -> None:
+        """Deliver an event to every listener; free when none
+        subscribed."""
+        if not self._listeners:
+            return
+        for listener in list(self._listeners):
+            listener(kind, dict(payload))
+
+    def __len__(self) -> int:
+        return len(self._listeners)
+
+    def __repr__(self) -> str:
+        return f"EventBus({len(self._listeners)} listeners)"
+
+
+_DEFAULT_BUS = EventBus()
+
+_CURRENT_BUS: ContextVar[EventBus] = ContextVar("repro_obs_bus",
+                                                default=_DEFAULT_BUS)
+
+
+def default_bus() -> EventBus:
+    """The process-wide bus (what single-threaded callers use)."""
+    return _DEFAULT_BUS
+
+
+def current_bus() -> EventBus:
+    """The bus active in this context (defaults to the global one)."""
+    return _CURRENT_BUS.get()
+
+
+@contextmanager
+def use_bus(bus: EventBus) -> Iterator[EventBus]:
+    """Make *bus* the current bus for a dynamic scope.
+
+    Rebinding is per-context (and therefore per-thread), which is what
+    lets one process run several sweeps concurrently without their
+    events cross-talking: library code deep under an engine run calls
+    the module-level :func:`emit` and transparently reaches the bus of
+    *that* run.
+    """
+    token = _CURRENT_BUS.set(bus)
+    try:
+        yield bus
+    finally:
+        _CURRENT_BUS.reset(token)
+
+
+# ---------------------------------------------------------------------------
+# Module-level facade over the *current* bus (the historical API).
+# ---------------------------------------------------------------------------
+
 def subscribe(listener: Listener) -> Listener:
-    """Add *listener*; returns it so callers can unsubscribe later."""
-    _listeners.append(listener)
-    return listener
+    """Add *listener* to the current bus; returns it for unsubscribe."""
+    return current_bus().subscribe(listener)
 
 
 def unsubscribe(listener: Listener) -> None:
-    """Remove *listener* (no error if it was never subscribed)."""
-    try:
-        _listeners.remove(listener)
-    except ValueError:
-        pass
+    """Remove *listener* from the current bus (no error if absent)."""
+    current_bus().unsubscribe(listener)
+
+
+@contextmanager
+def scoped_subscribe(listener: Listener) -> Iterator[Listener]:
+    """:meth:`EventBus.scoped_subscribe` on the current bus."""
+    with current_bus().scoped_subscribe(listener):
+        yield listener
 
 
 def clear() -> None:
-    """Drop all listeners (test isolation)."""
-    _listeners.clear()
+    """Drop all listeners from the current bus (test isolation)."""
+    current_bus().clear()
 
 
 def emit(kind: str, **payload) -> None:
-    """Deliver an event to every listener; free when none subscribed."""
-    if not _listeners:
-        return
-    for listener in list(_listeners):
-        listener(kind, dict(payload))
+    """Deliver an event on the current bus; free when no listeners."""
+    current_bus().emit(kind, **payload)

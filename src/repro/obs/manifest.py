@@ -23,13 +23,16 @@ carries ``ts`` (UNIX seconds).  The full schema is documented in
 docs/observability.md.
 
 :class:`ProgressLine` is the human half: ``units done/total, cache
-hits, ETA`` written to stderr, carriage-return rewritten on TTYs and
-line-per-update otherwise (so piped/CI logs stay readable).
+hits, ETA`` written to stderr — carriage-return rewritten on TTYs,
+throttled plain newline updates otherwise (so piped/CI/service logs
+are readable instead of one line per completed unit), with
+``REPRO_PROGRESS=tty|plain|off`` overriding the auto-detection.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 import time
@@ -181,6 +184,19 @@ def _format_eta(seconds: float) -> str:
     return f"{hours}h{minutes:02d}m"
 
 
+#: Valid ``REPRO_PROGRESS`` values / ``ProgressLine(mode=...)`` args.
+PROGRESS_MODES = ("auto", "tty", "plain", "off")
+
+#: Minimum seconds between plain-mode update lines (finals excepted).
+PLAIN_UPDATE_INTERVAL = 10.0
+
+
+def _env_progress_mode() -> Optional[str]:
+    """``REPRO_PROGRESS`` if set to a recognised mode, else ``None``."""
+    raw = os.environ.get("REPRO_PROGRESS", "").strip().lower()
+    return raw if raw in PROGRESS_MODES else None
+
+
 class ProgressLine:
     """Live ``done/total`` status for a long sweep.
 
@@ -188,32 +204,70 @@ class ProgressLine:
     finish in microseconds and would otherwise make the estimate
     absurdly optimistic right after the probe phase.
 
+    Output adapts to where it lands.  On a TTY each update rewrites
+    one line in place (``\\r``).  On anything else — CI logs, piped
+    output, the service's captured job logs — rewriting is impossible,
+    so updates become plain newline-terminated lines *throttled* to at
+    most one per :data:`PLAIN_UPDATE_INTERVAL` seconds (the first and
+    last updates always print); a thousand-unit sweep no longer dumps
+    a thousand status lines into the log.  ``REPRO_PROGRESS`` forces
+    the decision: ``tty`` / ``plain`` pick a style explicitly, ``off``
+    silences the line entirely (the env var wins over the ``mode``
+    argument, which itself wins over auto-detection).
+
     Args:
         total: work units expected (alone + distinct cells).
         label: prefix shown in brackets.
         stream: defaults to ``sys.stderr``.
         enabled: a disabled instance is a no-op, so call sites need no
             conditionals.
+        mode: ``auto`` (default; pick by ``stream.isatty()``), ``tty``,
+            ``plain`` or ``off``.
+        min_interval: plain-mode throttle in seconds (testing knob).
     """
 
     def __init__(self, total: int, label: str = "sweep",
-                 stream: Optional[TextIO] = None, enabled: bool = True):
+                 stream: Optional[TextIO] = None, enabled: bool = True,
+                 mode: str = "auto",
+                 min_interval: float = PLAIN_UPDATE_INTERVAL):
+        if mode not in PROGRESS_MODES:
+            raise ValueError(
+                f"mode must be one of {PROGRESS_MODES}, got {mode!r}")
         self.total = total
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.enabled = enabled
+        self.min_interval = min_interval
+        self.mode = self._resolve_mode(_env_progress_mode() or mode)
         self._started = time.time()
+        self._last_emit: Optional[float] = None
         self._wrote_any = False
 
-    def _emit(self, line: str, final: bool = False) -> None:
+    def _resolve_mode(self, mode: str) -> str:
+        if mode != "auto":
+            return mode
         isatty = getattr(self.stream, "isatty", lambda: False)()
-        end = "\n" if (final or not isatty) else "\r"
+        return "tty" if isatty else "plain"
+
+    def _emit(self, line: str, final: bool = False) -> None:
+        end = "\n" if (final or self.mode != "tty") else "\r"
         print(line, end=end, file=self.stream, flush=True)
+        self._last_emit = time.time()
         self._wrote_any = True
+
+    def _should_emit(self, done: int) -> bool:
+        if self.mode == "off":
+            return False
+        if self.mode == "tty":
+            return True
+        # plain: first update, throttle window expired, or completion.
+        if self._last_emit is None or done >= self.total:
+            return True
+        return time.time() - self._last_emit >= self.min_interval
 
     def update(self, done: int, cache_hits: int) -> None:
         """Report *done* completed units, *cache_hits* of them warm."""
-        if not self.enabled:
+        if not self.enabled or not self._should_emit(done):
             return
         live_done = done - cache_hits
         remaining = max(0, self.total - done)
@@ -229,7 +283,7 @@ class ProgressLine:
 
     def finish(self, done: int, cache_hits: int) -> None:
         """Print the final summary line (always newline-terminated)."""
-        if not self.enabled:
+        if not self.enabled or self.mode == "off":
             return
         elapsed = time.time() - self._started
         self._emit(f"[{self.label}] {done}/{self.total} units done, "

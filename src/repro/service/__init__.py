@@ -1,0 +1,49 @@
+"""``repro.service``: sweep-as-a-service.
+
+A local asyncio job daemon over :class:`repro.experiments.engine.
+SweepEngine`: clients submit sweep specs as JSON, the daemon
+validates them (:class:`JobSpec`), runs each job on an engine in a
+worker thread with a private event bus, streams lifecycle events to
+long-poll clients, checkpoints progress in per-job JSONL manifests,
+and shares one content-addressed result cache across all jobs so
+overlapping sweeps never re-simulate a unit.  A killed daemon
+restarts cleanly: non-terminal jobs are re-enqueued and resume from
+their manifests.
+
+Start a daemon with ``python -m repro.service serve``; talk to it
+with the subcommands in :mod:`repro.service.__main__` or
+programmatically through :class:`ServiceClient`.  See
+docs/service.md for the API and lifecycle.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ServiceDaemon, serve
+from repro.service.jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobSpecError,
+    JobStore,
+    ServiceProfile,
+)
+from repro.service.runner import JobCancelled, execute_job
+from repro.service.scheduler import JobFeed, Scheduler
+
+__all__ = [
+    "JOB_STATES",
+    "JobCancelled",
+    "JobFeed",
+    "JobRecord",
+    "JobSpec",
+    "JobSpecError",
+    "JobStore",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "ServiceProfile",
+    "TERMINAL_STATES",
+    "execute_job",
+    "serve",
+]

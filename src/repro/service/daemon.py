@@ -1,0 +1,294 @@
+"""The sweep-as-a-service daemon: a local HTTP+JSON API, stdlib only.
+
+``python -m repro.service serve`` starts a single-process asyncio
+server bound to loopback.  The HTTP layer is a deliberately minimal
+HTTP/1.1 implementation over ``asyncio.start_server`` — enough for
+``Content-Length``-framed JSON requests with ``Connection: close``
+semantics — because the repository's no-new-dependencies rule rules
+out every real web framework and ``http.server`` cannot share a
+thread with the scheduler's event loop.
+
+Routes::
+
+    GET  /healthz                     liveness + version + job counts
+    POST /jobs                        submit a spec  → 201 {job}
+    GET  /jobs                        list all jobs
+    GET  /jobs/<id>                   one job record
+    GET  /jobs/<id>/events?since=N&timeout=S    long-poll the feed
+    GET  /jobs/<id>/result            the matrix export (done jobs)
+    POST /jobs/<id>/cancel            request cancellation
+
+Every response is JSON.  Validation failures are ``400`` with the
+:class:`~repro.service.jobs.JobSpecError` message; unknown jobs are
+``404``.  The daemon advertises its address in ``<root>/daemon.json``
+so clients on the same machine need no configuration.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.resultcache import ResultCache
+
+from repro.service.jobs import JobSpec, JobSpecError, JobStore
+from repro.service.scheduler import Scheduler
+
+__all__ = ["ServiceDaemon", "serve"]
+
+#: Bumped when the API shape changes incompatibly.
+API_VERSION = 1
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is a config error, not a sweep
+_MAX_HEADER = 64 * 1024
+_MAX_POLL_TIMEOUT = 120.0
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {200: "OK", 201: "Created", 204: "No Content",
+            400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+def _response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode()
+    return head + body
+
+
+class ServiceDaemon:
+    """One service root, one scheduler, one loopback socket."""
+
+    def __init__(self, root=None, host: str = "127.0.0.1",
+                 port: int = 0, max_jobs: int = 1,
+                 cache_dir=None):
+        self.store = JobStore(root)
+        self.host = host
+        self.port = port  # 0 = ephemeral; real port known after start
+        self.max_jobs = max_jobs
+        cache_root = cache_dir if cache_dir is not None \
+            else self.store.root / "cache"
+        self.cache = ResultCache(cache_root)
+        self.scheduler: Optional[Scheduler] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def address_path(self):
+        return self.store.root / "daemon.json"
+
+    async def start(self) -> None:
+        """Bind the socket, recover interrupted jobs, advertise."""
+        self.scheduler = Scheduler(self.store, cache=self.cache,
+                                   max_jobs=self.max_jobs)
+        recovered = self.scheduler.recover()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.store.root.mkdir(parents=True, exist_ok=True)
+        self.address_path.write_text(json.dumps(
+            {"host": self.host, "port": self.port, "pid": os.getpid()},
+            sort_keys=True))
+        if recovered:
+            names = [r.job_id for r in recovered]
+            print(f"[repro.service] recovered {len(recovered)} "
+                  f"interrupted job(s): {', '.join(names)}")
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.scheduler is not None:
+            await self.scheduler.drain()
+        try:
+            self.address_path.unlink()
+        except OSError:
+            pass
+
+    async def serve_forever(self) -> None:
+        """Run until SIGINT/SIGTERM."""
+        await self.start()
+        stop = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: stop.done() or stop.set_result(None))
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop
+        print(f"[repro.service] listening on "
+              f"http://{self.host}:{self.port} "
+              f"(root: {self.store.root}, max_jobs: {self.max_jobs})")
+        try:
+            await stop
+        finally:
+            await self.stop()
+
+    # -- request plumbing ----------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._dispatch_request(reader)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            status, payload = 500, {"error": repr(exc)}
+        try:
+            writer.write(_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _dispatch_request(
+            self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            raw = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0)
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                asyncio.LimitOverrunError):
+            raise _HttpError(400, "malformed request head") from None
+        if len(raw) > _MAX_HEADER:
+            raise _HttpError(413, "request head too large")
+        head = raw.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = head[0].split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers = {}
+        for line in head[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return await self._route(method.upper(), target, body)
+
+    # -- routing --------------------------------------------------------
+    async def _route(self, method: str, target: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        url = urlsplit(target)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+
+        if parts == ["healthz"] and method == "GET":
+            return self._healthz()
+        if parts == ["jobs"]:
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                return 200, {"jobs": [r.to_dict()
+                                      for r in self.store.list()]}
+            raise _HttpError(405, f"{method} not allowed on /jobs")
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            rest = parts[2:]
+            if not rest and method == "GET":
+                return 200, {"job": self._record(job_id).to_dict()}
+            if rest == ["events"] and method == "GET":
+                return await self._events(job_id, query)
+            if rest == ["result"] and method == "GET":
+                return self._result(job_id)
+            if rest == ["cancel"] and method == "POST":
+                return self._cancel(job_id)
+        raise _HttpError(404, f"no route for {method} {url.path}")
+
+    # -- handlers -------------------------------------------------------
+    def _record(self, job_id: str):
+        record = self.store.load(job_id)
+        if record is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return record
+
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        records = self.store.list()
+        counts: Dict[str, int] = {}
+        for record in records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return 200, {"ok": True, "api_version": API_VERSION,
+                     "pid": os.getpid(), "max_jobs": self.max_jobs,
+                     "jobs": counts}
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            data = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not JSON: {exc}") from None
+        try:
+            spec = JobSpec.from_dict(data)
+        except JobSpecError as exc:
+            raise _HttpError(400, str(exc)) from None
+        assert self.scheduler is not None
+        record = self.scheduler.submit(spec)
+        return 201, {"job": record.to_dict()}
+
+    async def _events(self, job_id: str,
+                      query: Dict[str, str]) -> Tuple[int, Dict[str, Any]]:
+        self._record(job_id)  # 404 before we long-poll
+        try:
+            since = int(query.get("since", "0"))
+            timeout = float(query.get("timeout", "30"))
+        except ValueError:
+            raise _HttpError(400,
+                             "since/timeout must be numbers") from None
+        timeout = max(0.0, min(timeout, _MAX_POLL_TIMEOUT))
+        assert self.scheduler is not None
+        feed = self.scheduler.feed(job_id)
+        record = self._record(job_id)
+        if record.status in ("done", "failed", "cancelled"):
+            events = feed.snapshot(since)  # never block on a done job
+        else:
+            events = await feed.wait(since, timeout)
+        record = self._record(job_id)
+        return 200, {"events": events,
+                     "next": since + len(events),
+                     "status": record.status}
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        record = self._record(job_id)
+        export = self.store.read_result(job_id)
+        if export is None:
+            raise _HttpError(
+                409, f"job {job_id!r} has no result "
+                     f"(status: {record.status})")
+        return 200, {"job_id": job_id, "status": record.status,
+                     "result": export}
+
+    def _cancel(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        assert self.scheduler is not None
+        record = self.scheduler.cancel(job_id)
+        if record is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return 200, {"job": record.to_dict()}
+
+
+def serve(root=None, host: str = "127.0.0.1", port: int = 0,
+          max_jobs: int = 1, cache_dir=None) -> None:
+    """Blocking entry point for ``python -m repro.service serve``."""
+    daemon = ServiceDaemon(root=root, host=host, port=port,
+                           max_jobs=max_jobs, cache_dir=cache_dir)
+    asyncio.run(daemon.serve_forever())

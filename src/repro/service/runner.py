@@ -1,0 +1,124 @@
+"""Executing one job on a :class:`SweepEngine`, off the event loop.
+
+:func:`execute_job` is what the scheduler hands to a worker thread.
+It wires a *private* :class:`~repro.obs.events.EventBus` into the
+engine so concurrent jobs never cross-talk, and attaches three
+listeners in a deliberate order:
+
+1. the JSONL manifest writer (the durable checkpoint),
+2. the live feed forwarder (long-poll clients see the event),
+3. the cancellation probe.
+
+Durability before announcement: a client can never observe a unit
+the manifest would lose in a crash.  And the probe raises
+:class:`JobCancelled` *after* the other two have seen the event, so
+the unit that was in flight when the client hit ``/cancel`` is still
+recorded — a later resubmission resumes past it instead of redoing
+it.  ``JobCancelled`` derives from
+``BaseException`` on purpose: the engine's retry machinery catches
+``Exception`` around unit execution, and a cancellation must not be
+"retried".
+
+Resume-on-restart falls out of existing machinery: if the job
+directory already holds a manifest (the daemon died mid-run), it is
+passed as ``resume=`` and the engine replays it, skipping every unit
+it proves complete.  Nothing here re-implements checkpointing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import ExitStack
+from typing import Any, Callable, Dict, Optional
+
+from repro.experiments.common import matrix_to_dict
+from repro.experiments.engine import SweepEngine
+from repro.experiments.resultcache import ResultCache
+from repro.obs.events import EventBus
+from repro.obs.manifest import RunManifest
+
+from repro.service.jobs import JobRecord, JobStore
+
+__all__ = ["JobCancelled", "execute_job"]
+
+Publisher = Callable[[str, Dict[str, Any]], None]
+
+
+class JobCancelled(BaseException):
+    """Raised inside the engine's thread when a job is cancelled.
+
+    A ``BaseException`` so it pierces the engine's per-unit
+    ``except Exception`` retry handling — cancellation is a command,
+    not a transient fault.
+    """
+
+
+def execute_job(record: JobRecord, store: JobStore,
+                cache: Optional[ResultCache],
+                cancel_flag: threading.Event,
+                publish: Publisher) -> Dict[str, Any]:
+    """Run *record*'s sweep to completion (blocking; call in a thread).
+
+    Args:
+        record: the queued job (spec already validated).
+        store: for manifest/result paths and the result write.
+        cache: the service-wide shared result cache (may be ``None``).
+        cancel_flag: set by the scheduler when the client cancels.
+        publish: called with every lifecycle event ``(kind, payload)``
+            — the scheduler forwards these to long-poll waiters.
+
+    Returns:
+        The engine's :class:`SweepStats` as a plain dict.
+
+    Raises:
+        JobCancelled: the cancel flag was observed (progress up to the
+            cancellation point is in the manifest).
+        Exception: whatever the engine raised (e.g. ``UnitFailure``).
+    """
+    spec = record.spec
+    bus = EventBus()
+    manifest_path = store.manifest_path(record.job_id)
+    resume = str(manifest_path) if manifest_path.exists() else None
+
+    def probe_cancel(kind: str, payload: Dict[str, Any]) -> None:
+        if cancel_flag.is_set():
+            raise JobCancelled(record.job_id)
+
+    engine = SweepEngine(parallel=spec.workers > 1,
+                         max_workers=spec.workers or None,
+                         cache=cache,
+                         events=bus,
+                         retry=spec.retry_policy(),
+                         resume=resume)
+
+    with ExitStack() as scope:
+        manifest = scope.enter_context(RunManifest(manifest_path))
+        # Order matters: the manifest flushes the event before clients
+        # can see it, and both record it before the probe can abort.
+        scope.enter_context(bus.scoped_subscribe(
+            lambda kind, payload: manifest.emit(kind, **payload)))
+        scope.enter_context(bus.scoped_subscribe(
+            lambda kind, payload: publish(kind, payload)))
+        scope.enter_context(bus.scoped_subscribe(probe_cancel))
+        if cancel_flag.is_set():  # cancelled while queued, pre-start
+            raise JobCancelled(record.job_id)
+        matrix = engine.run(spec.profile(), spec.policy_triples())
+
+    store.write_result(record.job_id, matrix_to_dict(matrix))
+    stats = engine.last_stats
+    return {
+        "total_units": stats.total_units,
+        "simulations_run": stats.simulations_run,
+        "cache_hits": stats.cache_hits,
+        "resumed_units": stats.resumed_units,
+        "unit_retries": stats.unit_retries,
+        "pool_respawns": stats.pool_respawns,
+        "workers": stats.workers,
+        "wall_seconds": stats.wall_seconds,
+    } if stats is not None else {}
+
+
+def utcnow() -> float:
+    """Indirection for tests that want to freeze job timestamps."""
+    return time.time()

@@ -1,0 +1,215 @@
+"""Bounded-concurrency job scheduling over the sweep engine.
+
+The daemon's control plane is a single asyncio event loop; the data
+plane is :func:`repro.service.runner.execute_job` running in worker
+threads (``asyncio.to_thread``).  The :class:`Scheduler` bridges the
+two: it admits at most ``max_jobs`` engines at once via a semaphore,
+keeps a per-job :class:`JobFeed` of lifecycle events for long-poll
+clients, and persists every state transition through the
+:class:`~repro.service.jobs.JobStore` *before* announcing it, so a
+crash between the two never advertises state that was not durable.
+
+Recovery is deliberately boring: :meth:`Scheduler.recover` re-enqueues
+every non-terminal job found on disk at startup.  A job that was
+``running`` when the daemon died restarts with its manifest as the
+``resume=`` checkpoint, so completed units are skipped, not redone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.resultcache import ResultCache
+
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    JobStore,
+)
+from repro.service.runner import JobCancelled, execute_job
+
+__all__ = ["JobFeed", "Scheduler"]
+
+
+class JobFeed:
+    """A seq-numbered event log with async long-poll waits.
+
+    ``publish`` is called from the engine's worker thread (via the bus
+    listener in the runner); ``wait`` is awaited on the event loop.
+    The thread side appends under a lock and pokes the loop with
+    ``call_soon_threadsafe``; the async side snapshots everything past
+    the client's cursor.  Events are kept for the daemon's lifetime —
+    jobs are finite sweeps, not infinite streams, so the log is small
+    (one line per work unit) and a late-joining watcher can replay
+    from zero.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._signal = asyncio.Event()
+
+    def publish(self, kind: str, payload: Dict[str, Any]) -> None:
+        """Append an event (thread-safe; callable from any thread)."""
+        event = {"seq": 0, "kind": kind, "ts": time.time(),
+                 "payload": payload}
+        with self._lock:
+            event["seq"] = len(self._events)
+            self._events.append(event)
+        self._loop.call_soon_threadsafe(self._signal.set)
+
+    def snapshot(self, since: int = 0) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events[since:])
+
+    async def wait(self, since: int = 0,
+                   timeout: float = 30.0) -> List[Dict[str, Any]]:
+        """Events with ``seq >= since``, blocking up to *timeout*.
+
+        Returns an empty list on timeout — the long-poll contract is
+        "ask again with the same cursor".
+        """
+        deadline = self._loop.time() + timeout
+        while True:
+            events = self.snapshot(since)
+            if events:
+                return events
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                return []
+            self._signal.clear()
+            try:
+                await asyncio.wait_for(self._signal.wait(), remaining)
+            except asyncio.TimeoutError:
+                return []
+
+
+class Scheduler:
+    """Owns job admission, execution, cancellation, and recovery."""
+
+    def __init__(self, store: JobStore,
+                 cache: Optional[ResultCache] = None,
+                 max_jobs: int = 1,
+                 loop: Optional[asyncio.AbstractEventLoop] = None):
+        if max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.store = store
+        self.cache = cache
+        self.max_jobs = max_jobs
+        self._loop = loop if loop is not None \
+            else asyncio.get_running_loop()
+        self._slots = asyncio.Semaphore(max_jobs)
+        self._feeds: Dict[str, JobFeed] = {}
+        self._cancel_flags: Dict[str, threading.Event] = {}
+        self._tasks: Dict[str, asyncio.Task] = {}
+
+    # ------------------------------------------------------------------
+    def feed(self, job_id: str) -> JobFeed:
+        if job_id not in self._feeds:
+            self._feeds[job_id] = JobFeed(self._loop)
+        return self._feeds[job_id]
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Persist a queued record and start the execution task."""
+        record = self.store.create(spec)
+        self._launch(record)
+        return record
+
+    def _launch(self, record: JobRecord) -> None:
+        self._cancel_flags[record.job_id] = threading.Event()
+        task = self._loop.create_task(self._run_job(record.job_id),
+                                      name=f"job:{record.job_id}")
+        self._tasks[record.job_id] = task
+
+    def recover(self) -> List[JobRecord]:
+        """Re-enqueue every non-terminal job found on disk.
+
+        Called once at daemon startup.  ``running`` records are the
+        interesting case: the previous daemon died mid-sweep, the
+        manifest holds the completed units, and the relaunched engine
+        resumes past them.
+        """
+        recovered = []
+        for record in self.store.list():
+            if record.status in TERMINAL_STATES:
+                continue
+            if record.status == "running":
+                record.restarts += 1
+            record.status = "queued"
+            record.started = None
+            self.store.save(record)
+            self._launch(record)
+            recovered.append(record)
+        return recovered
+
+    def cancel(self, job_id: str) -> Optional[JobRecord]:
+        """Request cancellation; returns the updated record.
+
+        A queued job is cancelled immediately (its task observes the
+        flag before starting the engine); a running job stops at its
+        next lifecycle event.  Terminal jobs are returned unchanged.
+        """
+        record = self.store.load(job_id)
+        if record is None:
+            return None
+        if record.status in TERMINAL_STATES:
+            return record
+        flag = self._cancel_flags.get(job_id)
+        if flag is not None:
+            flag.set()
+        else:  # not tracked by this daemon instance: mark directly
+            record.status = "cancelled"
+            record.finished = time.time()
+            self.store.save(record)
+            self.feed(job_id).publish(
+                "job_cancelled", {"job_id": job_id})
+        return self.store.load(job_id)
+
+    async def drain(self) -> None:
+        """Wait for all in-flight job tasks (daemon shutdown)."""
+        tasks = [t for t in self._tasks.values() if not t.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    async def _run_job(self, job_id: str) -> None:
+        feed = self.feed(job_id)
+        flag = self._cancel_flags[job_id]
+        async with self._slots:
+            record = self.store.load(job_id)
+            if record is None or record.status != "queued":
+                return
+            if flag.is_set():
+                self._finish(record, "cancelled", feed)
+                return
+            record.status = "running"
+            record.started = time.time()
+            self.store.save(record)
+            feed.publish("job_started", {"job_id": job_id,
+                                         "restarts": record.restarts})
+            try:
+                stats = await asyncio.to_thread(
+                    execute_job, record, self.store, self.cache,
+                    flag, feed.publish)
+            except JobCancelled:
+                self._finish(record, "cancelled", feed)
+            except BaseException as exc:
+                record.error = repr(exc)
+                self._finish(record, "failed", feed)
+            else:
+                record.stats = stats
+                self._finish(record, "done", feed)
+
+    def _finish(self, record: JobRecord, status: str,
+                feed: JobFeed) -> None:
+        record.status = status
+        record.finished = time.time()
+        self.store.save(record)
+        feed.publish(f"job_{status}",
+                     {"job_id": record.job_id, "error": record.error,
+                      "stats": record.stats})

@@ -1,0 +1,227 @@
+"""Concurrent sweeps sharing one result-cache directory.
+
+The service runs many engines against a single content-addressed
+:class:`ResultCache`; nothing in the cache serialises them.  Safety
+rests on two properties these tests hammer directly:
+
+* writes are atomic (tmp file + ``os.replace``), so a reader sees a
+  complete entry or no entry — never a torn pickle;
+* entries are content-addressed by the unit's full config, so any
+  interleaving of writers produces the same bytes for the same key,
+  and "lost" duplicate writes are idempotent.
+
+Both thread- and process-level interleavings are exercised, and every
+concurrent outcome is compared bit-identically against a serial
+reference sweep.
+"""
+
+import json
+import multiprocessing
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.core.drishti import DrishtiConfig
+from repro.experiments.common import ExperimentProfile, matrix_to_dict
+from repro.experiments.engine import SweepEngine
+from repro.experiments.resultcache import ResultCache
+from repro.obs import events as obs_events
+from repro.obs.events import EventBus
+from repro.sim.config import ScaleProfile
+
+TINY_SCALE = ScaleProfile("tiny", llc_sets_per_slice=32, l2_sets=16,
+                          l1_sets=8, accesses_per_core=600)
+
+POLICIES = (("lru", "lru", DrishtiConfig.baseline()),
+            ("d-hawkeye", "hawkeye", DrishtiConfig.full()))
+
+
+@pytest.fixture(autouse=True)
+def _clean_listeners():
+    obs_events.clear()
+    yield
+    obs_events.clear()
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                             num_homogeneous=1, num_heterogeneous=1,
+                             seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference(tiny):
+    """Serial, uncached sweep → the ground-truth export."""
+    return matrix_to_dict(SweepEngine().run(tiny, POLICIES))
+
+
+def _run_shared(cache_dir, profile, out, index):
+    """One engine against the shared cache (thread target)."""
+    engine = SweepEngine(cache=ResultCache(cache_dir),
+                         events=EventBus())
+    try:
+        matrix = engine.run(profile, POLICIES)
+        out[index] = ("ok", matrix_to_dict(matrix),
+                      engine.cache.read_errors)
+    except BaseException as exc:  # noqa: BLE001 - report, don't hang
+        out[index] = ("error", repr(exc), None)
+
+
+def _run_shared_process(cache_dir, out_path):
+    """One engine against the shared cache (process target)."""
+    profile = ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                                num_homogeneous=1, num_heterogeneous=1,
+                                seed=3)
+    engine = SweepEngine(cache=ResultCache(cache_dir))
+    matrix = engine.run(profile, POLICIES)
+    with open(out_path, "w") as fh:
+        json.dump({"export": matrix_to_dict(matrix),
+                   "read_errors": engine.cache.read_errors}, fh)
+
+
+class TestConcurrentEngines:
+    def test_two_threads_same_cache_bit_identical(self, tmp_path, tiny,
+                                                  reference):
+        """Max contention: identical sweeps racing on every key."""
+        cache_dir = tmp_path / "cache"
+        out = {}
+        threads = [threading.Thread(target=_run_shared,
+                                    args=(cache_dir, tiny, out, i))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+            assert not t.is_alive(), "engine thread hung"
+        for i in range(2):
+            status, export, read_errors = out[i]
+            assert status == "ok", export
+            assert read_errors == 0, "a racing reader saw a torn entry"
+            # JSON round trip to match the serial export's type story
+            assert json.loads(json.dumps(export)) == \
+                json.loads(json.dumps(reference))
+
+    def test_two_processes_same_cache_bit_identical(self, tmp_path,
+                                                    reference):
+        cache_dir = tmp_path / "cache"
+        outs = [tmp_path / f"out-{i}.json" for i in range(2)]
+        ctx = multiprocessing.get_context("spawn")
+        procs = [ctx.Process(target=_run_shared_process,
+                             args=(cache_dir, out))
+                 for out in outs]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=300)
+            assert p.exitcode == 0, f"worker exited {p.exitcode}"
+        for out in outs:
+            data = json.loads(out.read_text())
+            assert data["read_errors"] == 0
+            assert data["export"] == json.loads(json.dumps(reference))
+
+    def test_warm_cache_after_race_still_correct(self, tmp_path, tiny,
+                                                 reference):
+        """Whatever interleaving won, the surviving entries replay the
+        exact reference numbers (all 8 units warm)."""
+        cache_dir = tmp_path / "cache"
+        out = {}
+        threads = [threading.Thread(target=_run_shared,
+                                    args=(cache_dir, tiny, out, i))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        engine = SweepEngine(cache=ResultCache(cache_dir),
+                             events=EventBus())
+        matrix = engine.run(tiny, POLICIES)
+        stats = engine.last_stats
+        assert stats.cache_hits == stats.total_units == 8
+        assert json.loads(json.dumps(matrix_to_dict(matrix))) == \
+            json.loads(json.dumps(reference))
+
+
+class TestTornReadHammer:
+    def test_racing_put_get_never_yields_partial_values(self, tmp_path):
+        """Writers rewrite the same keys while readers spin: every get
+        is either a clean miss or the complete value."""
+        cache = ResultCache(tmp_path / "cache")
+        # large-ish payloads widen any torn-write window
+        keys = [f"{i:02d}" * 32 for i in range(4)]
+        values = {key: {"key": key, "blob": list(range(2000))}
+                  for key in keys}
+        stop = threading.Event()
+        problems = []
+
+        def writer():
+            while not stop.is_set():
+                for key in keys:
+                    cache.put(key, values[key])
+
+        def reader():
+            local = ResultCache(tmp_path / "cache")
+            while not stop.is_set():
+                for key in keys:
+                    hit, value = local.get(key)
+                    if hit and value != values[key]:
+                        problems.append((key, value))
+                        return
+            if local.read_errors:
+                problems.append(("read_errors", local.read_errors))
+
+        threads = ([threading.Thread(target=writer) for _ in range(2)]
+                   + [threading.Thread(target=reader) for _ in range(4)])
+        for t in threads:
+            t.start()
+        time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+        assert problems == []
+
+    def test_interleaved_puts_are_idempotent(self, tmp_path):
+        """The same key written by many threads stores the one true
+        value (content addressing makes duplicate writes no-ops)."""
+        cache = ResultCache(tmp_path / "cache")
+        value = {"payload": list(range(500))}
+        barrier = threading.Barrier(8)
+
+        def put():
+            barrier.wait()
+            cache.put("contended-key", value)
+
+        threads = [threading.Thread(target=put) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        hit, got = ResultCache(tmp_path / "cache").get("contended-key")
+        assert hit and got == value
+
+    def test_no_temp_file_litter_after_race(self, tmp_path):
+        """Atomic writes either replace or clean up: no stray tmp
+        files accumulate under racing writers."""
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+
+        def writer(seed):
+            for i in range(50):
+                cache.put(f"key-{i % 5}", {"seed": seed, "i": i})
+
+        threads = [threading.Thread(target=writer, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        stray = [p for p in cache_dir.rglob("*")
+                 if p.is_file() and p.suffix != ".pkl"]
+        assert stray == []
+        # and all surviving entries unpickle cleanly
+        for path in cache_dir.rglob("*.pkl"):
+            with open(path, "rb") as fh:
+                pickle.load(fh)

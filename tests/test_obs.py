@@ -143,6 +143,111 @@ class TestEvents:
         monkeypatch.setenv("REPRO_TELEMETRY", "off")
         assert telemetry_enabled() is False
 
+    def test_scoped_subscribe_detaches_on_success_and_error(self):
+        seen = []
+        with obs_events.scoped_subscribe(
+                lambda kind, payload: seen.append(kind)):
+            obs_events.emit("inside")
+        obs_events.emit("outside")
+        assert seen == ["inside"]
+        with pytest.raises(RuntimeError):
+            with obs_events.scoped_subscribe(
+                    lambda kind, payload: seen.append(kind)):
+                raise RuntimeError("boom")
+        assert len(obs_events.current_bus()) == 0
+
+    def test_separate_buses_are_isolated(self):
+        bus_a, bus_b = obs_events.EventBus(), obs_events.EventBus()
+        seen_a, seen_b = [], []
+        bus_a.subscribe(lambda kind, payload: seen_a.append(kind))
+        bus_b.subscribe(lambda kind, payload: seen_b.append(kind))
+        bus_a.emit("a")
+        bus_b.emit("b")
+        assert (seen_a, seen_b) == (["a"], ["b"])
+
+    def test_use_bus_redirects_module_emit(self):
+        bus = obs_events.EventBus()
+        seen = []
+        bus.subscribe(lambda kind, payload: seen.append(kind))
+        default_seen = []
+        obs_events.subscribe(lambda kind, payload:
+                             default_seen.append(kind))
+        with obs_events.use_bus(bus):
+            obs_events.emit("scoped")
+        obs_events.emit("global")
+        assert seen == ["scoped"]
+        assert default_seen == ["global"]
+
+    def test_use_bus_restores_on_error(self):
+        bus = obs_events.EventBus()
+        with pytest.raises(RuntimeError):
+            with obs_events.use_bus(bus):
+                raise RuntimeError("boom")
+        assert obs_events.current_bus() is obs_events.default_bus()
+
+
+class TestEngineListenerHygiene:
+    """A sweep must never leak its manifest listener onto the bus."""
+
+    class _ExplodingManifest:
+        """Stands in for a RunManifest whose disk write fails."""
+
+        path = None
+
+        def emit(self, kind, **fields):
+            if kind == "unit":
+                raise OSError("disk full")
+
+    def test_failed_sweep_leaves_bus_empty(self, tmp_path):
+        # Regression: an exception while reporting warm cache hits —
+        # after the engine subscribed its manifest forwarder but
+        # before the old try/finally began — left the listener
+        # attached, double-reporting into the next run of the same
+        # process.
+        tiny = ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                                 num_homogeneous=1, num_heterogeneous=1,
+                                 seed=3)
+        cache = ResultCache(tmp_path / "cache")
+        SweepEngine(cache=cache).run(tiny, POLICIES)  # warm the cache
+        engine = SweepEngine(cache=cache,
+                             manifest=self._ExplodingManifest())
+        with pytest.raises(OSError, match="disk full"):
+            engine.run(tiny, POLICIES)
+        assert len(obs_events.current_bus()) == 0
+
+    def test_unit_failure_leaves_bus_empty(self, tmp_path):
+        from repro.experiments.faults import FaultPlan, FaultSpec
+        from repro.experiments.retry import RetryPolicy, UnitFailure
+        tiny = ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                                 num_homogeneous=1, num_heterogeneous=1,
+                                 seed=3)
+        plan = FaultPlan((FaultSpec("alone:*", times=99),))
+        engine = SweepEngine(
+            manifest=RunManifest(tmp_path / "m.jsonl"),
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0,
+                              jitter=0.0),
+            faults=plan)
+        with pytest.raises(UnitFailure):
+            engine.run(tiny, POLICIES)
+        assert len(obs_events.current_bus()) == 0
+
+    def test_engine_with_private_bus_keeps_default_bus_clean(self):
+        tiny = ExperimentProfile(scale=TINY_SCALE, core_counts=(2,),
+                                 num_homogeneous=1, num_heterogeneous=1,
+                                 seed=3)
+        bus = obs_events.EventBus()
+        kinds = []
+        bus.subscribe(lambda kind, payload: kinds.append(kind))
+        default_kinds = []
+        obs_events.subscribe(lambda kind, payload:
+                             default_kinds.append(kind))
+        engine = SweepEngine(events=bus)
+        engine.run(tiny, POLICIES)
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_end"
+        assert kinds.count("unit") == engine.last_stats.total_units
+        assert default_kinds == []
+
 
 # ---------------------------------------------------------------------------
 # Manifest + progress line
@@ -260,7 +365,7 @@ class TestManifest:
 class TestProgressLine:
     def test_non_tty_writes_lines(self):
         out = io.StringIO()
-        line = ProgressLine(4, stream=out)
+        line = ProgressLine(4, stream=out, min_interval=0.0)
         line.update(1, 0)
         line.update(2, 1)
         line.finish(4, 2)
@@ -269,6 +374,71 @@ class TestProgressLine:
         assert "2/4 units, 1 cache hits" in text
         assert "4/4 units done, 2 cache hits" in text
         assert text.endswith("\n")
+        assert "\r" not in text
+
+    def test_non_tty_updates_are_throttled(self):
+        # Regression: a non-TTY stream used to get one newline per
+        # completed unit — a thousand-unit sweep garbled CI and
+        # service logs with a thousand status lines.  Plain mode must
+        # rate-limit intermediate updates (first and final still
+        # print).
+        out = io.StringIO()
+        line = ProgressLine(100, stream=out, min_interval=3600.0)
+        for done in range(1, 100):
+            line.update(done, 0)
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 1  # only the first update within window
+        line.update(100, 0)  # completion always prints
+        line.finish(100, 0)
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 3
+        assert "1/100 units" in lines[0]
+        assert "100/100 units," in lines[1]
+        assert "100/100 units done" in lines[2]
+
+    def test_mode_off_env_silences(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "off")
+        out = io.StringIO()
+        line = ProgressLine(4, stream=out)
+        line.update(1, 0)
+        line.finish(4, 0)
+        assert out.getvalue() == ""
+
+    def test_mode_tty_env_forces_carriage_returns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "tty")
+        out = io.StringIO()  # not a TTY, but the override wins
+        line = ProgressLine(4, stream=out)
+        line.update(1, 0)
+        line.update(2, 0)
+        line.finish(4, 0)
+        text = out.getvalue()
+        assert text.count("\r") == 2  # each update rewrites in place
+        assert text.endswith("\n")    # final line newline-terminated
+
+    def test_mode_plain_env_overrides_tty_stream(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "plain")
+
+        class FakeTTY(io.StringIO):
+            def isatty(self):
+                return True
+
+        out = FakeTTY()
+        line = ProgressLine(4, stream=out, min_interval=0.0)
+        line.update(1, 0)
+        assert "\r" not in out.getvalue()
+        assert out.getvalue().endswith("\n")
+
+    def test_auto_mode_uses_isatty(self):
+        class FakeTTY(io.StringIO):
+            def isatty(self):
+                return True
+
+        assert ProgressLine(4, stream=FakeTTY()).mode == "tty"
+        assert ProgressLine(4, stream=io.StringIO()).mode == "plain"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ProgressLine(4, stream=io.StringIO(), mode="loud")
 
     def test_eta_placeholder_until_live_unit(self):
         out = io.StringIO()

@@ -7,6 +7,8 @@ values below were captured from the pre-engine serial sweep loop, so
 byte-for-byte to the historical behaviour.
 """
 
+import warnings
+
 import pytest
 
 from repro.core.drishti import DrishtiConfig
@@ -200,8 +202,58 @@ class TestResultCache:
         key = cache_key("cell", "x")
         cache.put(key, 1.0)
         cache._path(key).write_bytes(b"not a pickle")
-        assert cache.get(key) == (False, None)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert cache.get(key) == (False, None)
         assert len(cache) == 0
+        assert cache.read_errors == 1
+
+    def test_corrupt_entry_raising_unlisted_exception_is_a_miss(
+            self, tmp_path):
+        # Regression: unpickling garbage can raise nearly anything —
+        # this protocol-0 LONG with non-numeric digits raises
+        # ValueError, which the old enumerated except-list let
+        # propagate out of the sweep.  Every unpickling failure must
+        # be a miss.
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell", "torn")
+        cache.put(key, 1.0)
+        cache._path(key).write_bytes(b"Lxyz\n.")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            found, value = cache.get(key)
+        assert (found, value) == (False, None)
+        assert cache.read_errors == 1
+        assert len(cache) == 0
+        # The slot is clean again: a fresh put/get round-trips.
+        cache.put(key, 2.0)
+        assert cache.get(key) == (True, 2.0)
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        # A torn write (process killed between mkstemp and replace
+        # never publishes, but disk-full can leave a short file).
+        cache = ResultCache(tmp_path)
+        key = cache_key("cell", "short")
+        cache.put(key, {"ws": 1.0})
+        full = cache._path(key).read_bytes()
+        cache._path(key).write_bytes(full[:len(full) // 2])
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert cache.get(key) == (False, None)
+        assert cache.read_errors == 1
+
+    def test_read_error_warns_once_but_counts_each(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [cache_key("cell", i) for i in range(3)]
+        for key in keys:
+            cache.put(key, 1.0)
+            cache._path(key).write_bytes(b"Lxyz\n.")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for key in keys:
+                assert cache.get(key) == (False, None)
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1  # one warning per cache instance
+        assert cache.read_errors == 3
+        assert cache.misses == 3
 
     def test_key_is_stable_and_discriminating(self):
         cfg_a = SystemConfig.from_profile(2, TINY_SCALE,
