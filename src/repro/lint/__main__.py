@@ -70,6 +70,29 @@ def _print_config_pin(paths: List[Path]) -> int:
     return 0
 
 
+def _print_events_pin(paths: List[Path]) -> int:
+    """Print the regenerated ``events_pin.py`` module; redirect the
+    output onto ``src/repro/lint/events_pin.py`` to re-pin."""
+    from repro.lint.events import collect_event_names, render_events_pin
+    project, errors = build_project(paths)
+    for err in errors:
+        print(err.render(), file=sys.stderr)
+    names = collect_event_names(project)
+    print(render_events_pin(names), end="")
+    return 0 if not errors else 1
+
+
+def _print_timings(result) -> None:
+    """Per-rule wall time, slowest first, plus the total."""
+    total = sum(result.timings.values())
+    print(f"rule timings ({total * 1000.0:.1f} ms total):",
+          file=sys.stderr)
+    for code, seconds in sorted(result.timings.items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {code:<8} {seconds * 1000.0:8.1f} ms",
+              file=sys.stderr)
+
+
 def _print_sanitize_facts(paths: List[Path],
                           graph_cache: Optional[Path]) -> int:
     """Emit the SAT001 fact table the runtime sanitizer asserts."""
@@ -113,6 +136,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--config-pin", action="store_true",
                         help="print the current SystemConfig structural "
                              "hash for repro/lint/config_pin.py")
+    parser.add_argument("--events-pin", action="store_true",
+                        help="print the regenerated event-name pin "
+                             "module (repro/lint/events_pin.py) for "
+                             "the EVT001 rule")
+    parser.add_argument("--timings", action="store_true",
+                        help="print per-rule wall time to stderr "
+                             "after linting")
     parser.add_argument("--sanitize", action="store_true",
                         help="print the SAT001 counter fact table the "
                              "runtime sanitizer (REPRO_SANITIZE=1) "
@@ -134,6 +164,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.config_pin:
         return _print_config_pin(paths)
+    if args.events_pin:
+        return _print_events_pin(paths)
     if args.sanitize:
         return _print_sanitize_facts(paths, args.graph_cache)
 
@@ -145,6 +177,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     result = run_lint(paths, rules, graph_cache=args.graph_cache)
+    if args.timings:
+        _print_timings(result)
     if args.sarif:
         print(render_sarif(result))
     elif args.json:

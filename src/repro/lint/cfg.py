@@ -21,6 +21,14 @@ Coverage and deliberate approximations:
   therefore visible to the analysis as proofs;
 * ``try`` bodies conservatively edge into every handler from every
   block created inside the body (an exception can fire anywhere);
+* ``with`` bodies are followed by a synthetic :class:`ScopeExit`
+  statement so scope-tracking analyses (the LOCK001 lock-set lattice,
+  see :mod:`repro.lint.dataflow`) can model ``__exit__`` — a lock
+  acquired by ``with self._lock:`` is released exactly there;
+* ``async def`` bodies build like sync ones, but the CFG records
+  :attr:`CFG.is_async` and every ``await`` expression
+  (:attr:`CFG.awaits`), so rules can reason about event-loop
+  boundaries;
 * nested ``def``/``class``/``lambda`` are opaque single statements —
   callers analyse nested functions with their own CFGs.
 """
@@ -31,7 +39,32 @@ import ast
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Assumption", "Block", "CFG", "Edge", "build_cfg"]
+__all__ = ["Assumption", "Block", "CFG", "Edge", "ScopeExit",
+           "build_cfg"]
+
+
+class ScopeExit(ast.stmt):
+    """Synthetic statement: control leaves a ``with`` block here.
+
+    Holds the originating ``ast.With``/``ast.AsyncWith`` in ``node``.
+    ``_fields`` is empty so generic AST walkers treat it as a leaf;
+    transfer functions that track scopes (lock sets) match on it by
+    type.  Exceptional exits bypass it — the resulting over-
+    approximation ("lock still held in the handler") errs toward
+    believing mutations are guarded, never toward false positives
+    about missing guards on normal paths.
+    """
+
+    _fields = ()
+
+    def __init__(self, node: ast.stmt) -> None:
+        super().__init__()
+        self.node = node
+        self.lineno = getattr(node, "lineno", 1)
+        self.col_offset = getattr(node, "col_offset", 0)
+
+    def __repr__(self) -> str:
+        return f"ScopeExit(line {self.lineno})"
 
 
 @dataclass(frozen=True)
@@ -68,6 +101,11 @@ class CFG:
         self.edges: List[Edge] = []
         self.entry = self._new_block()
         self.exit = self._new_block()
+        #: True for ``async def`` bodies (set by :func:`build_cfg`).
+        self.is_async: bool = False
+        #: Every ``await`` expression in the function's own body
+        #: (nested ``def``/``lambda`` excluded).
+        self.awaits: List[ast.Await] = []
 
     # -- construction ---------------------------------------------------
     def _new_block(self) -> int:
@@ -129,7 +167,9 @@ class _Builder:
             return self._try(stmt, current)
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             self.cfg.blocks[current].stmts.append(stmt)
-            return self.build(stmt.body, current)
+            fall_out = self.build(stmt.body, current)
+            self.cfg.blocks[fall_out].stmts.append(ScopeExit(stmt))
+            return fall_out
         if isinstance(stmt, ast.Assert):
             return self._assert(stmt, current)
         if isinstance(stmt, (ast.Return, ast.Raise)):
@@ -238,12 +278,31 @@ class _Builder:
         return after
 
 
+def _own_awaits(fn: ast.AST) -> List[ast.Await]:
+    """``await`` expressions in *fn*'s own body, skipping nested
+    function/lambda scopes (they suspend their own coroutine)."""
+    out: List[ast.Await] = []
+    work: List[ast.AST] = list(fn.body)
+    while work:
+        node = work.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await):
+            out.append(node)
+        work.extend(ast.iter_child_nodes(node))
+    out.sort(key=lambda n: (n.lineno, n.col_offset))
+    return out
+
+
 def build_cfg(fn: ast.AST) -> CFG:
     """CFG for one ``FunctionDef``/``AsyncFunctionDef`` body."""
     if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
         raise TypeError(f"build_cfg expects a function node, "
                         f"got {type(fn).__name__}")
     cfg = CFG(fn.name)
+    cfg.is_async = isinstance(fn, ast.AsyncFunctionDef)
+    cfg.awaits = _own_awaits(fn)
     builder = _Builder(cfg)
     start = builder.new_block()
     cfg._add_edge(cfg.entry, start)

@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, Generic, List, Optional, TypeVar
+from typing import Dict, FrozenSet, Generic, List, Optional, TypeVar
 
-from repro.lint.cfg import CFG
+from repro.lint.cfg import CFG, ScopeExit
 
-__all__ = ["ForwardAnalysis", "Interval", "IntervalEnv", "run_forward"]
+__all__ = ["ForwardAnalysis", "Interval", "IntervalEnv",
+           "LockSetAnalysis", "run_forward", "stmt_facts"]
 
 T = TypeVar("T")
 
@@ -245,3 +246,97 @@ class IntervalEnv:
         inner = ", ".join(f"{k}: {v!r}"
                           for k, v in sorted(self._map.items()))
         return f"IntervalEnv({{{inner}}})"
+
+
+# ---------------------------------------------------------------------------
+# Lock-set domain (LOCK001)
+# ---------------------------------------------------------------------------
+
+#: A lock-set fact: the locks *must* be held at a program point.
+LockFact = FrozenSet[str]
+
+
+def _lock_token(expr: ast.expr,
+                lock_names: FrozenSet[str]) -> Optional[str]:
+    """The lock token acquired by *expr*, or ``None``.
+
+    Recognises ``self.<attr>`` (token ``"self.<attr>"``) and bare
+    names (token ``"<name>"``) whose identifier is in *lock_names*.
+    """
+    if isinstance(expr, ast.Attribute) and \
+            isinstance(expr.value, ast.Name) and \
+            expr.value.id == "self" and expr.attr in lock_names:
+        return f"self.{expr.attr}"
+    if isinstance(expr, ast.Name) and expr.id in lock_names:
+        return expr.id
+    return None
+
+
+class LockSetAnalysis(ForwardAnalysis[LockFact]):
+    """Must-hold lock sets over a CFG (intersection join).
+
+    Seeded with the attribute/variable names known to be locks
+    (``threading.Lock``/``RLock``/``asyncio.Lock`` assignments found
+    by the caller).  Acquisitions are ``with self._lock:`` items and
+    explicit ``.acquire()`` calls; releases are the matching
+    :class:`~repro.lint.cfg.ScopeExit` and ``.release()`` calls.  The
+    join is set intersection — a lock counts as held only when every
+    path to the point holds it — which is exactly the "intersecting
+    lock set" LOCK001 requires to be non-empty across racing
+    mutations.
+    """
+
+    def __init__(self, lock_names: FrozenSet[str]) -> None:
+        self.lock_names = lock_names
+
+    def initial(self) -> LockFact:
+        return frozenset()
+
+    def join(self, a: LockFact, b: LockFact) -> LockFact:
+        return a & b
+
+    def _with_tokens(self, stmt: ast.stmt) -> LockFact:
+        tokens = set()
+        for item in getattr(stmt, "items", []):
+            token = _lock_token(item.context_expr, self.lock_names)
+            if token is not None:
+                tokens.add(token)
+        return frozenset(tokens)
+
+    def transfer_stmt(self, stmt: ast.stmt, fact: LockFact) -> LockFact:
+        if isinstance(stmt, ScopeExit):
+            return fact - self._with_tokens(stmt.node)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return fact | self._with_tokens(stmt)
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, ast.Call) and \
+                isinstance(stmt.value.func, ast.Attribute):
+            call = stmt.value
+            assert isinstance(call.func, ast.Attribute)
+            token = _lock_token(call.func.value, self.lock_names)
+            if token is not None:
+                if call.func.attr == "acquire":
+                    return fact | {token}
+                if call.func.attr == "release":
+                    return fact - {token}
+        return fact
+
+
+def stmt_facts(cfg: CFG, analysis: ForwardAnalysis[T],
+               ) -> Dict[int, T]:
+    """Fact holding *immediately before* each statement.
+
+    Runs the fixpoint, then replays transfer functions through every
+    reachable block; keys are ``id(stmt)`` (statements are unique
+    objects within one CFG).  Unreachable statements are absent.
+    """
+    in_facts = run_forward(cfg, analysis)
+    out: Dict[int, T] = {}
+    for bid, block in cfg.blocks.items():
+        fact = in_facts.get(bid)
+        if fact is None:
+            continue
+        for stmt in block.stmts:
+            out[id(stmt)] = fact
+            fact = analysis.transfer_stmt(stmt, fact)
+    return out

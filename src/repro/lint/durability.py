@@ -1,0 +1,316 @@
+"""Durability-protocol rules: ATOM001 and EXC001.
+
+The job daemon's crash-safety story (PR 7) rests on two protocols the
+type system cannot enforce:
+
+* **ATOM001** — every durable artifact under ``jobs/<id>/``
+  (``job.json``, ``result.json``, manifests, the daemon's advertised
+  ``daemon.json``) must be written atomically: serialise to a
+  temporary file in the same directory, then ``os.replace`` onto the
+  final path.  A plain ``open(path, "w")`` (or ``Path.write_text``)
+  on such a path leaves a torn file if the process dies mid-write —
+  exactly the window the SIGKILL-restart test exercises.  A function
+  that performs ``os.replace`` itself *is* the atomic-write helper
+  and is exempt.
+* **EXC001** — two exception-safety hazards in the service stack:
+  (a) a broad ``except Exception:``/bare ``except:`` handler that
+  swallows without re-raising inside code that can see
+  :class:`repro.service.jobs.JobCancelled` — cancellation is a
+  ``BaseException`` precisely so broad handlers don't eat it, but a
+  bare ``except:`` still does, and an ``except Exception`` that
+  returns/continues hides real faults from the supervisor; (b) a
+  ``bus.subscribe(...)`` whose unsubscribe is not guarded by
+  ``try/finally`` (or delegated to ``scoped_subscribe``) leaks the
+  listener when the body raises.
+
+Both rules scope to the service/observability stack plus standalone
+fixture files; the simulator and experiment layers have their own
+durability idioms (result-cache ``os.replace``, append-only
+manifests) that already pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import ModuleInfo, ProjectContext, _script_exempt
+from repro.lint.rules import Rule, Violation, register_rule
+
+__all__ = ["AtomicWriteRule", "ExceptionSafetyRule"]
+
+#: Substrings identifying a durable path expression.  Matched against
+#: the source text of the first argument to ``open``/the receiver of
+#: ``write_text``; chosen from the service stack's actual naming so
+#: scratch/log writes stay out of scope.
+_DURABLE_MARKERS: Tuple[str, ...] = (
+    "record_path", "result_path", "manifest_path", "job_dir",
+    "jobs_root", "job.json", "result.json", "daemon.json",
+    "address_path", "manifest.jsonl",
+)
+
+#: ``open`` modes that truncate/create (append-only journals are a
+#: different, crash-tolerant protocol and stay legal).
+_TRUNCATING_MODES = ("w", "x", "+")
+
+_SCOPE_PREFIXES = ("repro.service", "repro.obs")
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    if not module.in_package:
+        return not _script_exempt(module)
+    return module.name.startswith(_SCOPE_PREFIXES)
+
+
+def _expr_text(module: ModuleInfo, node: ast.AST) -> str:
+    try:
+        return ast.get_source_segment(module.source, node) or ""
+    except Exception:  # pragma: no cover - malformed positions
+        return ""
+
+
+def _is_durable(module: ModuleInfo, node: ast.AST) -> bool:
+    text = _expr_text(module, node)
+    return any(marker in text for marker in _DURABLE_MARKERS)
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    """The literal mode of an ``open()`` call (default ``"r"``)."""
+    mode_node: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode_node = kw.value
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and \
+            isinstance(mode_node.value, str):
+        return mode_node.value
+    return None  # dynamic mode: assume the author knows
+
+
+def _enclosing_functions(tree: ast.Module) -> List[ast.AST]:
+    return [node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def _fn_calls_replace(fn: ast.AST) -> bool:
+    """True when *fn* itself performs ``os.replace``/``os.rename`` —
+    i.e. it is (part of) an atomic-write implementation."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in ("replace", "rename") and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == "os":
+            return True
+    return False
+
+
+@register_rule
+class AtomicWriteRule(Rule):
+    """ATOM001: durable files are written tmp + os.replace, never
+    in place."""
+
+    code = "ATOM001"
+    title = "non-atomic write to a durable job-store path"
+    severity = "error"
+    tier = "concurrency"
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        if not _in_scope(module):
+            return
+        atomic_fns = {id(fn) for fn in _enclosing_functions(module.tree)
+                      if _fn_calls_replace(fn)}
+        for fn in _enclosing_functions(module.tree):
+            if id(fn) in atomic_fns:
+                continue
+            yield from self._check_body(module, fn)
+        yield from self._check_body(module, module.tree,
+                                    toplevel=True)
+
+    def _check_body(self, module: ModuleInfo, scope: ast.AST,
+                    toplevel: bool = False) -> Iterator[Violation]:
+        work: List[ast.AST] = list(scope.body)  # type: ignore[attr-defined]
+        while work:
+            node = work.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if toplevel and isinstance(node, ast.ClassDef):
+                continue  # methods are visited as functions
+            hit = self._non_atomic_write(module, node)
+            if hit is not None:
+                yield self.violation(
+                    module, node,
+                    f"durable path written in place via {hit}; "
+                    f"write to a temp file in the same directory "
+                    f"and 'os.replace' it onto the final path "
+                    f"(see repro.service.jobs.atomic_write_json)")
+            work.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _non_atomic_write(module: ModuleInfo,
+                          node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open" and node.args:
+            mode = _open_mode(node)
+            if mode is not None and \
+                    any(ch in mode for ch in _TRUNCATING_MODES) and \
+                    _is_durable(module, node.args[0]):
+                return f"open(..., {mode!r})"
+        if isinstance(func, ast.Attribute) and \
+                func.attr in ("write_text", "write_bytes") and \
+                _is_durable(module, func.value):
+            return f".{func.attr}(...)"
+        return None
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts \
+        if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for t in types:
+        name = t.id if isinstance(t, ast.Name) else \
+            t.attr if isinstance(t, ast.Attribute) else ""
+        if name in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _names_cancelled(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "JobCancelled":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "JobCancelled":
+            return True
+    return False
+
+
+@register_rule
+class ExceptionSafetyRule(Rule):
+    """EXC001: broad handlers must not swallow; bus listeners must
+    unsubscribe on error paths."""
+
+    code = "EXC001"
+    title = "broad exception handler swallows, or bus subscription " \
+            "leaks on error paths"
+    severity = "error"
+    tier = "concurrency"
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        if not _in_scope(module):
+            return
+        module_sees_cancelled = _names_cancelled(module.tree) or \
+            module.name.startswith("repro.service")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Try):
+                yield from self._check_try(module, node,
+                                           module_sees_cancelled)
+        yield from self._check_subscriptions(module)
+
+    # -- part A: swallowed cancellation / faults -----------------------
+    def _check_try(self, module: ModuleInfo, stmt: ast.Try,
+                   sees_cancelled: bool) -> Iterator[Violation]:
+        cancelled_handled = False
+        for handler in stmt.handlers:
+            if handler.type is not None and \
+                    _names_cancelled(handler.type):
+                cancelled_handled = True
+                continue
+            if not _is_broad_handler(handler):
+                continue
+            if _handler_reraises(handler):
+                continue
+            bare = handler.type is None
+            if bare and sees_cancelled and not cancelled_handled:
+                yield self.violation(
+                    module, handler,
+                    "bare 'except:' swallows JobCancelled "
+                    "(a BaseException used as a cancellation "
+                    "signal); catch 'Exception' and let "
+                    "cancellation propagate, or handle "
+                    "JobCancelled explicitly first")
+            elif not bare and self._swallows(handler):
+                yield self.violation(
+                    module, handler,
+                    "broad handler catches and discards the "
+                    "exception; re-raise, record it, or narrow "
+                    "the handler so supervisor code can see the "
+                    "fault")
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        """A handler that neither re-raises nor does anything with
+        the exception object swallows it."""
+        if handler.name is not None:
+            return False  # it binds the exception: assume it records
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Call):
+                return False  # logging / cleanup call: assume handled
+        return True
+
+    # -- part B: leaked subscriptions ----------------------------------
+    def _check_subscriptions(self,
+                             module: ModuleInfo) -> Iterator[Violation]:
+        if module.name.startswith("repro.obs"):
+            return  # the bus implementation manages its own listeners
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(node for node in ast.walk(module.tree)
+                      if isinstance(node, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)))
+        for scope in scopes:
+            yield from self._check_scope_subscriptions(module, scope)
+
+    def _check_scope_subscriptions(
+            self, module: ModuleInfo,
+            scope: ast.AST) -> Iterator[Violation]:
+        own: List[ast.AST] = []
+        work: List[ast.AST] = list(scope.body)  # type: ignore[attr-defined]
+        while work:
+            node = work.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            own.append(node)
+            work.extend(ast.iter_child_nodes(node))
+        # The canonical guard: subscribe, then a try whose finally
+        # unsubscribes — the finally runs no matter where the body
+        # raises, so the listener cannot leak.
+        guarded = any(
+            isinstance(node, ast.Try) and node.finalbody and any(
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "unsubscribe"
+                for stmt in node.finalbody
+                for call in ast.walk(stmt))
+            for node in own)
+        if guarded:
+            return
+        for node in own:
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "subscribe":
+                yield self.violation(
+                    module, node,
+                    "'.subscribe(...)' without a try/finally "
+                    "unsubscribe leaks the listener if later code "
+                    "raises; use scoped_subscribe(...) or "
+                    "unsubscribe in a finally block")

@@ -25,12 +25,17 @@ import hashlib
 import io
 import json
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.lint.rules import Rule, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.lint.cfg import CFG
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
@@ -83,6 +88,9 @@ class ModuleInfo:
     line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
     #: codes suppressed for the whole file.
     file_suppressions: Set[str] = field(default_factory=set)
+    #: code -> line of the ``disable-file`` comment declaring it
+    #: (anchors SUP001 findings about stale file-level suppressions).
+    file_suppression_lines: Dict[str, int] = field(default_factory=dict)
 
     def suppressed(self, violation: Violation) -> bool:
         for pool in (self.file_suppressions,
@@ -103,6 +111,28 @@ class ProjectContext:
     hot_set: Set[str]
     wallclock_exempt: Tuple[str, ...] = WALLCLOCK_EXEMPT_PREFIXES
     order_sensitive: Tuple[str, ...] = ORDER_SENSITIVE_MODULES
+    #: ``id(fn_node)`` -> built CFG, shared by every rule family in one
+    #: run (SAT001 and LOCK001 both analyse function bodies; the first
+    #: to ask pays for construction).
+    cfg_cache: Dict[int, "CFG"] = field(default_factory=dict)
+    #: construction/reuse counters, asserted by the perf unit test.
+    cfg_stats: Dict[str, int] = field(
+        default_factory=lambda: {"builds": 0, "hits": 0})
+
+    def cfg(self, fn: ast.AST) -> "CFG":
+        """The (cached) CFG of *fn*; keyed by node identity, which is
+        stable for the project's lifetime because the module trees are
+        owned by this context."""
+        key = id(fn)
+        cached = self.cfg_cache.get(key)
+        if cached is not None:
+            self.cfg_stats["hits"] += 1
+            return cached
+        from repro.lint.cfg import build_cfg
+        built = build_cfg(fn)
+        self.cfg_stats["builds"] += 1
+        self.cfg_cache[key] = built
+        return built
 
     def wallclock_in_scope(self, module: ModuleInfo) -> bool:
         """DET002 scope: hot-set members minus the allow-list; files
@@ -173,9 +203,11 @@ def module_name_for(path: Path) -> Tuple[str, bool]:
 
 
 def _collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]],
-                                                Set[str]]:
+                                                Set[str],
+                                                Dict[str, int]]:
     per_line: Dict[int, Set[str]] = {}
     per_file: Set[str] = set()
+    file_lines: Dict[str, int] = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:
@@ -188,11 +220,13 @@ def _collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]],
             codes = {c.strip() for c in codes_text.split(",") if c.strip()}
             if kind == "disable-file":
                 per_file |= codes
+                for code in codes:
+                    file_lines.setdefault(code, tok.start[0])
             else:
                 per_line.setdefault(tok.start[0], set()).update(codes)
     except tokenize.TokenError:
         pass
-    return per_line, per_file
+    return per_line, per_file, file_lines
 
 
 def load_module(path: Path) -> ModuleInfo:
@@ -204,11 +238,12 @@ def load_module(path: Path) -> ModuleInfo:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     name, in_package = module_name_for(path)
-    line_supp, file_supp = _collect_suppressions(source)
+    line_supp, file_supp, file_lines = _collect_suppressions(source)
     return ModuleInfo(path=path, name=name, in_package=in_package,
                       tree=tree, source=source,
                       line_suppressions=line_supp,
-                      file_suppressions=file_supp)
+                      file_suppressions=file_supp,
+                      file_suppression_lines=file_lines)
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +363,9 @@ def save_graph_cache(path: Path,
 class LintResult:
     violations: List[Violation]
     files_checked: int
+    #: rule code -> wall seconds spent in its check hooks this run
+    #: (``--timings`` prints it; CI watches for analysis-cost creep).
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -380,16 +418,85 @@ def build_project(paths: Sequence[Path],
     return project, parse_errors
 
 
+def _audit_suppressions(project: ProjectContext,
+                        findings: Sequence[Violation],
+                        rules: Sequence[Rule]) -> List[Violation]:
+    """SUP001: suppression comments that silenced nothing this run.
+
+    A ``disable=CODE`` token is stale when no CODE finding landed on
+    its line (``disable-file``: anywhere in its file).  Only codes of
+    *active* rules are audited — a ``--select ASY`` run cannot judge a
+    DET suppression — and the ``all`` wildcard and ``SUP001`` itself
+    are never audited (the auditor cannot consistently audit its own
+    escape hatch).
+    """
+    active = {rule.code for rule in rules}
+    sup_rule = next((r for r in rules if r.code == "SUP001"), None)
+    if sup_rule is None:
+        return []
+    used_line: Set[Tuple[str, int, str]] = set()
+    used_file: Set[Tuple[str, str]] = set()
+    for violation in findings:
+        module = project.by_path.get(violation.path)
+        if module is None:
+            continue
+        for token in ("all", violation.code):
+            if token in module.file_suppressions:
+                used_file.add((violation.path, token))
+            if token in module.line_suppressions.get(violation.line,
+                                                     set()):
+                used_line.add((violation.path, violation.line, token))
+
+    def auditable(token: str) -> bool:
+        return token in active and token != "SUP001"
+
+    out: List[Violation] = []
+    for module in project.modules:
+        path = str(module.path)
+        for line in sorted(module.line_suppressions):
+            for token in sorted(module.line_suppressions[line]):
+                if auditable(token) and \
+                        (path, line, token) not in used_line:
+                    out.append(Violation(
+                        code="SUP001",
+                        message=(f"stale suppression: disable={token} "
+                                 f"matches no {token} finding on this "
+                                 f"line — remove the comment"),
+                        path=path, line=line, col=0,
+                        severity=sup_rule.severity))
+        for token in sorted(module.file_suppressions):
+            if auditable(token) and (path, token) not in used_file:
+                out.append(Violation(
+                    code="SUP001",
+                    message=(f"stale suppression: disable-file={token} "
+                             f"matches no {token} finding in this "
+                             f"file — remove the comment"),
+                    path=path,
+                    line=module.file_suppression_lines.get(token, 1),
+                    col=0, severity=sup_rule.severity))
+    return out
+
+
 def run_lint(paths: Sequence[Path], rules: Sequence[Rule],
              graph_cache: Optional[Path] = None) -> LintResult:
     """Lint *paths* with *rules*; returns suppression-filtered findings
     sorted by (path, line, col, code)."""
     project, findings = build_project(paths, graph_cache=graph_cache)
+    timings: Dict[str, float] = {rule.code: 0.0 for rule in rules}
     for module in project.modules:
         for rule in rules:
+            started = time.perf_counter()
             findings.extend(rule.check_module(module, project))
+            timings[rule.code] += time.perf_counter() - started
     for rule in rules:
+        started = time.perf_counter()
         findings.extend(rule.check_project(project))
+        timings[rule.code] += time.perf_counter() - started
+
+    started = time.perf_counter()
+    findings.extend(_audit_suppressions(project, findings, rules))
+    if "SUP001" in timings:
+        timings["SUP001"] += time.perf_counter() - started
 
     kept: List[Violation] = []
     for violation in findings:
@@ -399,4 +506,5 @@ def run_lint(paths: Sequence[Path], rules: Sequence[Rule],
         kept.append(violation)
     kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return LintResult(violations=kept,
-                      files_checked=len(project.modules))
+                      files_checked=len(project.modules),
+                      timings=timings)

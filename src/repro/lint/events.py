@@ -1,0 +1,246 @@
+"""EVT001: the event-name registry pin.
+
+Event kinds are stringly-typed: the sweep engine emits
+``"sweep_start"``, the manifest records it, the job feed republishes
+it, and the CLI progress renderer matches it — four layers away.  A
+typo in any one of them silently drops events (no type checker sees
+it), so every event name is **pinned** in
+:mod:`repro.lint.events_pin`, exactly like the INV003 config-structure
+pin:
+
+* every string literal passed to ``*.emit(...)`` / ``*.publish(...)``
+  must be pinned;
+* every literal a subscriber or manifest reader matches
+  (``kind == "unit"``, ``event.get("event") != "unit"``) must be
+  pinned;
+* every string inside a declared event-kind constant (a module
+  constant whose name contains ``EVENT``, e.g.
+  ``LIFECYCLE_EVENT_KINDS``) must be pinned — for dict-valued
+  constants only the *values* are event names;
+* a **dynamic** event name at an emit site (f-string, concatenation)
+  defeats the registry entirely and is flagged outright — route the
+  dynamic part through a declared constant mapping instead.
+
+Passing a variable (``manifest.emit(kind, ...)``) is a forwarder, not
+a name introduction, and is always allowed.
+
+To re-pin after intentionally adding/removing an event kind, run
+``repro-lint --events-pin src/repro > src/repro/lint/events_pin.py``
+— the output is the complete pin module, byte-identical on a clean
+tree (CI diffs it).
+
+Scope: ``repro.service*``/``repro.obs*`` plus any module importing
+the event bus or manifest machinery (``repro.obs``,
+``repro.obs.events``, ``repro.obs.manifest``); the lint package
+itself is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleInfo, ProjectContext, _script_exempt
+from repro.lint.events_pin import PINNED_EVENT_NAMES
+from repro.lint.rules import Rule, Violation, register_rule
+
+__all__ = ["EventNamePinRule", "collect_event_names",
+           "render_events_pin"]
+
+#: Methods that introduce an event name at their first argument.
+_EMIT_METHODS = ("emit", "publish")
+
+#: ``.get(<key>)`` receivers whose comparison target is an event name.
+_READER_KEYS = ("kind", "event")
+
+_OBS_MODULES = ("repro.obs", "repro.obs.events", "repro.obs.manifest")
+
+
+def _imports_event_machinery(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if (node.module or "") in _OBS_MODULES:
+                return True
+        elif isinstance(node, ast.Import):
+            if any(alias.name in _OBS_MODULES for alias in node.names):
+                return True
+    return False
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    if not module.in_package:
+        return "evt" in module.path.stem and not _script_exempt(module)
+    if module.name.startswith("repro.lint"):
+        return False
+    if module.name.startswith(("repro.service", "repro.obs")):
+        return True
+    return _imports_event_machinery(module)
+
+
+#: One discovered event-name site: (name or None-if-dynamic, node,
+#: human description of where it came from).
+_Site = Tuple[Optional[str], ast.AST, str]
+
+
+def _emit_sites(tree: ast.Module) -> Iterator[_Site]:
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EMIT_METHODS
+                and node.args):
+            continue
+        kind = node.args[0]
+        where = f"'.{node.func.attr}(...)' call"
+        if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+            yield kind.value, node, where
+        elif isinstance(kind, (ast.JoinedStr, ast.BinOp)):
+            yield None, node, where
+        # Name/Attribute/Subscript: forwarder — no name introduced.
+
+
+def _reader_sites(tree: ast.Module) -> Iterator[_Site]:
+    def is_kind_ref(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name) and expr.id in _READER_KEYS:
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "get"
+                and expr.args
+                and isinstance(expr.args[0], ast.Constant)
+                and expr.args[0].value in _READER_KEYS)
+
+    def literals(expr: ast.expr) -> List[str]:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return [expr.value]
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return [e.value for e in expr.elts
+                    if isinstance(e, ast.Constant)
+                    and isinstance(e.value, str)]
+        return []
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], (ast.Eq, ast.NotEq, ast.In,
+                                        ast.NotIn)):
+            continue
+        left, right = node.left, node.comparators[0]
+        matched: List[str] = []
+        if is_kind_ref(left):
+            matched = literals(right)
+        elif is_kind_ref(right):
+            matched = literals(left)
+        for name in matched:
+            yield name, node, "subscriber/reader comparison"
+
+
+def _constant_sites(tree: ast.Module) -> Iterator[_Site]:
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and "EVENT" in t.id
+                   for t in targets):
+            continue
+        value = node.value
+        assert value is not None
+        name = next(t.id for t in targets if isinstance(t, ast.Name))
+        pool: List[ast.expr]
+        if isinstance(value, ast.Dict):
+            pool = [v for v in value.values if v is not None]
+        elif isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            pool = list(value.elts)
+        else:
+            pool = [value]
+        for element in pool:
+            for sub in ast.walk(element):
+                if isinstance(sub, ast.Constant) and \
+                        isinstance(sub.value, str):
+                    yield sub.value, sub, f"declared constant '{name}'"
+
+
+def _module_sites(module: ModuleInfo) -> Iterator[_Site]:
+    yield from _emit_sites(module.tree)
+    yield from _reader_sites(module.tree)
+    yield from _constant_sites(module.tree)
+
+
+def collect_event_names(project: ProjectContext) -> Set[str]:
+    """Every event name the tree introduces (emit literals, reader
+    matches, declared constants), for ``--events-pin``."""
+    names: Set[str] = set()
+    for module in project.modules:
+        if not _in_scope(module):
+            continue
+        for name, _node, _where in _module_sites(module):
+            if name is not None:
+                names.add(name)
+    return names
+
+
+_PIN_HEADER = '''\
+"""Pinned event-name registry for the EVT001 rule.
+
+The closed set of event kinds the sweep engine, job feed, manifest
+and CLI renderers agree on.  EVT001 checks every emit literal,
+subscriber match and declared event-kind constant against this set,
+so a typo in any layer fails the lint instead of silently dropping
+events.
+
+To update after intentionally adding or removing an event kind:
+
+1. make the code change (emit site, subscriber, constant), then
+2. regenerate this module:
+   ``repro-lint --events-pin src/repro > src/repro/lint/events_pin.py``
+   and review the diff — a removed name should be deliberate, not a
+   stray rename.
+
+This file is generated by :func:`repro.lint.events.render_events_pin`
+and must stay byte-identical to its output on a clean tree (CI
+enforces the round-trip).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+PINNED_EVENT_NAMES: FrozenSet[str] = frozenset({
+'''
+
+
+def render_events_pin(names: Set[str]) -> str:
+    """The full source of ``events_pin.py`` for *names*."""
+    lines = [f'    "{name}",' for name in sorted(names)]
+    return _PIN_HEADER + "\n".join(lines) + "\n})\n"
+
+
+@register_rule
+class EventNamePinRule(Rule):
+    """EVT001: every event name is pinned; emit kinds are static."""
+
+    code = "EVT001"
+    title = "event name missing from the pinned registry (or dynamic " \
+            "at an emit site)"
+    severity = "error"
+    tier = "concurrency"
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        if not _in_scope(module):
+            return
+        for name, node, where in _module_sites(module):
+            if name is None:
+                yield self.violation(
+                    module, node,
+                    "dynamic event name at an emit site defeats the "
+                    "pinned registry; use a declared *_EVENT_* "
+                    "constant mapping and pass its value")
+            elif name not in PINNED_EVENT_NAMES:
+                yield self.violation(
+                    module, node,
+                    f"event name '{name}' ({where}) is not in the "
+                    f"pinned registry; add it to "
+                    f"repro/lint/events_pin.py via 'repro-lint "
+                    f"--events-pin' if intentional")

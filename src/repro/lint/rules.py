@@ -56,7 +56,7 @@ class Violation:
 
 
 #: Rule tiers, in the order ``--list-rules`` groups them.
-TIERS = ("contracts", "dataflow")
+TIERS = ("contracts", "dataflow", "concurrency")
 
 
 class Rule:
@@ -66,8 +66,9 @@ class Rule:
     override one (or both) of the check hooks.  Both hooks are
     generators of :class:`Violation`; the engine filters suppressed
     findings.  ``tier`` is ``"contracts"`` for the syntactic AST rules
-    (DET/INV) and ``"dataflow"`` for the CFG/dataflow rules
-    (SAT/UNIT/PAR/STAT).
+    (DET/INV/SUP), ``"dataflow"`` for the CFG/dataflow rules
+    (SAT/UNIT/PAR/STAT) and ``"concurrency"`` for the thread/async/
+    durability rules (ASY/LOCK/ATOM/EXC/EVT).
     """
 
     code: str = ""

@@ -26,10 +26,10 @@ dataclasses where latencies belong.
 from __future__ import annotations
 
 import ast
-from typing import (Dict, FrozenSet, Iterator, List, Optional, Set,
-                    Tuple)
+from typing import (Callable, Dict, FrozenSet, Iterator, List,
+                    Optional, Set, Tuple)
 
-from repro.lint.cfg import build_cfg
+from repro.lint.cfg import CFG, build_cfg
 from repro.lint.dataflow import ForwardAnalysis, run_forward
 from repro.lint.rules import Rule, Violation, register_rule
 
@@ -288,11 +288,18 @@ def counter_update_sites(fn: ast.AST) -> List[ast.stmt]:
     return sites
 
 
-def analyze_function(fn: ast.AST) -> List[_Dirty]:
-    """Dirty counter updates that reach *fn*'s exit on some path."""
+def analyze_function(fn: ast.AST,
+                     cfg_factory: Optional[Callable[[ast.AST], CFG]]
+                     = None) -> List[_Dirty]:
+    """Dirty counter updates that reach *fn*'s exit on some path.
+
+    *cfg_factory* lets callers share one CFG cache across rule
+    families (:meth:`repro.lint.engine.ProjectContext.cfg`); the
+    default builds a fresh graph.
+    """
     if not counter_update_sites(fn):
         return []
-    cfg = build_cfg(fn)
+    cfg = (cfg_factory or build_cfg)(fn)
     analysis = _SatAnalysis()
     in_facts = run_forward(cfg, analysis)
     escaped: Set[_Dirty] = set()
@@ -370,7 +377,9 @@ class SaturationRule(Rule):
             if not isinstance(node, (ast.FunctionDef,
                                      ast.AsyncFunctionDef)):
                 continue
-            for key, line, col, direction in analyze_function(node):
+            cfg_factory = getattr(project, "cfg", None)
+            for key, line, col, direction in analyze_function(
+                    node, cfg_factory=cfg_factory):
                 arrow = "+=" if direction == "up" else "-="
                 yield Violation(
                     code=self.code,

@@ -1,0 +1,46 @@
+"""SUP001: stale-suppression audit.
+
+A ``# repro-lint: disable=CODE`` comment is a standing claim that the
+line under it violates CODE for a documented reason.  When the code
+drifts — the violating call is removed, the rule's model improves —
+the comment outlives its finding and starts silently masking *future*
+regressions on that line.  SUP001 flags every ``disable=`` /
+``disable-file=`` token that no longer matches any finding the active
+rule set produced there, so dead suppressions are removed instead of
+accumulating.
+
+The detection itself lives in the engine
+(:func:`repro.lint.engine._audit_suppressions`): staleness is a
+property of the whole run — a token is stale only relative to the
+findings every *active* rule produced before suppression filtering —
+so it cannot be computed from one module in isolation.  This class
+exists to register the code, severity and tier, and to opt the audit
+in: the engine only audits when a rule with code ``SUP001`` is in the
+active set, which keeps ``--select DET`` runs from calling DET-only
+trees "stale" about their SAT suppressions.
+
+``disable=all`` and ``disable=SUP001`` tokens are never audited (the
+former intentionally blankets unknown codes; the latter would be
+self-referential), and tokens for codes outside the active selection
+are skipped rather than reported stale.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import Rule, register_rule
+
+__all__ = ["StaleSuppressionRule"]
+
+
+@register_rule
+class StaleSuppressionRule(Rule):
+    """SUP001: suppression comments must still match a finding."""
+
+    code = "SUP001"
+    title = "stale suppression comment matches no current finding"
+    severity = "error"
+    tier = "contracts"
+
+    # No check hooks: the engine performs the audit after running all
+    # other rules (see repro.lint.engine._audit_suppressions), gated
+    # on this rule being active.

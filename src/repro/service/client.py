@@ -71,7 +71,7 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             try:
                 detail = json.loads(exc.read().decode()).get("error", "")
-            except Exception:  # noqa: BLE001 - body may be anything
+            except (OSError, ValueError):  # body may be anything
                 detail = ""
             raise ServiceError(
                 f"{method} {path} -> {exc.code}: {detail or exc.reason}",

@@ -35,7 +35,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.experiments.resultcache import ResultCache
 
-from repro.service.jobs import JobSpec, JobSpecError, JobStore
+from repro.service.jobs import (JobSpec, JobSpecError, JobStore,
+                                atomic_write_json)
 from repro.service.scheduler import Scheduler
 
 __all__ = ["ServiceDaemon", "serve"]
@@ -92,6 +93,23 @@ class ServiceDaemon:
     def address_path(self):
         return self.store.root / "daemon.json"
 
+    def _advertise(self) -> None:
+        """Durably publish the bound address (runs off the loop).
+
+        ``daemon.json`` is polled by clients and the CLI while the
+        daemon writes it, so the write must be atomic — a torn read
+        would send a client to a garbage port."""
+        atomic_write_json(self.address_path,
+                          {"host": self.host, "port": self.port,
+                           "pid": os.getpid()})
+
+    def _unadvertise(self) -> None:
+        """Remove the advertisement (runs off the loop)."""
+        try:
+            self.address_path.unlink()
+        except OSError:
+            pass
+
     async def start(self) -> None:
         """Bind the socket, recover interrupted jobs, advertise."""
         self.scheduler = Scheduler(self.store, cache=self.cache,
@@ -100,10 +118,7 @@ class ServiceDaemon:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
-        self.store.root.mkdir(parents=True, exist_ok=True)
-        self.address_path.write_text(json.dumps(
-            {"host": self.host, "port": self.port, "pid": os.getpid()},
-            sort_keys=True))
+        await asyncio.to_thread(self._advertise)
         if recovered:
             names = [r.job_id for r in recovered]
             print(f"[repro.service] recovered {len(recovered)} "
@@ -116,10 +131,7 @@ class ServiceDaemon:
             self._server = None
         if self.scheduler is not None:
             await self.scheduler.drain()
-        try:
-            self.address_path.unlink()
-        except OSError:
-            pass
+        await asyncio.to_thread(self._unadvertise)
 
     async def serve_forever(self) -> None:
         """Run until SIGINT/SIGTERM."""

@@ -50,6 +50,7 @@ __all__ = [
     "JobSpecError",
     "JobStore",
     "ServiceProfile",
+    "atomic_write_json",
 ]
 
 #: Job lifecycle states.  ``queued → running → done|failed|cancelled``;
@@ -426,7 +427,12 @@ def default_service_dir() -> Path:
     return repo_root / "results" / "service"
 
 
-def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Durably publish *payload* at *path*: serialise to a temp file
+    in the same directory, fsync-free ``os.replace`` onto the final
+    name.  Readers see either the old complete file or the new one,
+    never a torn write — the invariant the ATOM001 lint rule enforces
+    for every ``jobs/<id>/`` artifact."""
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
@@ -489,8 +495,8 @@ class JobStore:
         return record
 
     def save(self, record: JobRecord) -> None:
-        _atomic_write_json(self.record_path(record.job_id),
-                           record.to_dict())
+        atomic_write_json(self.record_path(record.job_id),
+                          record.to_dict())
 
     def load(self, job_id: str) -> Optional[JobRecord]:
         path = self.record_path(job_id)
@@ -512,7 +518,7 @@ class JobStore:
         return records
 
     def write_result(self, job_id: str, export: Dict[str, Any]) -> None:
-        _atomic_write_json(self.result_path(job_id), export)
+        atomic_write_json(self.result_path(job_id), export)
 
     def read_result(self, job_id: str) -> Optional[Dict[str, Any]]:
         try:

@@ -34,6 +34,15 @@ from repro.service.runner import JobCancelled, execute_job
 
 __all__ = ["JobFeed", "Scheduler"]
 
+#: Terminal job status -> the feed event kind announcing it.  A
+#: static mapping (not an f-string) so every kind the scheduler can
+#: publish is a literal the EVT001 event-name pin verifies.
+_TERMINAL_EVENT_KINDS = {
+    "done": "job_done",
+    "failed": "job_failed",
+    "cancelled": "job_cancelled",
+}
+
 
 class JobFeed:
     """A seq-numbered event log with async long-poll waits.
@@ -210,6 +219,6 @@ class Scheduler:
         record.status = status
         record.finished = time.time()
         self.store.save(record)
-        feed.publish(f"job_{status}",
+        feed.publish(_TERMINAL_EVENT_KINDS[status],
                      {"job_id": record.job_id, "error": record.error,
                       "stats": record.stats})

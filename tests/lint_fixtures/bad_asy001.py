@@ -1,0 +1,24 @@
+"""ASY001 corpus: blocking work executed directly on the event loop."""
+
+import asyncio
+import subprocess
+import time
+from pathlib import Path
+
+
+async def poll_until_ready(marker: Path) -> None:
+    while not marker.exists():
+        time.sleep(0.5)          # blocks every connection the loop serves
+
+
+async def snapshot(log_dir: Path, lines: str) -> None:
+    (log_dir / "snapshot.log").write_text(lines)   # sync file I/O
+
+
+async def rotate(log_dir: Path) -> None:
+    with open(log_dir / "rotated.log", "w") as fh:  # sync open()
+        fh.write("rotated")
+
+
+async def run_helper() -> None:
+    subprocess.run(["true"], check=True)            # child-process wait

@@ -1,0 +1,20 @@
+"""ASY002 corpus: loop-affine asyncio primitives poked from worker
+threads without going through the loop."""
+
+import asyncio
+from typing import Any, Dict, List
+
+
+class Feed:
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._signal = asyncio.Event()
+        self._results = asyncio.Queue()
+        self._entries: List[Dict[str, Any]] = []
+
+    def publish_from_worker(self, entry: Dict[str, Any]) -> None:
+        self._entries.append(entry)
+        self._signal.set()            # races the loop's internal state
+
+    def push_result(self, entry: Dict[str, Any]) -> None:
+        self._results.put_nowait(entry)   # same hazard on the queue

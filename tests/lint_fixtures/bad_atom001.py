@@ -1,0 +1,15 @@
+"""ATOM001 corpus: durable job-store artifacts written in place."""
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+
+def save_record(job_dir: Path, payload: Dict[str, Any]) -> None:
+    record_path = job_dir / "job.json"
+    record_path.write_text(json.dumps(payload, sort_keys=True))
+
+
+def save_result(result_path: Path, payload: Dict[str, Any]) -> None:
+    with open(result_path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True)

@@ -1,0 +1,12 @@
+"""EVT001 corpus: unpinned and dynamic event names at emit sites."""
+
+from typing import Any, Dict
+
+
+def announce(bus, payload: Dict[str, Any]) -> None:
+    bus.emit("totally_unregistered_kind", **payload)
+
+
+def announce_terminal(feed, status: str,
+                      payload: Dict[str, Any]) -> None:
+    feed.publish(f"job_{status}", payload)

@@ -1,0 +1,38 @@
+"""EXC001 corpus: swallowed cancellation/faults and a leaked bus
+listener."""
+
+from typing import Any, Dict, List
+
+
+class JobCancelled(BaseException):
+    """Cancellation signal (BaseException so broad handlers miss it)."""
+
+
+def run_unit(work, flag) -> None:
+    if flag.is_set():
+        raise JobCancelled()
+    work()
+
+
+def supervise(work, flag) -> Dict[str, Any]:
+    try:
+        run_unit(work, flag)
+    except:                       # noqa: E722 - eats JobCancelled too
+        return {"status": "failed"}
+    return {"status": "done"}
+
+
+def tally(work, flag) -> Dict[str, Any]:
+    try:
+        run_unit(work, flag)
+    except Exception:
+        pass                      # fault vanishes: supervisor sees "done"
+    return {"status": "done"}
+
+
+def watch(bus, collected: List[Any]) -> None:
+    listener = collected.append
+    bus.subscribe(listener)       # leaked if the body below raises
+    for item in bus.replay():
+        collected.append(item)
+    bus.unsubscribe(listener)

@@ -1,0 +1,21 @@
+"""LOCK001 corpus: a shared attribute mutated with and without the
+class lock from different entry points."""
+
+import threading
+from typing import Any, Dict, List
+
+
+class WorkLog:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+
+    def record(self, entry: Dict[str, Any]) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        # Racing entry point: no lock held around the swap.
+        out = self._entries
+        self._entries = []
+        return out

@@ -1,0 +1,12 @@
+"""SUP001 corpus: suppression comments that outlived their findings.
+The code below is clean, so every disable token is stale."""
+# repro-lint: disable-file=UNIT001
+
+from typing import List
+
+
+def total(values: List[int]) -> int:
+    out = 0
+    for value in values:
+        out = out + value  # repro-lint: disable=DET003
+    return out

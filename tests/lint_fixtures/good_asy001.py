@@ -1,0 +1,27 @@
+"""ASY001 clean corpus: blocking work dispatched off the loop."""
+
+import asyncio
+import subprocess
+import time
+from pathlib import Path
+
+
+async def poll_until_ready(marker: Path) -> None:
+    while not marker.exists():
+        await asyncio.sleep(0.5)                     # loop-native sleep
+
+
+async def snapshot(log_dir: Path, lines: str) -> None:
+    await asyncio.to_thread((log_dir / "s.log").write_text, lines)
+
+
+async def run_helper() -> None:
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(
+        None, lambda: subprocess.run(["true"], check=True))
+
+
+def warm_up(marker: Path) -> None:
+    # Blocking calls are fine in sync helpers (to_thread targets).
+    time.sleep(0.01)
+    marker.write_text("ready")

@@ -1,0 +1,21 @@
+"""ASY002 clean corpus: worker threads hand primitive mutations to
+the loop; coroutine methods touch them directly (they run on it)."""
+
+import asyncio
+from typing import Any, Dict, List
+
+
+class Feed:
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._signal = asyncio.Event()
+        self._entries: List[Dict[str, Any]] = []
+
+    def publish_from_worker(self, entry: Dict[str, Any]) -> None:
+        self._entries.append(entry)
+        # A reference handed to the loop, not a cross-thread call.
+        self._loop.call_soon_threadsafe(self._signal.set)
+
+    async def wait(self) -> None:
+        await self._signal.wait()
+        self._signal.clear()          # coroutine: already on the loop

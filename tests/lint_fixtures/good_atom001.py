@@ -1,0 +1,29 @@
+"""ATOM001 clean corpus: tmp + os.replace publication, append-only
+journals, and scratch files outside the durable tree."""
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict
+
+
+def save_record(job_dir: Path, payload: Dict[str, Any]) -> None:
+    # The atomic-write idiom itself: the function performs os.replace,
+    # so its tmp-file open is the protocol, not a violation.
+    record_path = job_dir / "job.json"
+    fd, tmp = tempfile.mkstemp(dir=job_dir, suffix=".tmp")
+    with os.fdopen(fd, "w") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    os.replace(tmp, record_path)
+
+
+def append_event(manifest_path: Path, line: str) -> None:
+    # Append-only journals are crash-tolerant by construction.
+    with open(manifest_path, "a") as fh:
+        fh.write(line + "\n")
+
+
+def write_scratch(tmp_dir: Path, text: str) -> None:
+    # Not a durable artifact: no jobs/<id>/ marker in the path.
+    (tmp_dir / "scratch.txt").write_text(text)

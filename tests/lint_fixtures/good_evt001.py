@@ -1,0 +1,31 @@
+"""EVT001 clean corpus: pinned literals, declared constants and
+forwarders."""
+
+from typing import Any, Dict
+
+#: Terminal status -> pinned feed kind (values are event names).
+TERMINAL_EVENT_KINDS = {
+    "done": "job_done",
+    "failed": "job_failed",
+    "cancelled": "job_cancelled",
+}
+
+
+def announce_start(bus, payload: Dict[str, Any]) -> None:
+    bus.emit("sweep_start", **payload)
+
+
+def announce_terminal(feed, status: str,
+                      payload: Dict[str, Any]) -> None:
+    feed.publish(TERMINAL_EVENT_KINDS[status], payload)
+
+
+def forward(feed, kind: str, payload: Dict[str, Any]) -> None:
+    # A variable kind is a forwarder, not a name introduction.
+    feed.publish(kind, payload)
+
+
+def render(event: Dict[str, Any]) -> str:
+    if event.get("kind") == "unit":
+        return "."
+    return "?"

@@ -1,0 +1,52 @@
+"""EXC001 clean corpus: cancellation propagates, faults are recorded,
+listeners unsubscribe on every path."""
+
+from typing import Any, Dict, List
+
+
+class JobCancelled(BaseException):
+    """Cancellation signal (BaseException so broad handlers miss it)."""
+
+
+def run_unit(work, flag) -> None:
+    if flag.is_set():
+        raise JobCancelled()
+    work()
+
+
+def supervise(work, flag) -> Dict[str, Any]:
+    try:
+        run_unit(work, flag)
+    except JobCancelled:
+        return {"status": "cancelled"}
+    except Exception as exc:      # bound and recorded, not swallowed
+        return {"status": "failed", "error": repr(exc)}
+    return {"status": "done"}
+
+
+def guarded(work, flag) -> None:
+    try:
+        run_unit(work, flag)
+    except Exception:
+        log_failure()             # side effect: the fault is handled
+        raise                     # and still propagates
+
+
+def log_failure() -> None:
+    pass
+
+
+def watch(bus, collected: List[Any]) -> None:
+    listener = collected.append
+    bus.subscribe(listener)
+    try:
+        for item in bus.replay():
+            collected.append(item)
+    finally:
+        bus.unsubscribe(listener)
+
+
+def watch_scoped(bus, collected: List[Any]) -> None:
+    with bus.scoped_subscribe(collected.append):
+        for item in bus.replay():
+            collected.append(item)

@@ -1,0 +1,30 @@
+"""LOCK001 clean corpus: every cross-thread mutation holds the lock;
+single-entry-point attributes need none."""
+
+import threading
+from typing import Any, Dict, List
+
+
+class WorkLog:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+        self._last_batch: List[Dict[str, Any]] = []
+
+    def record(self, entry: Dict[str, Any]) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            out = self._entries
+            self._entries = []
+        # Only drain() ever touches _last_batch: one entry point,
+        # no intersection requirement.
+        self._last_batch = out
+        return out
+
+    def explicit_pair(self, entry: Dict[str, Any]) -> None:
+        self._lock.acquire()
+        self._entries.append(entry)
+        self._lock.release()

@@ -1,0 +1,8 @@
+"""SUP001 clean corpus: every suppression still matches a live
+finding (the DET003 set iteration below is real)."""
+
+from typing import List
+
+
+def dedup(items) -> List[int]:
+    return list(set(items))  # repro-lint: disable=DET003

@@ -1,0 +1,10 @@
+"""Suppression corpus: a deliberate startup-only blocking call in an
+async entry point, silenced inline."""
+
+import time
+
+
+async def settle() -> None:
+    # One-shot startup grace period before the server binds; blocking
+    # here is intentional (nothing else is scheduled yet).
+    time.sleep(0.01)  # repro-lint: disable=ASY001

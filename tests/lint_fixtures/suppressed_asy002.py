@@ -1,0 +1,13 @@
+"""Suppression corpus: a primitive mutation from a method that is
+only ever invoked on the loop thread (documented), silenced inline."""
+
+import asyncio
+
+
+class Gate:
+    def __init__(self):
+        self._open = asyncio.Event()
+
+    def release(self):
+        # Only called from loop callbacks (call_soon), never a worker.
+        self._open.set()  # repro-lint: disable=ASY002

@@ -1,0 +1,10 @@
+"""Suppression corpus: an in-place durable write on a platform path
+where rename atomicity is unavailable (documented), silenced inline."""
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+
+def save_record(record_path: Path, payload: Dict[str, Any]) -> None:
+    record_path.write_text(json.dumps(payload))  # repro-lint: disable=ATOM001

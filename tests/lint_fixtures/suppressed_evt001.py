@@ -1,0 +1,8 @@
+"""Suppression corpus: an experiment-local event kind that stays out
+of the shared registry on purpose, silenced inline."""
+
+from typing import Any, Dict
+
+
+def announce(bus, payload: Dict[str, Any]) -> None:
+    bus.emit("scratch_probe", **payload)  # repro-lint: disable=EVT001

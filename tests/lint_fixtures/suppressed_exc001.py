@@ -1,0 +1,16 @@
+"""Suppression corpus: a fire-and-forget best-effort notifier whose
+failures are deliberately invisible, silenced inline."""
+
+from typing import Any, List
+
+
+def notify(callback) -> None:
+    try:
+        callback()
+    except Exception:  # repro-lint: disable=EXC001
+        pass
+
+
+def attach(bus, collected: List[Any]) -> None:
+    # Process-lifetime listener: never detached by design.
+    bus.subscribe(collected.append)  # repro-lint: disable=EXC001

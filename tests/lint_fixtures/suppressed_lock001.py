@@ -1,0 +1,20 @@
+"""Suppression corpus: a lock-free swap that is safe because callers
+serialise drain() externally (documented), silenced inline."""
+
+import threading
+from typing import Any, Dict, List
+
+
+class WorkLog:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+
+    def record(self, entry: Dict[str, Any]) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        out = self._entries
+        self._entries = []  # repro-lint: disable=LOCK001
+        return out

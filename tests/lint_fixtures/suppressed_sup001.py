@@ -1,0 +1,7 @@
+"""Suppression corpus: a knowingly-kept stale suppression (the code
+was fixed, the comment documents history), silenced inline."""
+
+
+def stable_order(items):
+    out = sorted(items)  # repro-lint: disable=DET003,SUP001
+    return out

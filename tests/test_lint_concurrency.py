@@ -1,0 +1,304 @@
+"""Tests for the concurrency tier of repro-lint (ASY/LOCK/ATOM/EXC/
+EVT/SUP).
+
+Covers: the per-rule fixture corpus (bad must exit 1 with exactly its
+rule, good and suppressed must be clean), the async-aware CFG
+extensions (``is_async``/``awaits``/``ScopeExit``), the lock-set
+dataflow lattice, the event-name pin round-trip, the SUP001
+active-code gating semantics, the shared per-run CFG cache, and the
+per-rule timing table.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+from repro.lint import build_rules, run_lint
+from repro.lint.__main__ import main as lint_main
+from repro.lint.cfg import CFG, ScopeExit, build_cfg
+from repro.lint.dataflow import LockSetAnalysis, stmt_facts
+from repro.lint.engine import build_project
+from repro.lint.events import collect_event_names, render_events_pin
+from repro.lint.events_pin import PINNED_EVENT_NAMES
+from repro.lint.rules import RULE_REGISTRY
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "lint_fixtures"
+SRC = REPO / "src" / "repro"
+
+TIER3_FAMILIES = ["ASY", "LOCK", "ATOM", "EXC", "EVT", "SUP"]
+
+
+def lint_path(path, select=None):
+    return run_lint([path], build_rules(select=select or []))
+
+
+def codes(result):
+    return {v.code for v in result.violations}
+
+
+# ---------------------------------------------------------------------------
+# Fixture corpus
+# ---------------------------------------------------------------------------
+
+class TestTier3Fixtures:
+    @pytest.mark.parametrize("fixture,expected", [
+        ("bad_asy001.py", "ASY001"),
+        ("bad_asy002.py", "ASY002"),
+        ("bad_lock001.py", "LOCK001"),
+        ("bad_atom001.py", "ATOM001"),
+        ("bad_exc001.py", "EXC001"),
+        ("bad_evt001.py", "EVT001"),
+        ("bad_sup001.py", "SUP001"),
+    ])
+    def test_bad_fixture_trips_only_its_rule(self, fixture, expected):
+        result = lint_path(FIXTURES / fixture)
+        assert not result.ok
+        assert codes(result) == {expected}
+
+    @pytest.mark.parametrize("fixture", [
+        "good_asy001.py", "good_asy002.py", "good_lock001.py",
+        "good_atom001.py", "good_exc001.py", "good_evt001.py",
+        "good_sup001.py",
+    ])
+    def test_good_fixture_is_clean(self, fixture):
+        result = lint_path(FIXTURES / fixture)
+        assert result.ok
+        assert result.violations == []
+
+    @pytest.mark.parametrize("fixture", [
+        "suppressed_asy001.py", "suppressed_asy002.py",
+        "suppressed_lock001.py", "suppressed_atom001.py",
+        "suppressed_exc001.py", "suppressed_evt001.py",
+        "suppressed_sup001.py",
+    ])
+    def test_suppressed_fixture_is_clean(self, fixture):
+        result = lint_path(FIXTURES / fixture)
+        assert result.ok, [v.render() for v in result.violations]
+
+    def test_asy001_flags_every_blocking_flavor(self):
+        result = lint_path(FIXTURES / "bad_asy001.py",
+                           select=["ASY001"])
+        # time.sleep, Path.write_text, open(), subprocess.run
+        assert len(result.violations) == 4
+
+    def test_exc001_distinguishes_both_hazards(self):
+        result = lint_path(FIXTURES / "bad_exc001.py",
+                           select=["EXC001"])
+        messages = " ".join(v.message for v in result.violations)
+        assert "JobCancelled" in messages      # part A: swallowed signal
+        assert "subscribe" in messages         # part B: leaked listener
+
+
+# ---------------------------------------------------------------------------
+# Async-aware CFG
+# ---------------------------------------------------------------------------
+
+class TestAsyncCfg:
+    def test_async_function_is_marked_and_awaits_collected(self):
+        fn = ast.parse(
+            "async def handler(gate):\n"
+            "    await gate.acquire()\n"
+            "    value = await fetch()\n"
+            "    return value\n").body[0]
+        cfg = build_cfg(fn)
+        assert cfg.is_async
+        assert [a.value.func.attr if isinstance(a.value.func,
+                                                ast.Attribute)
+                else a.value.func.id
+                for a in cfg.awaits] == ["acquire", "fetch"]
+
+    def test_nested_scopes_do_not_leak_awaits(self):
+        fn = ast.parse(
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        await one()\n"
+            "    await two()\n").body[0]
+        cfg = build_cfg(fn)
+        assert len(cfg.awaits) == 1
+        assert cfg.awaits[0].value.func.id == "two"
+
+    def test_sync_function_is_not_async(self):
+        fn = ast.parse("def plain():\n    return 1\n").body[0]
+        cfg = build_cfg(fn)
+        assert not cfg.is_async
+        assert cfg.awaits == []
+
+    def test_with_body_is_bracketed_by_scope_exit(self):
+        fn = ast.parse(
+            "def f(lock):\n"
+            "    with lock:\n"
+            "        touch()\n"
+            "    after()\n").body[0]
+        cfg = build_cfg(fn)
+        exits = [stmt for block in cfg.blocks.values()
+                 for stmt in block.stmts
+                 if isinstance(stmt, ScopeExit)]
+        assert len(exits) == 1
+        assert isinstance(exits[0].node, ast.With)
+
+
+# ---------------------------------------------------------------------------
+# Lock-set dataflow
+# ---------------------------------------------------------------------------
+
+def _method_cfg(body: str) -> CFG:
+    return build_cfg(ast.parse(body).body[0])
+
+
+class TestLockSetAnalysis:
+    LOCKS = frozenset({"_lock"})
+
+    def _facts(self, source: str):
+        fn = ast.parse(source).body[0]
+        cfg = build_cfg(fn)
+        return fn, stmt_facts(cfg, LockSetAnalysis(self.LOCKS))
+
+    def test_with_block_holds_and_releases(self):
+        fn, facts = self._facts(
+            "def m(self):\n"
+            "    with self._lock:\n"
+            "        self.items.append(1)\n"
+            "    self.items = []\n")
+        inside = fn.body[0].body[0]
+        outside = fn.body[1]
+        assert facts[id(inside)] == frozenset({"self._lock"})
+        assert facts[id(outside)] == frozenset()
+
+    def test_branch_join_is_intersection(self):
+        fn, facts = self._facts(
+            "def m(self, flag):\n"
+            "    if flag:\n"
+            "        self._lock.acquire()\n"
+            "    self.items = []\n")
+        merged = fn.body[1]
+        # Held on one path only -> not must-held at the join.
+        assert facts[id(merged)] == frozenset()
+
+    def test_acquire_release_pair_is_tracked(self):
+        fn, facts = self._facts(
+            "def m(self):\n"
+            "    self._lock.acquire()\n"
+            "    self.items = []\n"
+            "    self._lock.release()\n"
+            "    self.items = {}\n")
+        held = fn.body[1]
+        dropped = fn.body[3]
+        assert facts[id(held)] == frozenset({"self._lock"})
+        assert facts[id(dropped)] == frozenset()
+
+    def test_nested_with_accumulates(self):
+        fn, facts = self._facts(
+            "def m(self, other):\n"
+            "    with self._lock:\n"
+            "        with other:\n"
+            "            self.items = []\n")
+        innermost = fn.body[0].body[0].body[0]
+        # `other` is not a known lock name; only self._lock counts.
+        assert facts[id(innermost)] == frozenset({"self._lock"})
+
+
+# ---------------------------------------------------------------------------
+# Event-name pin
+# ---------------------------------------------------------------------------
+
+class TestEventPin:
+    def test_collected_names_match_pin_exactly(self):
+        project, errors = build_project([SRC])
+        assert not errors
+        assert collect_event_names(project) == set(PINNED_EVENT_NAMES)
+
+    def test_render_round_trips_the_pin_module(self):
+        pin_path = SRC / "lint" / "events_pin.py"
+        rendered = render_events_pin(set(PINNED_EVENT_NAMES))
+        assert rendered == pin_path.read_text(encoding="utf-8")
+
+    def test_cli_events_pin_round_trips(self, capsys):
+        exit_code = lint_main(["--events-pin", str(SRC)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        pin_path = SRC / "lint" / "events_pin.py"
+        assert captured.out == pin_path.read_text(encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# SUP001 semantics
+# ---------------------------------------------------------------------------
+
+class TestSuppressionAudit:
+    def test_audit_only_runs_for_active_codes(self):
+        bad = FIXTURES / "bad_sup001.py"
+        # With only SUP001 active, neither DET003 nor UNIT001 ran, so
+        # their tokens cannot be judged stale.
+        only_sup = lint_path(bad, select=["SUP001"])
+        assert only_sup.ok
+        # Activating DET003 audits its token but still not UNIT001's.
+        with_det = lint_path(bad, select=["SUP001", "DET003"])
+        assert codes(with_det) == {"SUP001"}
+        assert len(with_det.violations) == 1
+        assert "DET003" in with_det.violations[0].message
+
+    def test_disable_all_is_never_audited(self, tmp_path):
+        target = tmp_path / "blanket.py"
+        target.write_text("value = 1  # repro-lint: disable=all\n")
+        result = lint_path(target)
+        assert result.ok
+
+    def test_no_sup_rule_no_audit(self):
+        # Without SUP001 in the active set the audit is skipped
+        # entirely: stale comments pass.
+        bad = FIXTURES / "bad_sup001.py"
+        result = lint_path(bad, select=["DET003", "UNIT001"])
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# Shared CFG cache + timings
+# ---------------------------------------------------------------------------
+
+class TestEngineSharing:
+    def test_cfg_cache_is_shared_across_rule_families(self, tmp_path):
+        target = tmp_path / "shared.py"
+        target.write_text(
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Meter:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.ctr = 0\n"
+            "\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.ctr += 1\n"
+            "            self.ctr = min(self.ctr, 7)\n")
+        project, errors = build_project([target])
+        assert not errors
+        module = project.modules[0]
+        # SAT001 (dataflow tier) and LOCK001 (concurrency tier) both
+        # need the CFG of Meter.bump; the second request must hit the
+        # per-run cache instead of rebuilding.
+        list(RULE_REGISTRY["SAT001"]().check_module(module, project))
+        list(RULE_REGISTRY["LOCK001"]().check_module(module, project))
+        assert project.cfg_stats["builds"] >= 1
+        assert project.cfg_stats["hits"] >= 1
+
+    def test_run_lint_reports_per_rule_timings(self):
+        result = lint_path(FIXTURES / "good_asy001.py")
+        assert result.timings
+        active = {r.code for r in build_rules()}
+        assert set(result.timings) <= active
+        assert all(t >= 0.0 for t in result.timings.values())
+        assert "SUP001" in result.timings
+
+
+# ---------------------------------------------------------------------------
+# The tree itself
+# ---------------------------------------------------------------------------
+
+class TestTreeIsCleanTier3:
+    def test_src_repro_tier3_clean(self):
+        result = lint_path(SRC, select=TIER3_FAMILIES)
+        assert result.ok, "\n".join(
+            v.render() for v in result.violations)

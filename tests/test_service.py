@@ -219,6 +219,61 @@ def harness(tmp_path):
     h.close()
 
 
+class TestAtomicAdvertisement:
+    """Regression for the ASY001/ATOM001 findings in the daemon.
+
+    ``daemon.json`` used to be published with ``Path.write_text``
+    directly inside ``async def start`` — a torn, in-place write on
+    the event-loop thread.  The fixed daemon must (a) publish it via
+    tmp + ``os.replace`` and (b) do the file I/O off the loop thread
+    (``asyncio.to_thread``).  Both halves failed before the fix.
+    """
+
+    def test_daemon_json_published_atomically_off_loop(self, tmp_path):
+        # sys.addaudithook can't be removed, so the hook stays for the
+        # rest of the process — gate it on a flag and keep it cheap.
+        events = []
+        active = {"on": False}
+
+        def hook(name, args):
+            if not active["on"]:
+                return
+            if name == "open":
+                mode = str(args[1] or "")
+                if str(args[0]).endswith("daemon.json") and "w" in mode:
+                    events.append(("open-w", threading.get_ident()))
+            elif name == "os.rename":
+                if str(args[1]).endswith("daemon.json"):
+                    events.append(("replace", threading.get_ident()))
+
+        sys.addaudithook(hook)
+        active["on"] = True
+        try:
+            h = DaemonHarness(tmp_path / "service")
+            try:
+                advertised = json.loads(
+                    h.daemon.address_path.read_text())
+                assert advertised["port"] == h.daemon.port
+            finally:
+                h.close()
+        finally:
+            active["on"] = False
+
+        loop_ident = h.thread.ident
+        replaces = [tid for kind, tid in events if kind == "replace"]
+        direct_writes = [tid for kind, tid in events
+                         if kind == "open-w"]
+        assert replaces, \
+            "daemon.json must be published via os.replace (atomic), " \
+            "not written in place"
+        assert not direct_writes, \
+            "daemon.json must never be opened for writing directly " \
+            "(torn-read window for clients polling the address)"
+        assert all(tid != loop_ident for tid in replaces), \
+            "advertisement file I/O must run off the event-loop " \
+            "thread (asyncio.to_thread), not stall the loop"
+
+
 class TestDaemonEndToEnd:
     def test_submit_watch_result_matches_local_sweep(self, harness):
         client = harness.client
