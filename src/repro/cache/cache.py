@@ -16,11 +16,14 @@ timing model.  Replacement policies receive hook calls:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.cache.block import WRITEBACK, AccessContext, CacheBlock
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.replacement.base import ReplacementPolicy
 
 
 @dataclass
@@ -89,7 +92,8 @@ class Cache:
             Figure 5 analysis and the dynamic sampled cache experiments).
     """
 
-    def __init__(self, name: str, num_sets: int, num_ways: int, policy,
+    def __init__(self, name: str, num_sets: int, num_ways: int,
+                 policy: "ReplacementPolicy",
                  track_set_stats: bool = False):
         if num_sets < 1 or (num_sets & (num_sets - 1)) != 0:
             raise ValueError(f"num_sets must be a power of two, got {num_sets}")

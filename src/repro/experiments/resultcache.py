@@ -11,6 +11,14 @@ by a SHA-256 digest of everything that determines its outcome:
 * ``CACHE_SCHEMA_VERSION``, a salt bumped whenever simulator or policy
   semantics change in a result-affecting way.
 
+The exact key recipe — including the short list of config fields
+``canonical_dict`` deliberately drops (``sim_kernel``, the MSHR
+counts) and why each is result-neutral — is documented once, in
+``docs/performance.md`` ("The persistent result cache").  repro-lint
+tier 4 (CKEY001/CKEY002) proves the recipe sound against the code:
+every field the simulator transitively reads must be keyed, and
+read-but-excluded fields are pinned in ``repro/lint/ckey_pin.py``.
+
 Values are pickled under ``results/cache/<k[:2]>/<key>.pkl`` (sharded
 by the first key byte so directories stay small).  Writes are atomic
 (tmp file + ``os.replace``) so concurrent sweeps never observe a torn

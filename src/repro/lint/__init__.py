@@ -36,6 +36,14 @@ EXC001   broad handlers must not swallow; bus listeners unsubscribe
 EVT001   every event name pinned in ``repro.lint.events_pin``
 =======  ==========================================================
 
+**interproc** (call graph + bottom-up effect summaries)
+
+=======  ==========================================================
+CKEY001  behaviour-affecting config fields are in the cache key
+CKEY002  cache-key fields are consumed (no spurious misses)
+PAR002   pool work-unit purity, followed through method dispatch
+=======  ==========================================================
+
 See ``docs/static-analysis.md`` for rule rationale, suppression
 syntax (``# repro-lint: disable=CODE``) and how to add a rule.
 """
@@ -54,6 +62,7 @@ from repro.lint import suppress_audit as _suppress  # SUP001
 from repro.lint import concurrency as _concurrency  # ASY001/ASY002/LOCK001
 from repro.lint import durability as _durability    # ATOM001/EXC001
 from repro.lint import events as _events            # EVT001
+from repro.lint import summaries as _summaries      # CKEY001/CKEY002/PAR002
 from repro.lint.reporters import (render_human, render_json,
                                   render_sarif)
 

@@ -82,6 +82,18 @@ def _print_events_pin(paths: List[Path]) -> int:
     return 0 if not errors else 1
 
 
+def _print_ckey_pin(paths: List[Path]) -> int:
+    """Print the regenerated ``ckey_pin.py`` module; redirect the
+    output onto ``src/repro/lint/ckey_pin.py`` to re-pin."""
+    from repro.lint.summaries import collect_ckey_pins, render_ckey_pin
+    project, errors = build_project(paths)
+    for err in errors:
+        print(err.render(), file=sys.stderr)
+    excluded_read, unread = collect_ckey_pins(project)
+    print(render_ckey_pin(excluded_read, unread), end="")
+    return 0 if not errors else 1
+
+
 def _print_timings(result) -> None:
     """Per-rule wall time, slowest first, plus the total."""
     total = sum(result.timings.values())
@@ -91,6 +103,12 @@ def _print_timings(result) -> None:
                                 key=lambda kv: -kv[1]):
         print(f"  {code:<8} {seconds * 1000.0:8.1f} ms",
               file=sys.stderr)
+
+
+def _over_budget(result, budget_ms: float) -> List[str]:
+    """Rule codes whose wall time exceeded *budget_ms*."""
+    return sorted(code for code, seconds in result.timings.items()
+                  if seconds * 1000.0 > budget_ms)
 
 
 def _print_sanitize_facts(paths: List[Path],
@@ -140,9 +158,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print the regenerated event-name pin "
                              "module (repro/lint/events_pin.py) for "
                              "the EVT001 rule")
+    parser.add_argument("--ckey-pin", action="store_true",
+                        help="print the regenerated cache-key pin "
+                             "module (repro/lint/ckey_pin.py) for "
+                             "the CKEY rules")
     parser.add_argument("--timings", action="store_true",
                         help="print per-rule wall time to stderr "
                              "after linting")
+    parser.add_argument("--timings-budget-ms", metavar="MS",
+                        type=float, default=None,
+                        help="fail (exit 1) if any single rule takes "
+                             "longer than MS milliseconds; implies "
+                             "--timings for the offending report")
     parser.add_argument("--sanitize", action="store_true",
                         help="print the SAT001 counter fact table the "
                              "runtime sanitizer (REPRO_SANITIZE=1) "
@@ -166,6 +193,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _print_config_pin(paths)
     if args.events_pin:
         return _print_events_pin(paths)
+    if args.ckey_pin:
+        return _print_ckey_pin(paths)
     if args.sanitize:
         return _print_sanitize_facts(paths, args.graph_cache)
 
@@ -179,13 +208,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     result = run_lint(paths, rules, graph_cache=args.graph_cache)
     if args.timings:
         _print_timings(result)
+    slow: List[str] = []
+    if args.timings_budget_ms is not None:
+        slow = _over_budget(result, args.timings_budget_ms)
+        if slow:
+            if not args.timings:
+                _print_timings(result)
+            print(f"repro-lint: rule(s) over the "
+                  f"{args.timings_budget_ms:g} ms budget: "
+                  f"{', '.join(slow)}", file=sys.stderr)
     if args.sarif:
         print(render_sarif(result))
     elif args.json:
         print(render_json(result))
     else:
         print(render_human(result))
-    return 0 if result.ok else 1
+    return 0 if result.ok and not slow else 1
 
 
 if __name__ == "__main__":

@@ -37,10 +37,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 __all__ = ["Assumption", "Block", "CFG", "Edge", "ScopeExit",
-           "build_cfg"]
+           "build_cfg", "iter_cfg_nodes"]
 
 
 class ScopeExit(ast.stmt):
@@ -293,6 +293,40 @@ def _own_awaits(fn: ast.AST) -> List[ast.Await]:
         work.extend(ast.iter_child_nodes(node))
     out.sort(key=lambda n: (n.lineno, n.col_offset))
     return out
+
+
+def iter_cfg_nodes(cfg: CFG) -> Iterator[ast.AST]:
+    """Every AST node the CFG covers, deduplicated by identity.
+
+    Walks each block's statements *and* the branch-assumption test
+    expressions on edges — ``if``/``while`` tests and ``assert``
+    conditions live only on edges, so a block-only walk would miss
+    reads inside them.  Compound statements (``with``/``for`` heads)
+    appear in blocks with their full subtree attached; the identity
+    de-dup keeps the doubly-covered body statements from being yielded
+    twice.  Synthetic :class:`ScopeExit` markers are skipped.
+
+    This is the expression feed for the tier-4 effect summaries
+    (:mod:`repro.lint.summaries`): per-function facts are derived from
+    the same cached CFG every other rule family shares.
+    """
+    seen: Set[int] = set()
+
+    def emit(root: ast.AST) -> Iterator[ast.AST]:
+        for node in ast.walk(root):
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            if isinstance(stmt, ScopeExit):
+                continue
+            yield from emit(stmt)
+    for edge in cfg.edges:
+        if edge.assumption is not None:
+            yield from emit(edge.assumption.test)
 
 
 def build_cfg(fn: ast.AST) -> CFG:

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Generic, List, Optional, TypeVar
+from typing import (Dict, FrozenSet, Generic, List, Optional, Tuple,
+                    TypeVar)
 
 from repro.lint.cfg import CFG, ScopeExit
 
 __all__ = ["ForwardAnalysis", "Interval", "IntervalEnv",
-           "LockSetAnalysis", "run_forward", "stmt_facts"]
+           "LockSetAnalysis", "run_forward", "stmt_facts",
+           "strongly_connected"]
 
 T = TypeVar("T")
 
@@ -340,3 +342,69 @@ def stmt_facts(cfg: CFG, analysis: ForwardAnalysis[T],
             out[id(stmt)] = fact
             fact = analysis.transfer_stmt(stmt, fact)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Graph condensation (tier-4 bottom-up summary propagation)
+# ---------------------------------------------------------------------------
+
+K = TypeVar("K")
+
+
+def strongly_connected(graph: Dict[K, FrozenSet[K]],
+                       ) -> List[List[K]]:
+    """Strongly connected components of *graph*, callees first.
+
+    Iterative Tarjan.  Components are emitted in reverse topological
+    order of the condensation — every component appears before any
+    component that can reach it — which is exactly the evaluation
+    order a bottom-up interprocedural summary needs: by the time a
+    caller's component is processed, every callee component's summary
+    is final (members of one component share a mutually-recursive
+    summary).  Edges to keys absent from *graph* are ignored.
+    """
+    index: Dict[K, int] = {}
+    lowlink: Dict[K, int] = {}
+    on_stack: Dict[K, bool] = {}
+    stack: List[K] = []
+    components: List[List[K]] = []
+
+    for root in graph:
+        if root in index:
+            continue
+        # (node, iterator position) work stack replaces recursion.
+        work: List[Tuple[K, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                # visitation order doubles as the DFS index.
+                index[node] = lowlink[node] = len(index)
+                stack.append(node)
+                on_stack[node] = True
+            recurse = False
+            children = [c for c in graph.get(node, frozenset())
+                        if c in graph]
+            for pos in range(child_idx, len(children)):
+                child = children[pos]
+                if child not in index:
+                    work.append((node, pos + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if on_stack.get(child):
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component: List[K] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components

@@ -35,6 +35,7 @@ from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
 from repro.lint.rules import Rule, Violation
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.lint.callgraph import CallGraph
     from repro.lint.cfg import CFG
 
 _SUPPRESS_RE = re.compile(
@@ -118,6 +119,29 @@ class ProjectContext:
     #: construction/reuse counters, asserted by the perf unit test.
     cfg_stats: Dict[str, int] = field(
         default_factory=lambda: {"builds": 0, "hits": 0})
+    #: the tier-4 project call graph, built once per run on first
+    #: request (CKEY001/CKEY002/PAR002 all share it).
+    _callgraph: Optional["CallGraph"] = field(default=None, repr=False)
+    #: call-graph construction/reuse counters (same contract as
+    #: :attr:`cfg_stats`).
+    graph_stats: Dict[str, int] = field(
+        default_factory=lambda: {"builds": 0, "hits": 0})
+    #: scratch space for cross-rule analysis products keyed by a
+    #: namespaced string (the tier-4 summary index and cache-key
+    #: reports live here so sibling rules don't recompute them).
+    analysis_cache: Dict[str, object] = field(default_factory=dict,
+                                              repr=False)
+
+    def callgraph(self) -> "CallGraph":
+        """The (cached) project call graph; one build per lint run,
+        shared by every interprocedural rule."""
+        if self._callgraph is not None:
+            self.graph_stats["hits"] += 1
+            return self._callgraph
+        from repro.lint.callgraph import build_callgraph
+        self._callgraph = build_callgraph(self)
+        self.graph_stats["builds"] += 1
+        return self._callgraph
 
     def cfg(self, fn: ast.AST) -> "CFG":
         """The (cached) CFG of *fn*; keyed by node identity, which is

@@ -17,7 +17,10 @@ a project-local function, and walks the project call graph from there
 attribute calls through import aliases).  Method calls on objects are
 out of reach for a syntactic analysis and are deliberately skipped —
 the contract this rule encodes is about *module-level* state, which is
-exactly the state multiprocessing does not share.
+exactly the state multiprocessing does not share.  The interprocedural
+tier closes the method gap: PAR002 (:mod:`repro.lint.summaries`) walks
+the tier-4 call graph, so helpers reached only through method dispatch
+are held to the same contract.
 """
 
 from __future__ import annotations
@@ -25,10 +28,12 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.lint.callgraph import import_bindings as _import_bindings
 from repro.lint.engine import ModuleInfo, ProjectContext
 from repro.lint.rules import Rule, Violation, register_rule
 
-__all__ = ["PoolPurityRule", "submitted_functions"]
+__all__ = ["PoolPurityRule", "dotted_ref", "local_names",
+           "pool_walk_visited", "store_base", "submitted_functions"]
 
 #: Method names that mutate their receiver in place.
 _MUTATING_METHODS = frozenset({
@@ -74,48 +79,61 @@ def _module_scope(module: ModuleInfo) -> Tuple[Set[str], Dict[str, ast.AST]]:
     return assigned, functions
 
 
-def _import_bindings(module: ModuleInfo,
-                     project: ProjectContext,
-                     ) -> Tuple[Dict[str, str],
-                                Dict[str, Tuple[str, str]]]:
-    """Project-aware import resolution (handles relative imports).
+def local_names(fn: ast.AST) -> Set[str]:
+    """Names bound locally inside *fn* (params, stores, loop targets)."""
+    local: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)):
+            local.add(arg.arg)
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                local.add(extra.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, ast.Store):
+            local.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    local.add(sub.id)
+    return local
 
-    Returns ``(module_aliases, function_imports)`` where
-    ``module_aliases[name]`` is the dotted project/stdlib module bound
-    to *name* and ``function_imports[name]`` is ``(module, attr)`` for
-    ``from mod import attr`` bindings.
-    """
-    aliases: Dict[str, str] = {}
-    names: Dict[str, Tuple[str, str]] = {}
-    package_parts = module.name.split(".")
-    if module.path.name != "__init__.py":
-        package_parts = package_parts[:-1]
-    for node in ast.walk(module.tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                aliases[alias.asname or alias.name.split(".")[0]] = \
-                    alias.name if alias.asname else \
-                    alias.name.split(".")[0]
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:
-                base_parts = package_parts[:len(package_parts)
-                                           - (node.level - 1)]
-                base = ".".join(base_parts)
-                if node.module:
-                    base = f"{base}.{node.module}" if base \
-                        else node.module
-            else:
-                base = node.module or ""
-            if not base:
-                continue
-            for alias in node.names:
-                bound = alias.asname or alias.name
-                full = f"{base}.{alias.name}"
-                if full in project.by_name:
-                    aliases[bound] = full  # submodule import
-                else:
-                    names[bound] = (base, alias.name)
-    return aliases, names
+
+def store_base(target: ast.expr) -> Optional[str]:
+    """Base name of a subscript/attribute store (``X[k] = v`` /
+    ``X.attr = v``); None for plain name binds (those are local)."""
+    node = target
+    seen_container = False
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        seen_container = True
+        node = node.value
+    if seen_container and isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_ref(func: ast.expr, aliases: Dict[str, str],
+               from_names: Dict[str, Tuple[str, str]],
+               ) -> Optional[str]:
+    """Fully-qualified dotted name of an attribute chain whose root is
+    an import binding; None when the root is not imported."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None and node.id in from_names:
+        root = ".".join(from_names[node.id])
+    if root is None:
+        return None
+    parts.append(root)
+    parts.reverse()
+    return ".".join(parts)
 
 
 def submitted_functions(module: ModuleInfo,
@@ -217,39 +235,10 @@ class _PurityWalker:
                                  module_names, functions, aliases,
                                  from_names)
 
-    @staticmethod
-    def _local_names(fn: ast.AST) -> Set[str]:
-        local: Set[str] = set()
-        args = getattr(fn, "args", None)
-        if args is not None:
-            for arg in (list(args.posonlyargs) + list(args.args)
-                        + list(args.kwonlyargs)):
-                local.add(arg.arg)
-            for extra in (args.vararg, args.kwarg):
-                if extra is not None:
-                    local.add(extra.arg)
-        for node in ast.walk(fn):
-            if isinstance(node, ast.Name) and \
-                    isinstance(node.ctx, ast.Store):
-                local.add(node.id)
-            elif isinstance(node, (ast.For, ast.AsyncFor)):
-                for sub in ast.walk(node.target):
-                    if isinstance(sub, ast.Name):
-                        local.add(sub.id)
-        return local
-
-    @staticmethod
-    def _store_base(target: ast.expr) -> Optional[str]:
-        """Base name of a subscript/attribute store (``X[k] = v`` /
-        ``X.attr = v``); None for plain name binds (those are local)."""
-        node = target
-        seen_container = False
-        while isinstance(node, (ast.Subscript, ast.Attribute)):
-            seen_container = True
-            node = node.value
-        if seen_container and isinstance(node, ast.Name):
-            return node.id
-        return None
+    # Delegates to the shared module-level helpers (also used by the
+    # tier-4 summary engine in :mod:`repro.lint.summaries`).
+    _local_names = staticmethod(local_names)
+    _store_base = staticmethod(store_base)
 
     def _check_call(self, module: ModuleInfo, fn_name: str,
                     node: ast.Call, local: Set[str],
@@ -303,25 +292,7 @@ class _PurityWalker:
                         (module, sub,
                          f"'{fn_name}' reads os.environ"))
 
-    @staticmethod
-    def _dotted(func: ast.expr, aliases: Dict[str, str],
-                from_names: Dict[str, Tuple[str, str]],
-                ) -> Optional[str]:
-        parts: List[str] = []
-        node = func
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        root = aliases.get(node.id)
-        if root is None and node.id in from_names:
-            root = ".".join(from_names[node.id])
-        if root is None:
-            return None
-        parts.append(root)
-        parts.reverse()
-        return ".".join(parts)
+    _dotted = staticmethod(dotted_ref)
 
     def _recurse_dotted(self, dotted: str) -> None:
         """``engine_alias.helper(...)`` -> walk helper in that module."""
@@ -332,9 +303,32 @@ class _PurityWalker:
             self.walk(mod, attr)
 
 
+def pool_walk_visited(project: ProjectContext) -> Set[Tuple[str, str]]:
+    """``(module, function)`` pairs PAR001's module-level walk covers.
+
+    PAR002 (:mod:`repro.lint.summaries`) reports only effect sites
+    *outside* this set — methods and helpers reachable solely through
+    dispatch the syntactic walk cannot see — so the two rules never
+    double-report one site.
+    """
+    walker = _PurityWalker(project)
+    roots: Set[Tuple[str, str]] = set()
+    for module in project.modules:
+        for mod, fname, _call in submitted_functions(module, project):
+            roots.add((mod, fname))
+    for mod, fname in sorted(roots):
+        walker.walk(mod, fname)
+    return set(walker.visited)
+
+
 @register_rule
 class PoolPurityRule(Rule):
-    """PAR001: pool-submitted callables must be pure."""
+    """PAR001: pool-submitted callables must be pure.
+
+    Module-level reachability only; the interprocedural tier's PAR002
+    extends the same contract through method dispatch via the tier-4
+    call graph (:mod:`repro.lint.summaries`).
+    """
 
     code = "PAR001"
     title = "impure process-pool work unit"

@@ -56,7 +56,7 @@ class Violation:
 
 
 #: Rule tiers, in the order ``--list-rules`` groups them.
-TIERS = ("contracts", "dataflow", "concurrency")
+TIERS = ("contracts", "dataflow", "concurrency", "interproc")
 
 
 class Rule:
@@ -67,8 +67,9 @@ class Rule:
     generators of :class:`Violation`; the engine filters suppressed
     findings.  ``tier`` is ``"contracts"`` for the syntactic AST rules
     (DET/INV/SUP), ``"dataflow"`` for the CFG/dataflow rules
-    (SAT/UNIT/PAR/STAT) and ``"concurrency"`` for the thread/async/
-    durability rules (ASY/LOCK/ATOM/EXC/EVT).
+    (SAT/UNIT/PAR/STAT), ``"concurrency"`` for the thread/async/
+    durability rules (ASY/LOCK/ATOM/EXC/EVT) and ``"interproc"`` for
+    the call-graph/effect-summary rules (CKEY/PAR002).
     """
 
     code: str = ""

@@ -21,6 +21,15 @@ accesses units from identifier names (:data:`UNIT_WORDS`) and flags
 ``+``/``-`` between operands of different units, plus magic latency
 literals (``cycle + 3``-style constants) that bypass the config
 dataclasses where latencies belong.
+
+"Simulator-reachable" here means the *import-graph* hot set
+(:func:`repro.lint.engine.compute_hot_set`) — a cheap module-level
+over-approximation that is the right scope for these syntactic
+checks.  The interprocedural tier (``lint/summaries.py``) refines the
+same idea to *call-graph* reachability from ``Simulator.run``, which
+is what routing a latency through a config dataclass ultimately buys:
+CKEY001/CKEY002 then prove the new field is both read by the
+simulator and present in the result-cache key.
 """
 
 from __future__ import annotations

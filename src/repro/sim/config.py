@@ -251,12 +251,21 @@ class SystemConfig:
         so two configs with equal canonical dicts produce identical runs.
         ``sim_kernel`` is excluded: the vectorized backend is pinned
         bit-identical to the reference path, so cached sweep results are
-        shared across backends.  Values that are not JSON-native (e.g.
-        policy-param objects) are rendered via ``repr`` at serialisation
-        time.
+        shared across backends.  ``l1.mshrs``/``l2.mshrs`` are excluded
+        because the timing model does not consume MSHR counts — keeping
+        them would split the cache key over a knob that cannot change
+        any result (the CKEY002 lint proves the field is unread).
+        Values that are not JSON-native (e.g. policy-param objects) are
+        rendered via ``repr`` at serialisation time.
+
+        The exact key recipe (this dict, the fingerprint hash, and the
+        ``CACHE_SCHEMA_VERSION`` salt) is documented in one place:
+        ``docs/performance.md``.
         """
         data = asdict(self)
         data.pop("sim_kernel", None)
+        data["l1"].pop("mshrs", None)
+        data["l2"].pop("mshrs", None)
         return data
 
     def fingerprint(self) -> str:

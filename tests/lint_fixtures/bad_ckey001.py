@@ -1,0 +1,24 @@
+"""Known-bad CKEY001 corpus: ``canonical_dict()`` drops a field the
+simulator reads, so two configs differing only in that field share a
+result-cache key and stale-hit each other's numbers."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class SimConfig:
+    ways: int = 8
+    spec_window: int = 4
+
+    def canonical_dict(self):
+        data = asdict(self)
+        data.pop("spec_window", None)  # CKEY001: read in Simulator.run
+        return data
+
+
+class Simulator:
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+
+    def run(self):
+        return self.cfg.ways * self.cfg.spec_window

@@ -1,0 +1,23 @@
+"""Known-bad CKEY002 corpus: a field rides in ``canonical_dict()``
+that nothing simulator-reachable reads — sweeps over it split the
+result cache for no behavioural reason."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class SimConfig:
+    ways: int = 8
+    debug_tag: str = ""  # CKEY002: keyed but never consumed
+
+    def canonical_dict(self):
+        data = asdict(self)
+        return data
+
+
+class Simulator:
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+
+    def run(self):
+        return self.cfg.ways

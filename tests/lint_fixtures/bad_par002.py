@@ -1,0 +1,23 @@
+"""Known-bad PAR002 corpus: the impure effect hides inside a method —
+the syntactic PAR001 walk stops at the method boundary, the
+interprocedural summary walk does not."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+SHARED = {}
+
+
+class Recorder:
+    def note(self, key, value):
+        SHARED[key] = value  # PAR002: module-global write in a method
+
+
+def work(x):
+    rec = Recorder()
+    rec.note(x, x * x)
+    return x * x
+
+
+def run(xs):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(work, x).result() for x in xs]

@@ -1,0 +1,23 @@
+"""Known-good CKEY001 corpus: the only field ``canonical_dict()``
+drops is one nothing reads — excluding an inert field is sound."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class SimConfig:
+    ways: int = 8
+    note: str = ""
+
+    def canonical_dict(self):
+        data = asdict(self)
+        data.pop("note", None)  # unread anywhere: sound to exclude
+        return data
+
+
+class Simulator:
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+
+    def run(self):
+        return self.cfg.ways

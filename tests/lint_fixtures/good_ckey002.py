@@ -1,0 +1,28 @@
+"""Known-good CKEY002 corpus: nested sub-config fields expand to
+dotted paths and every one of them is consumed by the simulator."""
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class LevelConfig:
+    sets: int = 64
+    ways: int = 8
+
+
+@dataclass
+class SimConfig:
+    l1: LevelConfig = field(default_factory=LevelConfig)
+    seed: int = 0
+
+    def canonical_dict(self):
+        data = asdict(self)
+        return data
+
+
+class Simulator:
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+
+    def run(self):
+        return self.cfg.l1.sets * self.cfg.l1.ways + self.cfg.seed

@@ -1,0 +1,23 @@
+"""Known-good PAR002 corpus: methods reachable from the work unit
+keep every write on the instance, so workers stay self-contained."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Recorder:
+    def __init__(self):
+        self.notes = {}
+
+    def note(self, key, value):
+        self.notes[key] = value
+
+
+def work(x):
+    rec = Recorder()
+    rec.note(x, x * x)
+    return sum(rec.notes.values())
+
+
+def run(xs):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(work, x).result() for x in xs]

@@ -1,0 +1,25 @@
+"""Suppression corpus: a deliberate key exclusion of a read field,
+silenced inline (backend-selection knob, results bit-identical)."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class SimConfig:
+    ways: int = 8
+    backend: str = "auto"
+
+    def canonical_dict(self):
+        data = asdict(self)
+        data.pop("backend", None)  # repro-lint: disable=CKEY001
+        return data
+
+
+class Simulator:
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+
+    def run(self):
+        if self.cfg.backend == "auto":
+            return self.cfg.ways
+        return self.cfg.ways * 2

@@ -1,0 +1,22 @@
+"""Suppression corpus: a forward-compatibility field kept in the key
+although nothing reads it yet, silenced inline at its declaration."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class SimConfig:
+    ways: int = 8
+    reserved: int = 0  # repro-lint: disable=CKEY002
+
+    def canonical_dict(self):
+        data = asdict(self)
+        return data
+
+
+class Simulator:
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+
+    def run(self):
+        return self.cfg.ways

@@ -1,0 +1,21 @@
+"""Suppression corpus: a method-level module-global write inside a
+work unit's reach, silenced inline (single-process fallback path)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+CACHE = {}
+
+
+class Memo:
+    def put(self, key, value):
+        CACHE[key] = value  # repro-lint: disable=PAR002
+
+
+def work(x):
+    Memo().put(x, x * x)
+    return x * x
+
+
+def run(xs):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(work, x).result() for x in xs]

@@ -165,12 +165,13 @@ class TestEngine:
                                          "SAT001", "UNIT001", "PAR001",
                                          "STAT001", "SUP001",
                                          "ASY001", "ASY002", "LOCK001",
-                                         "ATOM001", "EXC001", "EVT001"}
+                                         "ATOM001", "EXC001", "EVT001",
+                                         "CKEY001", "CKEY002", "PAR002"}
         for code, cls in RULE_REGISTRY.items():
             assert cls.title, code
             assert cls.severity in ("warning", "error"), code
             assert cls.tier in ("contracts", "dataflow",
-                                "concurrency"), code
+                                "concurrency", "interproc"), code
 
     def test_select_and_ignore(self):
         only = build_rules(select=["DET001"])
@@ -187,7 +188,7 @@ class TestEngine:
         assert [r.code for r in mixed] == ["SAT001", "UNIT001"]
         no_dataflow = build_rules(ignore=["SAT", "UNIT", "PAR", "STAT",
                                           "ASY", "LOCK", "ATOM", "EXC",
-                                          "EVT", "SUP"])
+                                          "EVT", "SUP", "CKEY"])
         assert [r.code for r in no_dataflow] == [
             "DET001", "DET002", "DET003", "INV001", "INV002", "INV003"]
         with pytest.raises(ValueError):
