@@ -151,8 +151,8 @@ def clear_matrix_cache(disk: bool = False) -> int:
 
 def _mix_suite(mix: MixSpec) -> str:
     """spec / gap / mixed, by the workloads' suites."""
-    from repro.traces.mixes import resolve_workload
-    suites = {resolve_workload(name).suite for name in mix.workloads}
+    # Resolve through the mix so its custom specs (if any) win.
+    suites = {mix.resolve(name).suite for name in mix.workloads}
     return suites.pop() if len(suites) == 1 else "mixed"
 
 

@@ -374,17 +374,26 @@ class SweepEngine:
 
     def _alone_key(self, profile, cores: int, mix: MixSpec,
                    core_index: int) -> str:
-        # (workload, core_index, seed) fully determine the trace;
+        # (workload spec, core_index, seed) fully determine the trace;
         # the baseline config carries the geometry it is built against.
+        # The *resolved* spec dict is keyed alongside the name: two
+        # specs sharing a name but differing in any parameter (possible
+        # with custom WorkloadSpec.from_dict workloads) must never
+        # share an alone-IPC entry.
         return cache_key("alone", self._keys(profile, cores),
-                         mix.workloads[core_index], core_index,
-                         profile.seed, profile.scale.accesses_per_core)
+                         mix.workloads[core_index],
+                         mix.workload_spec(core_index).to_dict(),
+                         core_index, profile.seed,
+                         profile.scale.accesses_per_core)
 
     def _cell_key(self, profile, cores: int, mix: MixSpec, policy: str,
                   drishti: DrishtiConfig) -> str:
         cfg = profile.config(cores, policy, drishti)
+        # As with _alone_key: key each core's resolved spec dict, not
+        # just its workload name.
         return cache_key("cell", self._keys(profile, cores),
                          cfg.canonical_dict(), list(mix.workloads),
+                         [mix.resolve(w).to_dict() for w in mix.workloads],
                          profile.seed, profile.scale.accesses_per_core)
 
     def _cache_get(self, key: str):
@@ -438,7 +447,8 @@ class SweepEngine:
                 matrix.mix_suites[mix.name] = _mix_suite(mix)
                 for core_index, workload in enumerate(mix.workloads):
                     tname = mix_trace_name(workload, profile.seed,
-                                           core_index)
+                                           core_index,
+                                           spec=mix.resolve(workload))
                     if (cores, tname) not in alone_plan:
                         alone_plan[(cores, tname)] = _AloneTask(
                             key=self._alone_key(profile, cores, mix,
@@ -691,7 +701,8 @@ class SweepEngine:
         """The alone-IPC dict one cell's ``run_mix`` call needs."""
         out = {}
         for core_index, workload in enumerate(mix.workloads):
-            tname = mix_trace_name(workload, profile.seed, core_index)
+            tname = mix_trace_name(workload, profile.seed, core_index,
+                                   spec=mix.resolve(workload))
             out[tname] = alone_ipcs[(cores, tname)]
         return out
 

@@ -48,7 +48,11 @@ from typing import Any, Iterable, Optional, Tuple
 # 3: SystemConfig grew the result-neutral ``sim_kernel`` backend
 #    selector (excluded from canonical_dict, so cached values are still
 #    correct); bumped to re-key the INV003 structural pin.
-CACHE_SCHEMA_VERSION = 3
+# 4: trace identity now keys the resolved WorkloadSpec (name + spec
+#    digest in trace names, spec dicts in alone/cell keys) so custom
+#    specs sharing a pool workload's name can never collide; old
+#    name-only entries are invalidated wholesale.
+CACHE_SCHEMA_VERSION = 4
 
 #: Default cache location, relative to the repository root.
 DEFAULT_CACHE_DIRNAME = os.path.join("results", "cache")

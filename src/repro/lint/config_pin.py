@@ -31,4 +31,8 @@ PINNED_STRUCT_HASHES: Dict[int, str] = {
     # backend selector ("auto"/"vector"/"reference"), excluded from
     # canonical_dict so both backends share cache keys.
     3: "1635a67f4bde897293b05233204c262fd70ba662ae14079e10e74a908d6e6bff",
+    # v4: same config structure as v3 — the bump re-keys for trace
+    # identity (resolved WorkloadSpec digests in trace names, spec
+    # dicts in alone/cell keys), not for a config-field change.
+    4: "1635a67f4bde897293b05233204c262fd70ba662ae14079e10e74a908d6e6bff",
 }

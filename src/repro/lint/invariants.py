@@ -1,5 +1,6 @@
 """Invariant rules: INV001 (stats-method pairing), INV002 (policy
-registry coverage), INV003 (``SystemConfig`` structural pin).
+registry coverage), INV003 (``SystemConfig`` structural pin), INV004
+(access-pattern registry coverage).
 
 These enforce the repo's cross-file contracts:
 
@@ -12,7 +13,10 @@ These enforce the repo's cross-file contracts:
 * the ``SystemConfig`` field set is pinned per
   ``CACHE_SCHEMA_VERSION`` — adding a config-affecting field without
   bumping the version would make stale cache entries collide with new
-  semantics.
+  semantics;
+* every concrete ``*Pattern`` generator must be ``@register_pattern``-
+  decorated, so ``create_pattern``, declarative workload specs and the
+  reference↔vector differential matrix can enumerate it.
 """
 
 from __future__ import annotations
@@ -173,6 +177,105 @@ def _repo_root_for(module: ModuleInfo) -> Optional[object]:
     for _ in range(depth):
         path = path.parent
     return path.parent
+
+
+# -- INV004 -----------------------------------------------------------------
+
+def _pattern_kind(node: ast.ClassDef) -> Optional[str]:
+    """The class-level string ``kind`` constant of *node*, if any.
+
+    Handles both plain assignments (``kind = "uniform"``) and annotated
+    ones (``kind: ClassVar[str] = ""``).
+    """
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            targets: Tuple[ast.expr, ...] = tuple(stmt.targets)
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = (stmt.target,)
+            value = stmt.value
+        else:
+            continue
+        if any(isinstance(t, ast.Name) and t.id == "kind"
+               for t in targets) \
+                and isinstance(value, ast.Constant) \
+                and isinstance(value.value, str):
+            return value.value
+    return None
+
+
+def _has_register_pattern_decorator(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Name) and dec.id == "register_pattern":
+            return True
+        if isinstance(dec, ast.Attribute) \
+                and dec.attr == "register_pattern":
+            return True
+    return False
+
+
+@register_rule
+class PatternRegistryRule(Rule):
+    """INV004: every concrete access pattern is registered.
+
+    The pattern registry is the single enumeration point for workload
+    generators: ``create_pattern`` resolves declarative
+    ``WorkloadSpec`` kinds through it, and the differential test matrix
+    (``tests/test_patterns.py``) iterates ``pattern_names()`` to prove
+    every kind bit-identical across the reference and vector kernels.
+    A ``*Pattern`` class that names a ``kind`` but skips
+    ``@register_pattern`` is invisible to all three — specs naming it
+    fail, and no differential coverage ever runs.  Abstract bases stay
+    exempt by leaving ``kind`` unset or empty.
+    """
+
+    code = "INV004"
+    title = "access pattern missing from registry / differential matrix"
+
+    def check_module(self, module: ModuleInfo,
+                     project: ProjectContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) \
+                    or not node.name.endswith("Pattern"):
+                continue
+            kind = _pattern_kind(node)
+            if not kind:  # abstract base / helper: no concrete kind
+                continue
+            if not _has_register_pattern_decorator(node):
+                yield self.violation(
+                    module, node,
+                    f"pattern class {node.name} names kind {kind!r} "
+                    f"but is not decorated with @register_pattern; "
+                    f"unregistered patterns are invisible to "
+                    f"create_pattern, declarative workload specs and "
+                    f"the reference/vector differential matrix")
+
+    def check_project(self,
+                      project: ProjectContext) -> Iterator[Violation]:
+        # Differential-matrix coverage: the pattern test suite must
+        # keep enumerating the registry (pattern_names /
+        # PATTERN_REGISTRY) rather than a hand-written kind list that
+        # newly registered patterns would silently miss.
+        for module in project.modules:
+            if module.name.endswith("traces.patterns"):
+                repo_root = _repo_root_for(module)
+                if repo_root is None:
+                    continue
+                diff = repo_root / "tests" / "test_patterns.py"
+                if not diff.exists():
+                    continue
+                text = diff.read_text(encoding="utf-8")
+                if "pattern_names" not in text \
+                        and "PATTERN_REGISTRY" not in text:
+                    yield Violation(
+                        code=self.code, severity=self.severity,
+                        message=("tests/test_patterns.py no longer "
+                                 "enumerates the pattern registry "
+                                 "(pattern_names/PATTERN_REGISTRY); "
+                                 "new patterns would escape the "
+                                 "reference/vector differential "
+                                 "matrix"),
+                        path=str(diff), line=1)
 
 
 # -- INV003 -----------------------------------------------------------------

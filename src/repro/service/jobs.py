@@ -41,6 +41,8 @@ from repro.core.drishti import DrishtiConfig
 from repro.experiments.common import ExperimentProfile, HEADLINE_POLICIES
 from repro.experiments.retry import RetryPolicy
 from repro.sim.config import ScaleProfile
+from repro.traces.mixes import MixSpec
+from repro.traces.synthetic import WorkloadSpec
 
 __all__ = [
     "JOB_STATES",
@@ -109,10 +111,22 @@ class ServiceProfile(ExperimentProfile):
     """
 
     sim_kernel: str = "auto"
+    #: Declarative mixes (possibly carrying custom WorkloadSpecs).
+    #: Non-empty replaces the standard generated mix set; each core
+    #: count sweeps the declarative mixes matching its width.  The
+    #: mixes ride in the (picklable, hashable) profile so pooled
+    #: workers regenerate traces without any registry side channel.
+    custom_mixes: Tuple[MixSpec, ...] = ()
 
     def config(self, num_cores, policy, drishti, **overrides):
         overrides.setdefault("sim_kernel", self.sim_kernel)
         return super().config(num_cores, policy, drishti, **overrides)
+
+    def mixes(self, num_cores):
+        if self.custom_mixes:
+            return [m for m in self.custom_mixes
+                    if m.num_cores == num_cores]
+        return super().mixes(num_cores)
 
 
 def _require(condition: bool, message: str) -> None:
@@ -185,6 +199,68 @@ def _parse_policy(entry: Any) -> Tuple[str, str, str]:
     return label, policy, drishti
 
 
+def _parse_workloads(raw: Any) -> Tuple[WorkloadSpec, ...]:
+    """``workloads`` — custom :meth:`WorkloadSpec.from_dict` dicts.
+
+    Trace-layer ``ValueError``s are re-raised as :class:`JobSpecError`
+    so a bad pattern kind / parameter / weight becomes an HTTP 400
+    instead of a worker-thread traceback."""
+    _require(isinstance(raw, (list, tuple)) and raw,
+             "workloads must be a non-empty list of workload spec "
+             "dicts")
+    specs: List[WorkloadSpec] = []
+    for entry in raw:
+        try:
+            specs.append(WorkloadSpec.from_dict(entry))
+        except ValueError as exc:
+            raise JobSpecError(f"invalid workload spec: {exc}") from None
+    names = [spec.name for spec in specs]
+    _require(len(set(names)) == len(names),
+             f"workload names must be unique, got {sorted(names)}")
+    return tuple(specs)
+
+
+def _parse_mixes(raw: Any, workloads: Tuple[WorkloadSpec, ...],
+                 core_counts: List[int]) -> Tuple[MixSpec, ...]:
+    """``mixes`` — declarative :meth:`MixSpec.from_dict` dicts.
+
+    Top-level ``workloads`` are injected into each mix's ``custom``
+    list (a mix-local spec of the same name wins), so mixes can refer
+    to shared custom workloads by name."""
+    _require(isinstance(raw, (list, tuple)) and raw,
+             "mixes must be a non-empty list of mix spec dicts")
+    mixes: List[MixSpec] = []
+    for entry in raw:
+        _require(isinstance(entry, dict),
+                 f"mixes entries must be dicts, got {entry!r}")
+        merged = dict(entry)
+        own_custom = list(merged.get("custom", []))
+        own_names = {c.get("name") for c in own_custom
+                     if isinstance(c, dict)}
+        extra = [spec.to_dict() for spec in workloads
+                 if spec.name not in own_names]
+        if own_custom or extra:
+            merged["custom"] = own_custom + extra
+        try:
+            mixes.append(MixSpec.from_dict(merged))
+        except ValueError as exc:
+            raise JobSpecError(f"invalid mix spec: {exc}") from None
+    names = [mix.name for mix in mixes]
+    _require(len(set(names)) == len(names),
+             f"mix names must be unique, got {sorted(names)}")
+    widths = {mix.num_cores for mix in mixes}
+    for cores in core_counts:
+        _require(cores in widths,
+                 f"no declarative mix has num_cores={cores}; every "
+                 f"entry of core_counts needs at least one matching "
+                 f"mix")
+    for mix in mixes:
+        _require(mix.num_cores in set(core_counts),
+                 f"mix {mix.name!r} has {mix.num_cores} workloads but "
+                 f"core_counts is {core_counts}")
+    return tuple(mixes)
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """A validated sweep request.
@@ -211,11 +287,17 @@ class JobSpec:
     kernel: str = "auto"
     max_retries: Optional[int] = None
     unit_timeout: Optional[float] = None
+    #: Custom workload definitions (shared across declarative mixes).
+    workloads: Tuple[WorkloadSpec, ...] = ()
+    #: Declarative mixes; non-empty replaces the standard generated
+    #: mix set (mutually exclusive with the mix-count knobs).
+    mixes: Tuple[MixSpec, ...] = ()
 
     _ALLOWED_KEYS = frozenset({
         "name", "scale", "core_counts", "num_homogeneous",
         "num_heterogeneous", "seed", "accesses_per_core", "policies",
         "workers", "kernel", "max_retries", "unit_timeout",
+        "workloads", "mixes",
     })
 
     @classmethod
@@ -251,10 +333,31 @@ class JobSpec:
         _require(len(set(core_counts)) == len(core_counts),
                  "core_counts must not repeat")
 
-        num_homogeneous = _int_field(data, "num_homogeneous", 1, 0, 64)
-        num_heterogeneous = _int_field(data, "num_heterogeneous", 1, 0, 64)
-        _require(num_homogeneous + num_heterogeneous > 0,
-                 "at least one mix is required")
+        raw_workloads = data.get("workloads")
+        raw_mixes = data.get("mixes")
+        _require(raw_workloads is None or raw_mixes is not None,
+                 "workloads requires mixes (declarative workloads are "
+                 "only reachable through declarative mixes)")
+        workloads: Tuple[WorkloadSpec, ...] = ()
+        mixes: Tuple[MixSpec, ...] = ()
+        if raw_mixes is not None:
+            _require("num_homogeneous" not in data
+                     and "num_heterogeneous" not in data,
+                     "mixes cannot be combined with num_homogeneous/"
+                     "num_heterogeneous (declarative mixes replace the "
+                     "generated set)")
+            if raw_workloads is not None:
+                workloads = _parse_workloads(raw_workloads)
+            mixes = _parse_mixes(raw_mixes, workloads, core_counts)
+            num_homogeneous = 0
+            num_heterogeneous = 0
+        else:
+            num_homogeneous = _int_field(data, "num_homogeneous",
+                                         1, 0, 64)
+            num_heterogeneous = _int_field(data, "num_heterogeneous",
+                                           1, 0, 64)
+            _require(num_homogeneous + num_heterogeneous > 0,
+                     "at least one mix is required")
 
         seed = _int_field(data, "seed", 7, 0, 2**31 - 1)
 
@@ -316,16 +419,24 @@ class JobSpec:
                    workers=workers,
                    kernel=kernel,
                    max_retries=max_retries,
-                   unit_timeout=unit_timeout)
+                   unit_timeout=unit_timeout,
+                   workloads=workloads,
+                   mixes=mixes)
 
     def to_dict(self) -> Dict[str, Any]:
+        # Declarative jobs serialise their mixes and drop the mix-count
+        # knobs (the two forms are mutually exclusive in from_dict, and
+        # from_record_dict strips the Nones).
+        declarative = bool(self.mixes)
         return {
             "name": self.name,
             "scale": self.scale_dict if self.scale_dict is not None
             else self.scale,
             "core_counts": list(self.core_counts),
-            "num_homogeneous": self.num_homogeneous,
-            "num_heterogeneous": self.num_heterogeneous,
+            "num_homogeneous": None if declarative
+            else self.num_homogeneous,
+            "num_heterogeneous": None if declarative
+            else self.num_heterogeneous,
             "seed": self.seed,
             "accesses_per_core": self.accesses_per_core,
             "policies": [list(entry) for entry in self.policies],
@@ -333,6 +444,10 @@ class JobSpec:
             "kernel": self.kernel,
             "max_retries": self.max_retries,
             "unit_timeout": self.unit_timeout,
+            "workloads": [w.to_dict() for w in self.workloads]
+            if self.workloads else None,
+            "mixes": [m.to_dict() for m in self.mixes]
+            if declarative else None,
         }
 
     @classmethod
@@ -359,7 +474,8 @@ class JobSpec:
                               num_homogeneous=self.num_homogeneous,
                               num_heterogeneous=self.num_heterogeneous,
                               seed=self.seed,
-                              sim_kernel=self.kernel)
+                              sim_kernel=self.kernel,
+                              custom_mixes=self.mixes)
 
     def policy_triples(self) -> Tuple[Tuple[str, str, DrishtiConfig], ...]:
         """(label, policy, DrishtiConfig) triples for the engine."""

@@ -14,7 +14,19 @@ graph algorithm executions (PageRank, BFS, ...) over synthetic CSR graphs.
 """
 
 from repro.traces.trace import MemoryAccess, Trace, TraceStats
-from repro.traces.synthetic import SyntheticWorkload, WorkloadSpec, PCBehavior
+from repro.traces.patterns import (
+    AccessPattern,
+    create_pattern,
+    pattern_class,
+    pattern_names,
+    register_pattern,
+)
+from repro.traces.synthetic import (
+    PCBehavior,
+    PCClassSpec,
+    SyntheticWorkload,
+    WorkloadSpec,
+)
 from repro.traces.spec import SPEC_WORKLOADS, make_spec_trace, spec_workload_names
 from repro.traces.gap import GAP_WORKLOADS, make_gap_trace, gap_workload_names
 from repro.traces.datacenter import (
@@ -22,14 +34,27 @@ from repro.traces.datacenter import (
     datacenter_workload_names,
     make_datacenter_trace,
 )
-from repro.traces.mixes import MixSpec, make_mix, standard_mixes
+from repro.traces.mixes import (
+    MixSpec,
+    make_mix,
+    make_mix_trace,
+    mix_trace_name,
+    resolve_workload,
+    standard_mixes,
+)
 
 __all__ = [
     "MemoryAccess",
     "Trace",
     "TraceStats",
+    "AccessPattern",
+    "create_pattern",
+    "pattern_class",
+    "pattern_names",
+    "register_pattern",
     "SyntheticWorkload",
     "WorkloadSpec",
+    "PCClassSpec",
     "PCBehavior",
     "SPEC_WORKLOADS",
     "make_spec_trace",
@@ -42,5 +67,8 @@ __all__ = [
     "datacenter_workload_names",
     "MixSpec",
     "make_mix",
+    "make_mix_trace",
+    "mix_trace_name",
+    "resolve_workload",
     "standard_mixes",
 ]

@@ -8,12 +8,23 @@ analogue), and heterogeneous mixes are seeded random draws.
 
 Figure 19's datacenter study uses :func:`datacenter_mixes` over the
 CVP1/Google/CloudSuite/XSBench pool.
+
+Mixes may carry *custom* :class:`WorkloadSpec`s (built declaratively via
+:meth:`WorkloadSpec.from_dict`) alongside the named suite pools; custom
+specs ride inside the :class:`MixSpec` itself — never a process-global
+registry — so parallel sweep workers can regenerate any core's trace
+from the pickled mix alone.  Trace identity includes the resolved
+spec's :meth:`~WorkloadSpec.digest`, so a custom spec that shadows a
+pool name (or two custom specs sharing a name across jobs) can never
+collide in the result cache.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from difflib import get_close_matches
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple)
 
 import numpy as np
 
@@ -29,45 +40,158 @@ HOMOGENEOUS = "homogeneous"
 HETEROGENEOUS = "heterogeneous"
 
 
+def known_workload_names() -> List[str]:
+    """Every named workload across the SPEC / GAP / datacenter pools."""
+    return (sorted(SPEC_WORKLOADS) + sorted(GAP_WORKLOADS) +
+            sorted(DATACENTER_WORKLOADS))
+
+
 def resolve_workload(name: str) -> WorkloadSpec:
-    """Find a workload model by name across all suites."""
+    """Find a workload model by name across all suites.
+
+    Unknown names raise ``ValueError`` with a did-you-mean suggestion —
+    the message is safe to relay to service clients (a typo'd workload
+    in a job spec becomes a 400, not a worker traceback).
+    """
     for pool in (SPEC_WORKLOADS, GAP_WORKLOADS, DATACENTER_WORKLOADS):
         if name in pool:
             return pool[name]
-    known = (sorted(SPEC_WORKLOADS) + sorted(GAP_WORKLOADS) +
-             sorted(DATACENTER_WORKLOADS))
-    raise ValueError(f"unknown workload {name!r}; known: {known}")
+    known = known_workload_names()
+    suggestion = ""
+    close = get_close_matches(str(name), known, n=1)
+    if close:
+        suggestion = f" (did you mean {close[0]!r}?)"
+    raise ValueError(f"unknown workload {name!r}{suggestion}; "
+                     f"known: {known}")
 
 
 @dataclass(frozen=True)
 class MixSpec:
-    """A named assignment of workloads to cores."""
+    """A named assignment of workloads to cores.
+
+    ``workloads`` are names; each resolves against this mix's
+    ``custom`` specs first, then the named suite pools
+    (:func:`resolve_workload`).  Carrying custom specs in the mix keeps
+    it self-contained and picklable, so pool workers regenerate traces
+    without any registry side channel.
+    """
 
     name: str
     workloads: Tuple[str, ...]
     kind: str
+    custom: Tuple[WorkloadSpec, ...] = ()
 
     def __post_init__(self):
         if self.kind not in (HOMOGENEOUS, HETEROGENEOUS):
             raise ValueError(f"unknown mix kind {self.kind!r}")
         if not self.workloads:
             raise ValueError("a mix needs at least one workload")
+        object.__setattr__(self, "custom", tuple(self.custom))
+        for spec in self.custom:
+            if not isinstance(spec, WorkloadSpec):
+                raise ValueError(f"mix {self.name!r}: custom entries "
+                                 f"must be WorkloadSpec, got "
+                                 f"{type(spec).__name__}")
+        names = [spec.name for spec in self.custom]
+        if len(set(names)) != len(names):
+            raise ValueError(f"mix {self.name!r}: duplicate custom "
+                             f"workload names {sorted(names)}")
         for name in self.workloads:
-            resolve_workload(name)  # validate eagerly
+            self.resolve(name)  # validate eagerly
 
     @property
     def num_cores(self) -> int:
         return len(self.workloads)
 
+    def resolve(self, name: str) -> WorkloadSpec:
+        """Resolve *name*: this mix's custom specs win over the pools."""
+        for spec in self.custom:
+            if spec.name == name:
+                return spec
+        try:
+            return resolve_workload(name)
+        except ValueError:
+            if not self.custom:
+                raise
+            custom_names = [spec.name for spec in self.custom]
+            close = get_close_matches(
+                str(name), custom_names + known_workload_names(), n=1)
+            suggestion = f" (did you mean {close[0]!r}?)" if close else ""
+            raise ValueError(
+                f"unknown workload {name!r}{suggestion}; this mix's "
+                f"custom workloads: {custom_names}, plus the named "
+                f"pools") from None
 
-def mix_trace_name(workload: str, seed: int, core: int) -> str:
+    def workload_spec(self, core: int) -> WorkloadSpec:
+        """The resolved spec *core* runs."""
+        return self.resolve(self.workloads[core])
+
+    # -- declarative surface --------------------------------------------
+    _FIELD_NAMES = ("name", "workloads", "kind", "custom")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped form, round-trippable through :meth:`from_dict`."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "kind": self.kind,
+        }
+        if self.custom:
+            out["custom"] = [spec.to_dict() for spec in self.custom]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MixSpec":
+        """Build a validated mix from JSON-shaped *data*.
+
+        Schema (see ``docs/workloads.md``): required ``name``,
+        ``workloads`` (non-empty list of names) and ``kind``; optional
+        ``custom`` — a list of :meth:`WorkloadSpec.from_dict` dicts the
+        names may refer to.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"mix spec must be a mapping, "
+                             f"got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls._FIELD_NAMES))
+        if unknown:
+            raise ValueError(f"mix spec: unknown keys {unknown}; "
+                             f"allowed: {sorted(cls._FIELD_NAMES)}")
+        missing = sorted(k for k in ("name", "workloads", "kind")
+                         if k not in data)
+        if missing:
+            raise ValueError(f"mix spec: missing required keys {missing}")
+        raw_workloads = data["workloads"]
+        if (not isinstance(raw_workloads, Sequence)
+                or isinstance(raw_workloads, (str, bytes))
+                or not raw_workloads):
+            raise ValueError("mix spec: 'workloads' must be a non-empty "
+                             "list of workload names")
+        raw_custom = data.get("custom", ())
+        if (not isinstance(raw_custom, Sequence)
+                or isinstance(raw_custom, (str, bytes))):
+            raise ValueError("mix spec: 'custom' must be a list of "
+                             "workload spec dicts")
+        custom = tuple(WorkloadSpec.from_dict(c) for c in raw_custom)
+        return cls(name=str(data["name"]),
+                   workloads=tuple(str(w) for w in raw_workloads),
+                   kind=str(data["kind"]), custom=custom)
+
+
+def mix_trace_name(workload: str, seed: int, core: int,
+                   spec: Optional[WorkloadSpec] = None) -> str:
     """Canonical trace name for *workload* on *core* under *seed*.
 
     Encodes seed and core so alone-IPC caches never collide across
     mixes or placements, and so schedulers can name a core's trace
-    without generating it.
+    without generating it.  When the resolved *spec* is given its
+    :meth:`~WorkloadSpec.digest` is embedded too — the name then keys
+    the workload's full *parameter identity*, not just its label, so
+    two same-named specs with different parameters get distinct traces
+    (and distinct cache entries) instead of silently sharing results.
     """
-    return f"{workload}#s{seed}#c{core}"
+    if spec is None:
+        return f"{workload}#s{seed}#c{core}"
+    return f"{workload}#h{spec.digest()}#s{seed}#c{core}"
 
 
 def make_mix_trace(mix: MixSpec, core: int, config: SystemConfig,
@@ -77,9 +201,12 @@ def make_mix_trace(mix: MixSpec, core: int, config: SystemConfig,
     Trace generation is deterministic given (workload, core, seed,
     geometry), so parallel sweep workers regenerate exactly the trace
     they need instead of having whole mixes pickled across processes.
+    The generation seed stays keyed on the workload *name* (changing it
+    would alter every golden-pinned trace); the emitted trace's *name*
+    carries the resolved spec's digest for identity.
     """
     name = mix.workloads[core]
-    spec = resolve_workload(name)
+    spec = mix.resolve(name)
     trace = build_trace(
         spec,
         capacity_blocks=config.llc_lines_per_core,
@@ -88,7 +215,7 @@ def make_mix_trace(mix: MixSpec, core: int, config: SystemConfig,
         num_accesses=accesses_per_core,
         seed=seed * 10_007 + core * 131 + (stable_hash(name) & 0xFFFF),
         hash_scheme=config.hash_scheme)
-    trace.name = mix_trace_name(name, seed, core)
+    trace.name = mix_trace_name(name, seed, core, spec=spec)
     return trace
 
 
@@ -122,6 +249,38 @@ def _default_pool() -> List[str]:
     return marquee + rest
 
 
+def _draw_unique_mixes(rng: np.random.Generator, pool: Sequence[str],
+                       count: int, num_cores: int, name_fmt: str,
+                       label: str) -> List[MixSpec]:
+    """Seeded random mixes, de-duplicated by workload assignment.
+
+    A duplicate draw is redrawn (so runs with no collisions keep the
+    exact historical draw sequence); if the pool cannot support *count*
+    distinct assignments the attempt budget runs out and the short list
+    is returned with a warning instead of silently padding with
+    repeats.
+    """
+    mixes: List[MixSpec] = []
+    seen = set()
+    attempts = max(64, 64 * count)
+    while len(mixes) < count and attempts > 0:
+        attempts -= 1
+        chosen = rng.choice(len(pool), size=num_cores, replace=True)
+        names = tuple(pool[j] for j in chosen)
+        if names in seen:
+            continue
+        seen.add(names)
+        mixes.append(MixSpec(name=name_fmt.format(len(mixes)),
+                             workloads=names, kind=HETEROGENEOUS))
+    if len(mixes) < count:
+        warnings.warn(
+            f"{label}: only {len(mixes)} distinct mixes possible from a "
+            f"{len(pool)}-workload pool at num_cores={num_cores} "
+            f"(requested {count}); returning the short de-duplicated "
+            f"list", RuntimeWarning, stacklevel=3)
+    return mixes
+
+
 def standard_mixes(num_cores: int, num_homogeneous: int = 35,
                    num_heterogeneous: int = 35, seed: int = 7,
                    pool: Optional[Sequence[str]] = None) -> List[MixSpec]:
@@ -129,24 +288,37 @@ def standard_mixes(num_cores: int, num_homogeneous: int = 35,
 
     Homogeneous mixes cycle through the workload pool; heterogeneous
     mixes are seeded random draws with replacement (as in Mockingjay's
-    methodology).
+    methodology).  Both halves are de-duplicated: asking for more
+    homogeneous mixes than the pool has workloads warns and clamps
+    (cycling further would only repeat assignments), and a colliding
+    heterogeneous draw is deterministically redrawn.
     """
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    if num_homogeneous < 0 or num_heterogeneous < 0:
+        raise ValueError("mix counts must be >= 0")
     if pool is None:
         pool = _default_pool()
     pool = list(pool)
+    if not pool:
+        raise ValueError("workload pool is empty")
     rng = np.random.default_rng(seed)
     mixes: List[MixSpec] = []
+    if num_homogeneous > len(pool):
+        warnings.warn(
+            f"standard_mixes: {num_homogeneous} homogeneous mixes "
+            f"requested but the pool has only {len(pool)} workloads; "
+            f"clamping to {len(pool)} distinct mixes",
+            RuntimeWarning, stacklevel=2)
+        num_homogeneous = len(pool)
     for i in range(num_homogeneous):
-        name = pool[i % len(pool)]
+        name = pool[i]
         mixes.append(MixSpec(name=f"homo_{i:02d}_{name}",
                              workloads=(name,) * num_cores,
                              kind=HOMOGENEOUS))
-    for i in range(num_heterogeneous):
-        chosen = rng.choice(len(pool), size=num_cores, replace=True)
-        names = tuple(pool[j] for j in chosen)
-        mixes.append(MixSpec(name=f"hetero_{i:02d}",
-                             workloads=names,
-                             kind=HETEROGENEOUS))
+    mixes.extend(_draw_unique_mixes(
+        rng, pool, num_heterogeneous, num_cores, "hetero_{:02d}",
+        "standard_mixes"))
     return mixes
 
 
@@ -158,13 +330,12 @@ def homogeneous_mix(workload: str, num_cores: int) -> MixSpec:
 
 def datacenter_mixes(num_cores: int, count: int = 50,
                      seed: int = 11) -> List[MixSpec]:
-    """Figure 19's random datacenter mixes."""
+    """Figure 19's random datacenter mixes (de-duplicated)."""
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    if count < 0:
+        raise ValueError("count must be >= 0")
     pool = sorted(DATACENTER_WORKLOADS)
     rng = np.random.default_rng(seed)
-    mixes = []
-    for i in range(count):
-        chosen = rng.choice(len(pool), size=num_cores, replace=True)
-        names = tuple(pool[j] for j in chosen)
-        mixes.append(MixSpec(name=f"dc_{i:02d}", workloads=names,
-                             kind=HETEROGENEOUS))
-    return mixes
+    return _draw_unique_mixes(rng, pool, count, num_cores, "dc_{:02d}",
+                              "datacenter_mixes")

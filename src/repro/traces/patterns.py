@@ -1,0 +1,437 @@
+"""First-class workload access patterns.
+
+A pattern is the per-PC block-address generator behind every synthetic
+workload: :class:`repro.traces.synthetic.SyntheticWorkload` samples a
+candidate-block *pool* honouring the workload's slice-affinity and
+set-skew constraints, then hands it to a pattern instance that decides
+*which* pool block each access touches.  Patterns are an open registry
+(mirroring ``repro.replacement.registry``): new access regimes cost a
+``@register_pattern`` class, not a fork of the trace layer, and any
+registered kind can be named from a declarative
+:meth:`~repro.traces.synthetic.WorkloadSpec.from_dict` JSON spec.
+
+Two families ship here:
+
+* the **legacy walks** (``cyclic`` / ``scan`` / ``stream`` / ``chase``
+  / ``phased``) — deterministic pointer walks over the pool, rewired
+  from the original closed ``PATTERNS`` enum and golden-pinned
+  bit-identical for every named spec workload
+  (``tests/test_workload_golden.py``);
+* the **parametric generators** (``sequential``, ``phase_change``,
+  ``uniform``, ``zipfian``, ``hotspot``, ``bursty``) — the query-style,
+  frontend-bound and phase-changing regimes server-workload policies
+  (Garibaldi, arXiv 2505.18554) and variability-aware reuse prediction
+  (Faldu, arXiv 2006.08487) need.
+
+Stochastic patterns (``stochastic = True``) draw per-access randomness
+from a *per-instance* ``np.random.default_rng(seed)`` — never module
+state — so traces stay reproducible (DET001) and the materialiser can
+derive each PC's seed from the workload seed deterministically.
+
+Class-level flags describe the pool contract the materialiser honours
+before the pattern ever runs:
+
+``contiguous_pool``
+    the pool should be a contiguous block range when unconstrained
+    (streams — prefetchable by construction);
+``sort_pool``
+    the pool is walked in sorted order (cyclic working sets);
+``dependent``
+    accesses carry the pointer-chase dependence bit (exposed latency);
+``needs_averse_pool``
+    the pattern flips between a friendly and a larger *averse* pool
+    (``phase_len`` accesses per phase);
+``stochastic``
+    the pattern consumes a per-instance RNG seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from difflib import get_close_matches
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Type
+
+import numpy as np
+
+__all__ = [
+    "AccessPattern",
+    "BurstyPattern",
+    "ChasePattern",
+    "CyclicPattern",
+    "HotspotPattern",
+    "PATTERN_REGISTRY",
+    "PhaseChangePattern",
+    "PhasedPattern",
+    "ScanPattern",
+    "SequentialPattern",
+    "StreamPattern",
+    "UniformPattern",
+    "ZipfianPattern",
+    "create_pattern",
+    "pattern_class",
+    "pattern_names",
+    "register_pattern",
+]
+
+
+class AccessPattern(ABC):
+    """Base class for per-PC block-address generators.
+
+    Subclasses set ``kind`` (the registry name), override
+    :meth:`next_block`, and declare extra tunables in
+    ``PARAM_DEFAULTS`` — those arrive as keyword arguments and are
+    validated by :meth:`check_params` before construction, so a
+    declarative spec with a typo'd or out-of-range parameter fails at
+    validation time, not mid-generation.
+    """
+
+    #: Registry name; empty on abstract bases (never registered).
+    kind: ClassVar[str] = ""
+    #: Pool-contract flags (see module docstring).
+    contiguous_pool: ClassVar[bool] = False
+    sort_pool: ClassVar[bool] = False
+    dependent: ClassVar[bool] = False
+    needs_averse_pool: ClassVar[bool] = False
+    stochastic: ClassVar[bool] = False
+    #: Extra tunables: name -> default.  ``check_params`` rejects
+    #: anything outside this set.
+    PARAM_DEFAULTS: ClassVar[Mapping[str, float]] = {}
+
+    def __init__(self, pool: np.ndarray, *,
+                 averse_pool: Optional[np.ndarray] = None,
+                 phase_len: int = 0, seed: int = 0):
+        if len(pool) == 0:
+            raise ValueError(f"{self.kind or type(self).__name__}: "
+                             f"empty pool")
+        self.pool = pool
+        self.averse_pool = averse_pool
+        self.phase_len = phase_len
+        self.seed = seed
+
+    @abstractmethod
+    def next_block(self) -> int:
+        """The next pool block this PC touches."""
+
+    # -- spec-time validation -------------------------------------------
+    @classmethod
+    def check_params(cls, params: Mapping[str, Any]) -> None:
+        """Validate declarative *params* for this kind.
+
+        The base implementation rejects unknown names and non-numeric
+        values; subclasses extend it with range checks.  Raises
+        ``ValueError`` with a message safe to relay to API clients.
+        """
+        unknown = sorted(set(params) - set(cls.PARAM_DEFAULTS))
+        if unknown:
+            allowed = sorted(cls.PARAM_DEFAULTS) or ["<none>"]
+            raise ValueError(
+                f"pattern {cls.kind!r} got unknown params {unknown}; "
+                f"allowed: {allowed}")
+        for name, value in params.items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ValueError(
+                    f"pattern {cls.kind!r} param {name!r} must be a "
+                    f"number, got {value!r}")
+
+    @classmethod
+    def resolved_params(cls,
+                        params: Mapping[str, Any]) -> Dict[str, float]:
+        """Defaults merged with *params* (validated), sorted by name —
+        the canonical form hashed into trace identity."""
+        cls.check_params(params)
+        merged = dict(cls.PARAM_DEFAULTS)
+        merged.update({k: float(v) for k, v in params.items()})
+        return {k: merged[k] for k in sorted(merged)}
+
+
+#: kind -> pattern class, populated by :func:`register_pattern`.
+PATTERN_REGISTRY: Dict[str, Type[AccessPattern]] = {}
+
+
+def register_pattern(cls: Type[AccessPattern]) -> Type[AccessPattern]:
+    """Class decorator adding *cls* to :data:`PATTERN_REGISTRY`.
+
+    Every concrete ``*Pattern`` subclass must pass through here —
+    enforced statically by repro-lint's INV004 rule — so sweeps,
+    declarative specs and the differential test matrix all enumerate
+    the same set.
+    """
+    if not issubclass(cls, AccessPattern):
+        raise ValueError(f"{cls.__name__} is not an AccessPattern")
+    if not cls.kind:
+        raise ValueError(f"pattern {cls.__name__} has no kind")
+    if cls.kind in PATTERN_REGISTRY:
+        raise ValueError(f"duplicate pattern kind {cls.kind!r}")
+    PATTERN_REGISTRY[cls.kind] = cls
+    return cls
+
+
+def pattern_names() -> List[str]:
+    """All registered pattern kinds, sorted."""
+    return sorted(PATTERN_REGISTRY)
+
+
+def pattern_class(kind: str) -> Type[AccessPattern]:
+    """Look up a registered pattern, with did-you-mean on typos."""
+    try:
+        return PATTERN_REGISTRY[kind]
+    except KeyError:
+        suggestion = ""
+        close = get_close_matches(str(kind), pattern_names(), n=1)
+        if close:
+            suggestion = f" (did you mean {close[0]!r}?)"
+        raise ValueError(
+            f"unknown access pattern {kind!r}{suggestion}; "
+            f"registered: {pattern_names()}") from None
+
+
+def create_pattern(kind: str, pool: np.ndarray, *,
+                   averse_pool: Optional[np.ndarray] = None,
+                   phase_len: int = 0, seed: int = 0,
+                   **params: Any) -> AccessPattern:
+    """Factory: build a registered pattern from its kind + params.
+
+    Mirrors the replacement-policy registry's ``create_policy``:
+    callers name a kind, the registry resolves the class, and
+    parameters are validated before construction.
+    """
+    cls = pattern_class(kind)
+    cls.check_params(params)
+    return cls(pool, averse_pool=averse_pool, phase_len=phase_len,
+               seed=seed, **params)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic walks (the rewired legacy kinds)
+# ---------------------------------------------------------------------------
+
+@register_pattern
+class SequentialPattern(AccessPattern):
+    """In-order cyclic walk over the pool (one pass = one reuse
+    distance of ``len(pool)``).  The shared engine behind the legacy
+    ``cyclic`` / ``scan`` / ``stream`` / ``chase`` kinds — they differ
+    only in pool preparation and the dependence bit."""
+
+    kind = "sequential"
+
+    def __init__(self, pool: np.ndarray, **kwargs: Any):
+        super().__init__(pool, **kwargs)
+        self._ptr = 0
+
+    def next_block(self) -> int:
+        block = int(self.pool[self._ptr % len(self.pool)])
+        self._ptr += 1
+        return block
+
+
+@register_pattern
+class CyclicPattern(SequentialPattern):
+    """Small working set revisited in sorted order (cache-friendly)."""
+
+    kind = "cyclic"
+    sort_pool = True
+
+
+@register_pattern
+class ScanPattern(SequentialPattern):
+    """Loop over a region larger than the cache (LRU-thrashing,
+    RRIP-friendly)."""
+
+    kind = "scan"
+
+
+@register_pattern
+class StreamPattern(SequentialPattern):
+    """Sequential streaming, no reuse, prefetchable (contiguous pool
+    when unconstrained)."""
+
+    kind = "stream"
+    contiguous_pool = True
+
+
+@register_pattern
+class ChasePattern(SequentialPattern):
+    """Dependent pointer walk (mcf-style: high MPKI *and* exposed
+    latency — accesses carry the dependence bit)."""
+
+    kind = "chase"
+    dependent = True
+
+
+@register_pattern
+class PhaseChangePattern(AccessPattern):
+    """Flips between a friendly and a larger averse working set every
+    ``phase_len`` accesses.
+
+    Phased PCs are what make the *myopic* predictor problem bite: each
+    slice's predictor sees so few sampled observations per phase that
+    it is always a phase behind, while a global predictor pooling all
+    slices' observations tracks the flips.
+    """
+
+    kind = "phase_change"
+    needs_averse_pool = True
+
+    def __init__(self, pool: np.ndarray, **kwargs: Any):
+        super().__init__(pool, **kwargs)
+        if self.phase_len < 1:
+            raise ValueError(f"pattern {self.kind!r} needs "
+                             f"phase_len >= 1")
+        if self.averse_pool is None or len(self.averse_pool) == 0:
+            raise ValueError(f"pattern {self.kind!r} needs a non-empty "
+                             f"averse_pool")
+        self._ptr = 0
+        self._averse_ptr = 0
+        self._count = 0
+
+    def next_block(self) -> int:
+        # Even phases walk the friendly pool, odd phases the averse.
+        in_averse = (self._count // self.phase_len) % 2 == 1
+        self._count += 1
+        if in_averse:
+            block = int(self.averse_pool[
+                self._averse_ptr % len(self.averse_pool)])
+            self._averse_ptr += 1
+            return block
+        block = int(self.pool[self._ptr % len(self.pool)])
+        self._ptr += 1
+        return block
+
+
+@register_pattern
+class PhasedPattern(PhaseChangePattern):
+    """The legacy name for :class:`PhaseChangePattern`."""
+
+    kind = "phased"
+
+
+# ---------------------------------------------------------------------------
+# Stochastic generators (per-instance seeded)
+# ---------------------------------------------------------------------------
+
+class _StochasticPattern(AccessPattern):
+    """Shared per-instance RNG plumbing (not registered itself)."""
+
+    stochastic = True
+
+    def __init__(self, pool: np.ndarray, **kwargs: Any):
+        super().__init__(pool, **kwargs)
+        self._rng = np.random.default_rng(self.seed)
+
+
+@register_pattern
+class UniformPattern(_StochasticPattern):
+    """Independent uniform draws over the pool — flat reuse with no
+    structure a stride or SHiP-style predictor can latch onto
+    (datacenter "lukewarm" data, hash-table probing)."""
+
+    kind = "uniform"
+
+    def next_block(self) -> int:
+        return int(self.pool[int(self._rng.integers(0, len(self.pool)))])
+
+
+@register_pattern
+class ZipfianPattern(_StochasticPattern):
+    """Zipf(``alpha``)-distributed draws: pool rank ``r`` is touched
+    with probability ∝ ``r**-alpha`` — the classic key-value /
+    query-serving popularity skew (YCSB's default is alpha≈0.99)."""
+
+    kind = "zipfian"
+    PARAM_DEFAULTS = {"alpha": 0.99}
+
+    def __init__(self, pool: np.ndarray, *, alpha: float = 0.99,
+                 **kwargs: Any):
+        super().__init__(pool, **kwargs)
+        self.alpha = float(alpha)
+        ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+        weights = ranks ** -self.alpha
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    @classmethod
+    def check_params(cls, params: Mapping[str, Any]) -> None:
+        super().check_params(params)
+        alpha = params.get("alpha", cls.PARAM_DEFAULTS["alpha"])
+        if not 0 < float(alpha) <= 10:
+            raise ValueError(f"pattern {cls.kind!r}: alpha must be in "
+                             f"(0, 10], got {alpha!r}")
+
+    def next_block(self) -> int:
+        idx = int(np.searchsorted(self._cdf, self._rng.random(),
+                                  side="right"))
+        return int(self.pool[min(idx, len(self.pool) - 1)])
+
+
+@register_pattern
+class HotspotPattern(_StochasticPattern):
+    """A hot subset (first ``hot_frac`` of the pool) absorbs
+    ``hot_prob`` of the accesses; the cold remainder takes the rest —
+    the two-temperature regime contended LLC slices see under
+    server-workload consolidation."""
+
+    kind = "hotspot"
+    PARAM_DEFAULTS = {"hot_frac": 0.1, "hot_prob": 0.9}
+
+    def __init__(self, pool: np.ndarray, *, hot_frac: float = 0.1,
+                 hot_prob: float = 0.9, **kwargs: Any):
+        super().__init__(pool, **kwargs)
+        self.hot_frac = float(hot_frac)
+        self.hot_prob = float(hot_prob)
+        hot_size = max(1, int(round(self.hot_frac * len(pool))))
+        self._hot = pool[:hot_size]
+        cold = pool[hot_size:]
+        self._cold = cold if len(cold) else pool
+
+    @classmethod
+    def check_params(cls, params: Mapping[str, Any]) -> None:
+        super().check_params(params)
+        hot_frac = params.get("hot_frac", cls.PARAM_DEFAULTS["hot_frac"])
+        hot_prob = params.get("hot_prob", cls.PARAM_DEFAULTS["hot_prob"])
+        if not 0 < float(hot_frac) <= 1:
+            raise ValueError(f"pattern {cls.kind!r}: hot_frac must be "
+                             f"in (0, 1], got {hot_frac!r}")
+        if not 0 <= float(hot_prob) <= 1:
+            raise ValueError(f"pattern {cls.kind!r}: hot_prob must be "
+                             f"in [0, 1], got {hot_prob!r}")
+
+    def next_block(self) -> int:
+        side = self._hot if self._rng.random() < self.hot_prob \
+            else self._cold
+        return int(side[int(self._rng.integers(0, len(side)))])
+
+
+@register_pattern
+class BurstyPattern(_StochasticPattern):
+    """Short sequential runs (``burst_len`` accesses) from random pool
+    positions — frontend-bound instruction/buffer traffic: locally
+    streamy, globally scattered, which defeats both pure-stride
+    prefetch and pure-reuse protection."""
+
+    kind = "bursty"
+    PARAM_DEFAULTS = {"burst_len": 64}
+
+    def __init__(self, pool: np.ndarray, *, burst_len: float = 64,
+                 **kwargs: Any):
+        super().__init__(pool, **kwargs)
+        self.burst_len = int(burst_len)
+        self._remaining = 0
+        self._pos = 0
+
+    @classmethod
+    def check_params(cls, params: Mapping[str, Any]) -> None:
+        super().check_params(params)
+        burst_len = params.get("burst_len",
+                               cls.PARAM_DEFAULTS["burst_len"])
+        if int(burst_len) != burst_len or int(burst_len) < 1:
+            raise ValueError(f"pattern {cls.kind!r}: burst_len must be "
+                             f"an integer >= 1, got {burst_len!r}")
+
+    def next_block(self) -> int:
+        if self._remaining == 0:
+            self._pos = int(self._rng.integers(0, len(self.pool)))
+            self._remaining = self.burst_len
+        block = int(self.pool[self._pos % len(self.pool)])
+        self._pos += 1
+        self._remaining -= 1
+        return block

@@ -8,31 +8,44 @@ explicit knobs:
   a single LLC slice (Figure 2's per-workload scatter fraction);
 * ``set_skew`` — fraction of the miss-heavy pools confined to a narrow
   band of set indices (Figure 5's non-uniform per-set MPKA);
-* pattern kinds that span the reuse spectrum:
-
-  - ``cyclic``  — small working set revisited in order (cache-friendly),
-  - ``scan``    — a loop over a region larger than the cache (the classic
-    LRU-thrashing, RRIP-friendly pattern),
-  - ``stream``  — sequential, no reuse, prefetchable,
-  - ``chase``   — dependent pointer walk over a large pool (mcf-style:
-    high MPKI *and* exposed latency).
+* pattern kinds drawn from the open registry in
+  :mod:`repro.traces.patterns` — the legacy deterministic walks
+  (``cyclic`` / ``scan`` / ``stream`` / ``chase`` / ``phased``) plus the
+  parametric stochastic generators (``uniform``, ``zipfian``,
+  ``hotspot``, ``bursty``, ``sequential``, ``phase_change``).  New kinds
+  register themselves; this module never enumerates them.
 
 Pool sizes are specified relative to the per-core LLC capacity so the
 same spec exerts the same pressure at any :class:`ScaleProfile`.
+
+Specs are declarative: :meth:`WorkloadSpec.from_dict` builds a validated
+spec from JSON-shaped data (see ``docs/workloads.md`` for the schema),
+and :meth:`WorkloadSpec.digest` is the ``stable_hash`` of the canonical
+dict — the value mixed into trace names and sweep cache keys so two
+same-named specs with different parameters can never share results.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
 from repro.cache.slice_hash import SliceHash
 from repro.core.signature import stable_hash
+from repro.traces.patterns import (AccessPattern, create_pattern,
+                                   pattern_class, pattern_names)
 from repro.traces.trace import BLOCK_SHIFT, MemoryAccess, Trace
 
+#: The original closed pattern enum, kept as a back-compat alias; the
+#: authoritative set is ``repro.traces.patterns.pattern_names()``.
 PATTERNS = ("cyclic", "scan", "stream", "chase", "phased")
+
+#: ``Mapping`` or tuple-of-pairs accepted for pattern params.
+ParamsLike = Union[Mapping[str, float], Tuple[Tuple[str, float], ...]]
 
 
 @dataclass(frozen=True)
@@ -40,23 +53,27 @@ class PCClassSpec:
     """A class of PCs sharing a pattern and sizing.
 
     Attributes:
-        pattern: one of :data:`PATTERNS`.
+        pattern: a registered pattern kind
+            (:func:`repro.traces.patterns.pattern_names`).
         count: PCs in this class.
         pool_frac: per-PC pool size as a fraction of the per-core LLC
             capacity in blocks (e.g. 0.05 = comfortably cache-resident,
             4.0 = heavy thrashing).
-        weight: this class's share of the workload's accesses.
+        weight: this class's share of the workload's accesses (>= 0;
+            the workload normalises, but at least one class must be
+            positive).
         write_frac: fraction of this class's accesses that are stores.
         in_skew_band: confine this class's pools to the skew band of set
             indices (drives per-set MPKA non-uniformity).
-        phase_len: for the ``phased`` pattern: accesses per phase before
-            the PC flips between its friendly and averse working sets.
-            Phased PCs are what make the *myopic* predictor problem bite:
-            each slice's predictor sees so few sampled observations per
-            phase that it is always a phase behind, while a global
-            predictor pooling all slices' observations tracks the flips.
-        averse_mult: for ``phased``: the averse-phase pool is
-            ``averse_mult`` times the friendly pool.
+        phase_len: for phase-flipping patterns: accesses per phase
+            before the PC flips between its friendly and averse working
+            sets.  Phased PCs are what make the *myopic* predictor
+            problem bite: each slice's predictor sees so few sampled
+            observations per phase that it is always a phase behind,
+            while a global predictor pooling all slices' observations
+            tracks the flips.
+        averse_mult: for phase-flipping patterns: the averse-phase pool
+            is ``averse_mult`` times the friendly pool.
         band_frac: override the width of this class's skew band as a
             fraction of the set space (defaults to the workload's
             ``set_skew_band``).  Bands are nested at a common origin, so
@@ -64,6 +81,11 @@ class PCClassSpec:
             — this is what produces Figure 5a's extreme per-set MPKA
             spikes without forcing the protectable working sets into
             over-committed sets.
+        params: extra pattern tunables (e.g. ``{"alpha": 1.2}`` for
+            ``zipfian``), validated against the pattern class's
+            ``PARAM_DEFAULTS``.  Stored as a sorted tuple of pairs so
+            the spec stays hashable; pass a mapping and it is
+            normalised.
     """
 
     pattern: str
@@ -75,22 +97,81 @@ class PCClassSpec:
     phase_len: int = 0
     averse_mult: float = 6.0
     band_frac: Optional[float] = None
+    params: ParamsLike = ()
 
     def __post_init__(self):
-        if self.pattern not in PATTERNS:
-            raise ValueError(f"unknown pattern {self.pattern!r}")
-        if self.pattern == "phased" and self.phase_len < 1:
-            raise ValueError("phased pattern needs phase_len >= 1")
+        pcls = pattern_class(self.pattern)
+        raw = self.params
+        items = raw.items() if isinstance(raw, Mapping) else tuple(raw)
+        as_dict = {str(k): v for k, v in items}
+        pcls.check_params(as_dict)
+        object.__setattr__(
+            self, "params",
+            tuple(sorted((k, float(v)) for k, v in as_dict.items())))
+        if pcls.needs_averse_pool and self.phase_len < 1:
+            raise ValueError(
+                f"pattern {self.pattern!r} needs phase_len >= 1")
         if self.count < 1:
             raise ValueError("count must be >= 1")
         if self.pool_frac <= 0:
             raise ValueError("pool_frac must be positive")
+        if self.weight < 0:
+            raise ValueError("weight must be >= 0")
         if not 0 <= self.write_frac <= 1:
             raise ValueError("write_frac must be in [0, 1]")
         if self.averse_mult <= 0:
             raise ValueError("averse_mult must be positive")
         if self.band_frac is not None and not 0 < self.band_frac <= 1:
             raise ValueError("band_frac must be in (0, 1]")
+
+    # -- declarative surface --------------------------------------------
+    _FIELD_NAMES = ("pattern", "count", "pool_frac", "weight",
+                    "write_frac", "in_skew_band", "phase_len",
+                    "averse_mult", "band_frac", "params")
+
+    def params_dict(self) -> Dict[str, float]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped canonical form, round-trippable through
+        :meth:`from_dict` and stable under hashing (params sorted by
+        name)."""
+        return {
+            "pattern": self.pattern,
+            "count": self.count,
+            "pool_frac": self.pool_frac,
+            "weight": self.weight,
+            "write_frac": self.write_frac,
+            "in_skew_band": self.in_skew_band,
+            "phase_len": self.phase_len,
+            "averse_mult": self.averse_mult,
+            "band_frac": self.band_frac,
+            "params": self.params_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PCClassSpec":
+        """Build a validated class spec from JSON-shaped *data*.
+
+        Rejects unknown keys and missing required fields with messages
+        safe to relay to API clients; value validation is shared with
+        direct construction (``__post_init__``).
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"PC class spec must be a mapping, "
+                             f"got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls._FIELD_NAMES))
+        if unknown:
+            raise ValueError(f"PC class spec: unknown keys {unknown}; "
+                             f"allowed: {sorted(cls._FIELD_NAMES)}")
+        required = ("pattern", "count", "pool_frac", "weight")
+        missing = sorted(k for k in required if k not in data)
+        if missing:
+            raise ValueError(f"PC class spec: missing required keys "
+                             f"{missing}")
+        kwargs = {key: data[key] for key in cls._FIELD_NAMES
+                  if key in data}
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -105,7 +186,8 @@ class WorkloadSpec:
             occupy (smaller = sharper Figure 5 spikes); 1.0 disables
             skew.
         classes: the PC population.
-        suite: "spec" / "gap" / "datacenter" (reporting only).
+        suite: "spec" / "gap" / "datacenter" / "custom" (reporting
+            only).
     """
 
     name: str
@@ -116,6 +198,8 @@ class WorkloadSpec:
     suite: str = "spec"
 
     def __post_init__(self):
+        if not self.name:
+            raise ValueError("workload needs a non-empty name")
         if self.apki <= 0:
             raise ValueError("apki must be positive")
         if not 0 <= self.slice_affinity <= 1:
@@ -124,42 +208,107 @@ class WorkloadSpec:
             raise ValueError("set_skew_band must be in (0, 1]")
         if not self.classes:
             raise ValueError("need at least one PC class")
+        if sum(c.weight for c in self.classes) <= 0:
+            raise ValueError(
+                f"workload {self.name!r}: class weights sum to 0 — "
+                f"at least one class needs weight > 0")
+
+    # -- declarative surface --------------------------------------------
+    _FIELD_NAMES = ("name", "apki", "slice_affinity", "set_skew_band",
+                    "classes", "suite")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped canonical form, round-trippable through
+        :meth:`from_dict` and the input to :meth:`digest`."""
+        return {
+            "name": self.name,
+            "apki": self.apki,
+            "slice_affinity": self.slice_affinity,
+            "set_skew_band": self.set_skew_band,
+            "suite": self.suite,
+            "classes": [c.to_dict() for c in self.classes],
+        }
+
+    def digest(self) -> str:
+        """16-hex-char ``stable_hash`` of the canonical dict.
+
+        This is the workload's *parameter identity*: mixed into trace
+        names (:func:`repro.traces.mixes.mix_trace_name`) and sweep
+        cache keys so two specs sharing a name but differing in any
+        parameter can never collide in the result cache.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return f"{stable_hash(payload):016x}"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Build a validated workload spec from JSON-shaped *data*.
+
+        Schema (see ``docs/workloads.md``): required ``name``,
+        ``apki``, ``slice_affinity``, ``set_skew_band`` and a non-empty
+        ``classes`` list of PC-class dicts; optional ``suite``
+        (defaults to ``"custom"``).  Unknown keys are rejected so a
+        typo'd knob fails loudly instead of silently using a default.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"workload spec must be a mapping, "
+                             f"got {type(data).__name__}")
+        unknown = sorted(set(data) - set(cls._FIELD_NAMES))
+        if unknown:
+            raise ValueError(f"workload spec: unknown keys {unknown}; "
+                             f"allowed: {sorted(cls._FIELD_NAMES)}")
+        required = ("name", "apki", "slice_affinity", "set_skew_band",
+                    "classes")
+        missing = sorted(k for k in required if k not in data)
+        if missing:
+            raise ValueError(f"workload spec: missing required keys "
+                             f"{missing}")
+        raw_classes = data["classes"]
+        if (not isinstance(raw_classes, Sequence)
+                or isinstance(raw_classes, (str, bytes))
+                or not raw_classes):
+            raise ValueError("workload spec: 'classes' must be a "
+                             "non-empty list of PC class dicts")
+        classes = tuple(PCClassSpec.from_dict(c) for c in raw_classes)
+        return cls(name=str(data["name"]), apki=float(data["apki"]),
+                   slice_affinity=float(data["slice_affinity"]),
+                   set_skew_band=float(data["set_skew_band"]),
+                   classes=classes,
+                   suite=str(data.get("suite", "custom")))
 
 
 class PCBehavior:
-    """One PC's materialised pattern state."""
+    """One PC's materialised pattern state.
 
-    __slots__ = ("pc", "pattern", "pool", "write_frac", "dependent",
-                 "averse_pool", "phase_len", "_ptr", "_averse_ptr",
-                 "_count")
+    A thin binding of a PC address and store ratio to its
+    :class:`~repro.traces.patterns.AccessPattern` generator; the pool
+    views (``pool`` / ``averse_pool``) delegate to the generator.
+    """
 
-    def __init__(self, pc: int, pattern: str, pool: np.ndarray,
-                 write_frac: float, averse_pool: Optional[np.ndarray] = None,
-                 phase_len: int = 0):
+    __slots__ = ("pc", "pattern", "write_frac", "dependent", "generator")
+
+    def __init__(self, pc: int, write_frac: float,
+                 generator: AccessPattern):
         self.pc = pc
-        self.pattern = pattern
-        self.pool = pool
+        self.pattern = generator.kind
         self.write_frac = write_frac
-        self.dependent = pattern == "chase"
-        self.averse_pool = averse_pool
-        self.phase_len = phase_len
-        self._ptr = 0
-        self._averse_ptr = 0
-        self._count = 0
+        self.dependent = generator.dependent
+        self.generator = generator
+
+    @property
+    def pool(self) -> np.ndarray:
+        return self.generator.pool
+
+    @property
+    def averse_pool(self) -> Optional[np.ndarray]:
+        return self.generator.averse_pool
+
+    @property
+    def phase_len(self) -> int:
+        return self.generator.phase_len
 
     def next_block(self) -> int:
-        if self.pattern == "phased":
-            # Even phases walk the friendly pool, odd phases the averse.
-            in_averse = (self._count // self.phase_len) % 2 == 1
-            self._count += 1
-            if in_averse:
-                block = int(self.averse_pool[
-                    self._averse_ptr % len(self.averse_pool)])
-                self._averse_ptr += 1
-                return block
-        block = int(self.pool[self._ptr % len(self.pool)])
-        self._ptr += 1
-        return block
+        return self.generator.next_block()
 
 
 class SyntheticWorkload:
@@ -251,13 +400,14 @@ class SyntheticWorkload:
         weights: List[float] = []
         pc_index = 0
         for cls in spec.classes:
+            pcls = pattern_class(cls.pattern)
             per_pc_weight = cls.weight / cls.count
             for _ in range(cls.count):
                 pc = pc_base + pc_index * 0x14
                 pc_index += 1
                 pool_size = max(4, int(cls.pool_frac * self.capacity_blocks))
-                is_stream = cls.pattern == "stream"
-                affine = (not is_stream and
+                contiguous = pcls.contiguous_pool
+                affine = (not contiguous and
                           rng.random() < spec.slice_affinity)
                 home = int(rng.integers(0, self.num_slices)) if affine \
                     else None
@@ -269,18 +419,27 @@ class SyntheticWorkload:
                     band = (skew_lo, min(self.num_sets,
                                          skew_lo + width))
                 pool = self._sample_pool(pool_size, home, band,
-                                         contiguous=is_stream)
-                if cls.pattern == "cyclic":
+                                         contiguous=contiguous)
+                if pcls.sort_pool:
                     pool = np.sort(pool)
                 averse_pool = None
-                if cls.pattern == "phased":
+                if pcls.needs_averse_pool:
                     averse_size = max(8, int(pool_size * cls.averse_mult))
                     averse_pool = self._sample_pool(
                         averse_size, home, band, contiguous=False)
+                # Stochastic generators consume one extra draw for their
+                # per-instance seed; deterministic walks must not, so the
+                # legacy kinds stay bit-identical (golden-pinned).
+                pattern_seed = 0
+                if pcls.stochastic:
+                    pattern_seed = int(rng.integers(
+                        0, np.iinfo(np.int64).max))
+                generator = create_pattern(
+                    cls.pattern, pool, averse_pool=averse_pool,
+                    phase_len=cls.phase_len, seed=pattern_seed,
+                    **cls.params_dict())
                 self.behaviors.append(
-                    PCBehavior(pc, cls.pattern, pool, cls.write_frac,
-                               averse_pool=averse_pool,
-                               phase_len=cls.phase_len))
+                    PCBehavior(pc, cls.write_frac, generator))
                 weights.append(per_pc_weight)
         total = sum(weights)
         self.weights = np.array([w / total for w in weights])

@@ -1,0 +1,29 @@
+"""Bad INV004 corpus: a concrete pattern that skipped the registry.
+
+``OrphanPattern`` names a kind but is never ``@register_pattern``-
+decorated, so ``create_pattern`` cannot build it and the differential
+matrix never covers it.
+"""
+
+
+class AccessPattern:
+    kind = ""
+
+
+def register_pattern(cls):
+    return cls
+
+
+@register_pattern
+class WiredPattern(AccessPattern):
+    kind = "wired"
+
+    def next_block(self):
+        return 0
+
+
+class OrphanPattern(AccessPattern):
+    kind = "orphan"
+
+    def next_block(self):
+        return 1

@@ -1,0 +1,32 @@
+"""Known-good INV004 corpus: abstract bases exempt, concretes wired."""
+
+
+class AccessPattern:
+    kind = ""  # abstract base: empty kind, exempt
+
+
+def register_pattern(cls):
+    return cls
+
+
+@register_pattern
+class UniformPattern(AccessPattern):
+    kind = "uniform"
+
+    def next_block(self):
+        return 0
+
+
+class _HelperPattern(AccessPattern):
+    """Unregistered mixin: no kind of its own, exempt."""
+
+    def shared_helper(self):
+        return 42
+
+
+@register_pattern
+class ZipfPattern(_HelperPattern):
+    kind = "zipf"
+
+    def next_block(self):
+        return 1

@@ -1,0 +1,13 @@
+"""Suppression corpus: an intentionally unregistered pattern (kept as
+an internal template the registry must not expose), silenced inline."""
+
+
+class AccessPattern:
+    kind = ""
+
+
+class TemplatePattern(AccessPattern):  # repro-lint: disable=INV004
+    kind = "template"
+
+    def next_block(self):
+        return 0

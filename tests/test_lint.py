@@ -48,6 +48,7 @@ class TestRuleFixtures:
         ("bad_inv001.py", "INV001"),
         ("bad_inv002", "INV002"),
         ("bad_inv003", "INV003"),
+        ("bad_inv004.py", "INV004"),
         ("bad_sat001.py", "SAT001"),
         ("bad_unit001.py", "UNIT001"),
         ("bad_par001.py", "PAR001"),
@@ -60,8 +61,8 @@ class TestRuleFixtures:
 
     @pytest.mark.parametrize("fixture", [
         "good_det001.py", "good_det003.py", "good_inv001.py",
-        "good_sat001.py", "good_unit001.py", "good_par001.py",
-        "good_stat001.py",
+        "good_inv004.py", "good_sat001.py", "good_unit001.py",
+        "good_par001.py", "good_stat001.py",
     ])
     def test_good_fixture_is_clean(self, fixture):
         result = lint_path(FIXTURES / fixture)
@@ -94,6 +95,33 @@ class TestRuleFixtures:
         assert "OrphanPolicy" in result.violations[0].message
         assert result.violations[0].path.endswith("orphan.py")
 
+    def test_inv004_names_the_orphan_pattern(self):
+        result = lint_path(FIXTURES / "bad_inv004.py")
+        assert len(result.violations) == 1
+        assert "OrphanPattern" in result.violations[0].message
+        assert "register_pattern" in result.violations[0].message
+
+    def test_inv004_project_check_guards_differential_matrix(self,
+                                                             tmp_path):
+        # A tree whose traces/patterns module exists but whose
+        # tests/test_patterns.py enumerates kinds by hand (no
+        # pattern_names/PATTERN_REGISTRY) must trip INV004.
+        pkg = tmp_path / "src" / "repro" / "traces"
+        pkg.mkdir(parents=True)
+        for parent in (tmp_path / "src" / "repro",
+                       tmp_path / "src" / "repro" / "traces"):
+            (parent / "__init__.py").write_text("")
+        (pkg / "patterns.py").write_text(
+            "PATTERN_REGISTRY = {}\n")
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_patterns.py").write_text(
+            "KINDS = ['uniform', 'zipfian']\n")
+        result = lint_path(tmp_path / "src", select=["INV004"])
+        assert not result.ok
+        assert codes(result) == {"INV004"}
+        assert "differential" in result.violations[0].message
+
 
 # ---------------------------------------------------------------------------
 # Suppressions
@@ -101,9 +129,9 @@ class TestRuleFixtures:
 
 class TestSuppressions:
     @pytest.mark.parametrize("fixture", [
-        "suppressed_det001.py", "suppressed_sat001.py",
-        "suppressed_unit001.py", "suppressed_par001.py",
-        "suppressed_stat001.py",
+        "suppressed_det001.py", "suppressed_inv004.py",
+        "suppressed_sat001.py", "suppressed_unit001.py",
+        "suppressed_par001.py", "suppressed_stat001.py",
     ])
     def test_inline_and_file_suppressions(self, fixture):
         result = lint_path(FIXTURES / fixture)
@@ -162,6 +190,7 @@ class TestEngine:
     def test_rule_registry_is_complete(self):
         assert set(all_rule_codes()) == {"DET001", "DET002", "DET003",
                                          "INV001", "INV002", "INV003",
+                                         "INV004",
                                          "SAT001", "UNIT001", "PAR001",
                                          "STAT001", "SUP001",
                                          "ASY001", "ASY002", "LOCK001",
@@ -190,7 +219,8 @@ class TestEngine:
                                           "ASY", "LOCK", "ATOM", "EXC",
                                           "EVT", "SUP", "CKEY"])
         assert [r.code for r in no_dataflow] == [
-            "DET001", "DET002", "DET003", "INV001", "INV002", "INV003"]
+            "DET001", "DET002", "DET003", "INV001", "INV002", "INV003",
+            "INV004"]
         with pytest.raises(ValueError):
             build_rules(select=["ZZZ"])
 

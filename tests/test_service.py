@@ -145,6 +145,92 @@ class TestJobSpec:
             JobSpec.from_dict({"policies": ["no-such-policy"]})
 
 
+# ---------------------------------------------------------------------------
+# Declarative workloads/mixes
+# ---------------------------------------------------------------------------
+
+#: A declarative sweep: one custom zipfian workload mixed with a pool
+#: workload, 6 units (2 alone + 1 mix × 2 policies × 2 cores alone).
+DECL_SPEC = {
+    "name": "decl",
+    "scale": "smoke",
+    "core_counts": [2],
+    "seed": 3,
+    "accesses_per_core": 600,
+    "policies": ["lru", "d-hawkeye"],
+    "workloads": [{
+        "name": "kv_zipf", "apki": 30.0, "slice_affinity": 0.4,
+        "set_skew_band": 0.5,
+        "classes": [
+            {"pattern": "zipfian", "count": 3, "pool_frac": 0.5,
+             "weight": 3.0, "params": {"alpha": 1.1}},
+            {"pattern": "stream", "count": 1, "pool_frac": 2.0,
+             "weight": 1.0},
+        ]}],
+    "mixes": [{"name": "m0", "workloads": ["kv_zipf", "mcf"],
+               "kind": "heterogeneous"}],
+}
+
+
+def _decl(**overrides):
+    data = json.loads(json.dumps(DECL_SPEC))
+    data.update(overrides)
+    return data
+
+
+class TestDeclarativeJobSpec:
+    def test_declarative_mixes_replace_generated_set(self):
+        spec = JobSpec.from_dict(DECL_SPEC)
+        assert spec.num_homogeneous == spec.num_heterogeneous == 0
+        profile = spec.profile()
+        mixes = profile.mixes(2)
+        assert [m.name for m in mixes] == ["m0"]
+        assert mixes[0].workloads == ("kv_zipf", "mcf")
+        assert mixes[0].resolve("kv_zipf").suite == "custom"
+        assert mixes[0].resolve("mcf").suite == "spec"
+
+    def test_round_trips_through_record_dict(self):
+        spec = JobSpec.from_dict(DECL_SPEC)
+        assert JobSpec.from_record_dict(spec.to_dict()) == spec
+
+    def test_mix_local_custom_wins_over_top_level(self):
+        data = _decl()
+        local = json.loads(json.dumps(DECL_SPEC["workloads"][0]))
+        local["apki"] = 5.0
+        data["mixes"][0]["custom"] = [local]
+        spec = JobSpec.from_dict(data)
+        mix = spec.profile().mixes(2)[0]
+        assert mix.resolve("kv_zipf").apki == 5.0
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda d: d.pop("mixes"), "workloads requires mixes"),
+        (lambda d: d.update(num_homogeneous=1), "cannot be combined"),
+        (lambda d: d["mixes"][0]["workloads"].__setitem__(0, "kv_zip"),
+         "did you mean 'kv_zipf'"),
+        (lambda d: d["mixes"][0]["workloads"].append("mcf"),
+         "num_cores"),
+        (lambda d: d.update(core_counts=[2, 4]), "num_cores=4"),
+        (lambda d: d["workloads"][0]["classes"][0]["params"]
+         .update(alpha=99), "alpha"),
+        (lambda d: [c.update(weight=0)
+                    for c in d["workloads"][0]["classes"]],
+         "weights sum to 0"),
+        (lambda d: d["workloads"][0]["classes"][0]
+         .update(pool_frac=-1), "pool_frac"),
+        (lambda d: d["workloads"][0].update(typo=1), "unknown keys"),
+        (lambda d: d.update(workloads=d["workloads"] * 2),
+         "must be unique"),
+        (lambda d: d.update(mixes=d["mixes"] * 2), "must be unique"),
+        (lambda d: d.update(workloads=[]), "non-empty"),
+        (lambda d: d.update(mixes="m0"), "non-empty list"),
+    ])
+    def test_rejects_bad_declarative_specs(self, mutate, match):
+        data = _decl()
+        mutate(data)
+        with pytest.raises(JobSpecError, match=match):
+            JobSpec.from_dict(data)
+
+
 class TestJobStore:
     def test_create_load_list(self, tmp_path):
         store = JobStore(tmp_path)
@@ -345,6 +431,25 @@ class TestDaemonEndToEnd:
             harness.client.submit({"scale": "galactic"})
         assert excinfo.value.status == 400
         assert "galactic" in str(excinfo.value)
+
+    def test_declarative_mix_sweep_matches_local(self, harness):
+        client = harness.client
+        record = client.submit(DECL_SPEC)
+        final = client.wait(record["job_id"], timeout=120)
+        assert final["status"] == "done"
+        spec = JobSpec.from_dict(DECL_SPEC)
+        matrix = SweepEngine().run(spec.profile(), spec.policy_triples())
+        expected = json.loads(json.dumps(matrix_to_dict(matrix)))
+        assert client.result(record["job_id"]) == expected
+        assert expected["mix_names"]["2"] == ["m0"]
+
+    def test_invalid_declarative_spec_is_400(self, harness):
+        bad = _decl()
+        bad["mixes"][0]["workloads"][0] = "kv_zip"
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.submit(bad)
+        assert excinfo.value.status == 400
+        assert "kv_zipf" in str(excinfo.value)
 
     def test_cancel_running_job_keeps_completed_units(self, harness):
         client = harness.client

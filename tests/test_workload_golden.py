@@ -1,0 +1,129 @@
+"""Golden pins for named-workload trace generation.
+
+The pattern-library refactor (``repro.traces.patterns``) rewired every
+legacy pattern kind through the registry; these digests were captured
+from the pre-refactor trace layer and pin that every named SPEC / GAP /
+datacenter workload still generates **byte-identical** traces.  Any
+change to RNG draw order in ``SyntheticWorkload`` — an extra draw, a
+reordered sample — shows up here as a digest mismatch.
+
+If a digest changes *intentionally* (a semantics change to trace
+generation), re-pin it AND bump ``CACHE_SCHEMA_VERSION`` in
+``repro.experiments.resultcache`` — stale cached results keyed on the
+old trace bytes must not survive.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.traces.datacenter import DATACENTER_WORKLOADS
+from repro.traces.gap import GAP_WORKLOADS
+from repro.traces.spec import SPEC_WORKLOADS
+from repro.traces.synthetic import build_trace
+
+# Generation geometry for the pins: small enough to run all 66 cases in
+# seconds, large enough to exercise affinity, skew bands and phases.
+CAPACITY_BLOCKS = 512
+NUM_SLICES = 4
+NUM_SETS = 64
+NUM_ACCESSES = 400
+SEEDS = (0, 3)
+
+GOLDEN = {
+    # -- SPEC ----------------------------------------------------------
+    ("bwaves", 0): "ad0fb9ae9689e67e",
+    ("bwaves", 3): "9cfeafed7127fe1a",
+    ("cactuBSSN", 0): "45e2324e47dbc138",
+    ("cactuBSSN", 3): "d8e45267ac33a4ee",
+    ("cam4", 0): "a982f602e1ddc010",
+    ("cam4", 3): "e3d90c44b90e0afe",
+    ("deepsjeng", 0): "12c460b6a2f009dd",
+    ("deepsjeng", 3): "ea7dd2435caa890f",
+    ("fotonik3d", 0): "66ef5b202464808f",
+    ("fotonik3d", 3): "65038ed70475e176",
+    ("gcc", 0): "d13e03b645040fbf",
+    ("gcc", 3): "7e21c85ecc23561c",
+    ("lbm", 0): "195a762d61cd9138",
+    ("lbm", 3): "e1208bcf4cce8241",
+    ("mcf", 0): "71a5817107eb8945",
+    ("mcf", 3): "1893b8ad41ab0aac",
+    ("omnetpp", 0): "a5060e097f6ef30d",
+    ("omnetpp", 3): "78e91dfd799e31db",
+    ("pop2", 0): "632acbd04baa476f",
+    ("pop2", 3): "dfc270a3eefbf3cb",
+    ("roms", 0): "fab3e14dd4ffd2b6",
+    ("roms", 3): "13a71482ae1f01a0",
+    ("wrf", 0): "1d8e966c0eff82c4",
+    ("wrf", 3): "1d4dcb4115d0c62b",
+    ("xalancbmk", 0): "9dcb5ab757451f39",
+    ("xalancbmk", 3): "cba2f17411b0767b",
+    ("xz", 0): "b5bb4fe20d55b0f4",
+    ("xz", 3): "33a85173e5c8dede",
+    # -- GAP -----------------------------------------------------------
+    ("bc_kron", 0): "499d4f56d51ea27d",
+    ("bc_kron", 3): "9ca40a618c60d977",
+    ("bc_twitter", 0): "69771ef7e73fe2c8",
+    ("bc_twitter", 3): "36f8b5ee4fdedc67",
+    ("bfs_kron", 0): "44e33f59f614b38e",
+    ("bfs_kron", 3): "662836951bba154a",
+    ("bfs_urand", 0): "fdc4c4ef47290a1a",
+    ("bfs_urand", 3): "09923462b99add13",
+    ("cc_kron", 0): "59726b82cded086d",
+    ("cc_kron", 3): "ea1908544af1cceb",
+    ("cc_urand", 0): "166099866dc284f3",
+    ("cc_urand", 3): "d1b43d43b6581f04",
+    ("pr_kron", 0): "6667b9b85739caf0",
+    ("pr_kron", 3): "b23a3a4b9c42eeb7",
+    ("pr_urand", 0): "b0659212097ef8fb",
+    ("pr_urand", 3): "5951f558a035d871",
+    ("sssp_kron", 0): "99fbf6e70fb51541",
+    ("sssp_kron", 3): "0672500d323cef8d",
+    ("sssp_urand", 0): "d052c8d066669ca3",
+    ("sssp_urand", 3): "d3bc7ca6cc554970",
+    ("tc_kron", 0): "b9b89bb88d608737",
+    ("tc_kron", 3): "f464db6841cfa17d",
+    ("tc_road", 0): "6b6b134d625249aa",
+    ("tc_road", 3): "56024986a27deb42",
+    # -- datacenter ----------------------------------------------------
+    ("cloudsuite_data", 0): "961aba6d0475bf61",
+    ("cloudsuite_data", 3): "d2686961d0cedd07",
+    ("cloudsuite_web", 0): "9a25b831c7a13d2f",
+    ("cloudsuite_web", 3): "e7f09a7d7a683955",
+    ("cvp1_compute", 0): "0cd1622b8d055135",
+    ("cvp1_compute", 3): "6d15fd5af4631440",
+    ("cvp1_server", 0): "5fc0285983d3471d",
+    ("cvp1_server", 3): "67447c81dccb604e",
+    ("google_ads", 0): "c18994c931c9dd89",
+    ("google_ads", 3): "1c940477acc709ec",
+    ("google_search", 0): "f44b514e87e77160",
+    ("google_search", 3): "8983b440a9c601b7",
+    ("xsbench", 0): "dbb33c3d17f013a3",
+    ("xsbench", 3): "8207aa0b1825013d",
+}
+
+ALL_SPECS = {**SPEC_WORKLOADS, **GAP_WORKLOADS, **DATACENTER_WORKLOADS}
+
+
+def trace_digest(trace) -> str:
+    """First 16 hex chars of a sha256 over every record's fields."""
+    h = hashlib.sha256()
+    for a in trace.accesses:
+        h.update(f"{a.pc},{a.address},{int(a.is_write)},"
+                 f"{a.instr_gap},{int(a.dependent)};".encode())
+    return h.hexdigest()[:16]
+
+
+def test_pin_covers_every_named_workload():
+    pinned = {name for name, _ in GOLDEN}
+    assert pinned == set(ALL_SPECS)
+
+
+@pytest.mark.parametrize("name,seed", sorted(GOLDEN))
+def test_named_workload_trace_is_bit_identical(name, seed):
+    trace = build_trace(ALL_SPECS[name], CAPACITY_BLOCKS, NUM_SLICES,
+                        NUM_SETS, NUM_ACCESSES, seed=seed)
+    assert trace_digest(trace) == GOLDEN[(name, seed)], (
+        f"{name} seed={seed}: trace bytes changed — RNG draw order in "
+        f"SyntheticWorkload moved (see tests/test_workload_golden.py "
+        f"docstring before re-pinning)")

@@ -26,6 +26,7 @@ from repro.traces.spec import (
     make_spec_trace,
     spec_workload_names,
 )
+from repro.traces.synthetic import WorkloadSpec
 
 
 def tiny_config(num_cores=4):
@@ -98,10 +99,22 @@ class TestResolve:
 
 class TestMixes:
     def test_standard_counts(self):
-        mixes = standard_mixes(4, num_homogeneous=35,
+        # The paper's 35-homogeneous request exceeds the 26-workload
+        # pool; cycling used to repeat assignments silently, now the
+        # count clamps to the pool with a warning (no duplicates).
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            mixes = standard_mixes(4, num_homogeneous=35,
+                                   num_heterogeneous=35)
+        homo = [m for m in mixes if m.kind == "homogeneous"]
+        assert len(homo) == 26
+        assert len(mixes) == 26 + 35
+        assert len({m.workloads for m in homo}) == len(homo)
+
+    def test_standard_counts_within_pool(self):
+        mixes = standard_mixes(4, num_homogeneous=10,
                                num_heterogeneous=35)
-        assert len(mixes) == 70
-        assert sum(m.kind == "homogeneous" for m in mixes) == 35
+        assert len(mixes) == 45
+        assert sum(m.kind == "homogeneous" for m in mixes) == 10
 
     def test_homogeneous_same_workload(self):
         mix = homogeneous_mix("mcf", 8)
@@ -135,10 +148,78 @@ class TestMixes:
             for wl in m.workloads:
                 assert resolve_workload(wl).suite == "datacenter"
 
+    def test_heterogeneous_draws_deduplicated(self):
+        # A 2-workload pool at 1 core supports only 2 distinct mixes;
+        # redraws must never emit a duplicate assignment.
+        with pytest.warns(RuntimeWarning, match="distinct mixes"):
+            mixes = standard_mixes(1, num_homogeneous=0,
+                                   num_heterogeneous=5,
+                                   pool=["mcf", "lbm"])
+        assert len(mixes) == 2
+        assert len({m.workloads for m in mixes}) == 2
+
+    def test_datacenter_mixes_deduplicated(self):
+        # 7-workload pool at 1 core: asking for 50 yields the 7
+        # distinct single-workload mixes plus a warning, not repeats.
+        with pytest.warns(RuntimeWarning, match="datacenter_mixes"):
+            mixes = datacenter_mixes(1, count=50)
+        assert len(mixes) == 7
+        assert len({m.workloads for m in mixes}) == 7
+
+    def test_datacenter_mixes_unique_at_scale(self):
+        mixes = datacenter_mixes(4, count=50)
+        assert len(mixes) == 50
+        assert len({m.workloads for m in mixes}) == 50
+
+    def test_mix_validation_errors(self):
+        with pytest.raises(ValueError, match="counts must be >= 0"):
+            standard_mixes(4, num_homogeneous=-1)
+        with pytest.raises(ValueError, match="num_cores"):
+            standard_mixes(0)
+        with pytest.raises(ValueError, match="pool is empty"):
+            standard_mixes(4, pool=[])
+        with pytest.raises(ValueError, match="count must be >= 0"):
+            datacenter_mixes(4, count=-1)
+
     def test_invalid_mix_kind(self):
         with pytest.raises(ValueError):
             MixSpec("m", ("mcf",), "bogus")
 
     def test_mix_validates_workloads(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            MixSpec("m", ("xalancbmkk",), "homogeneous")
         with pytest.raises(ValueError):
             MixSpec("m", ("nonexistent",), "homogeneous")
+
+    def test_mix_custom_spec_resolution(self):
+        custom = WorkloadSpec.from_dict({
+            "name": "kv", "apki": 25.0, "slice_affinity": 0.3,
+            "set_skew_band": 0.5,
+            "classes": [{"pattern": "zipfian", "count": 2,
+                         "pool_frac": 0.5, "weight": 1.0}]})
+        mix = MixSpec("m0", ("kv", "mcf"), "heterogeneous",
+                      custom=(custom,))
+        assert mix.resolve("kv") is custom
+        assert mix.resolve("mcf").suite == "spec"
+        clone = MixSpec.from_dict(mix.to_dict())
+        assert clone == mix
+
+    def test_mix_custom_typo_suggests_custom_name(self):
+        custom = WorkloadSpec.from_dict({
+            "name": "zipf_mix", "apki": 25.0, "slice_affinity": 0.3,
+            "set_skew_band": 0.5,
+            "classes": [{"pattern": "zipfian", "count": 2,
+                         "pool_frac": 0.5, "weight": 1.0}]})
+        with pytest.raises(ValueError, match="did you mean 'zipf_mix'"):
+            MixSpec("m0", ("zipf_mixx",), "homogeneous",
+                    custom=(custom,))
+
+    def test_mix_rejects_duplicate_custom_names(self):
+        custom = WorkloadSpec.from_dict({
+            "name": "kv", "apki": 25.0, "slice_affinity": 0.3,
+            "set_skew_band": 0.5,
+            "classes": [{"pattern": "uniform", "count": 1,
+                         "pool_frac": 0.5, "weight": 1.0}]})
+        with pytest.raises(ValueError, match="duplicate custom"):
+            MixSpec("m0", ("kv",), "homogeneous",
+                    custom=(custom, custom))
